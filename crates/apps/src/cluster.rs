@@ -1,0 +1,183 @@
+//! ClusterGCN sampling (Chiang et al., KDD '19).
+
+use nextdoor_core::api::NextCtx;
+use nextdoor_core::{SamplingApp, SamplingType, Steps};
+use nextdoor_graph::{Clustering, Csr, VertexId};
+use nextdoor_gpu::rng;
+
+/// ClusterGCN sampling: each sample consists of the vertices of a few
+/// randomly-chosen clusters, and the sampler extracts the adjacency matrix
+/// among them (paper §4.2: "at each step an edge is recorded in a sample's
+/// adjacency matrix if the edge exists between any two transits"; the
+/// evaluation randomly assigns vertices to clusters and puts 20 clusters
+/// in each sample).
+///
+/// Expressed in the abstraction as a single-step collective application:
+/// the cluster vertices are the initial sample (and therefore its
+/// transits); `next` draws from the combined neighbourhood and records the
+/// edges that land back inside the cluster set.
+#[derive(Debug, Clone)]
+pub struct ClusterGcn {
+    budget: usize,
+}
+
+impl ClusterGcn {
+    /// ClusterGCN extraction drawing `budget` candidates per sample.
+    pub fn new(budget: usize) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        ClusterGcn { budget }
+    }
+}
+
+impl SamplingApp for ClusterGcn {
+    fn name(&self) -> &'static str {
+        "ClusterGCN"
+    }
+
+    fn steps(&self) -> Steps {
+        Steps::Fixed(1)
+    }
+
+    fn sample_size(&self, _step: usize) -> usize {
+        self.budget
+    }
+
+    fn sampling_type(&self) -> SamplingType {
+        SamplingType::Collective
+    }
+
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        let i = ctx.rand_range(d);
+        let v = ctx.src_edge(i);
+        let transits = ctx.transits().to_vec();
+        // Record the intra-cluster edges incident to the drawn vertex.
+        if transits.contains(&v) {
+            for t in transits {
+                if ctx.has_edge(t, v) {
+                    ctx.add_edge(t, v);
+                }
+            }
+        }
+        Some(v)
+    }
+}
+
+/// Builds ClusterGCN initial samples: each sample is the (padded) union of
+/// `clusters_per_sample` clusters chosen deterministically from `seed`.
+///
+/// The engines require equally-sized initial samples, so shorter unions are
+/// padded by repeating their first vertex — harmless, since transits are a
+/// set of sources for the combined neighbourhood.
+pub fn cluster_gcn_samples(
+    graph: &Csr,
+    clustering: &Clustering,
+    clusters_per_sample: usize,
+    num_samples: usize,
+    seed: u64,
+) -> Vec<Vec<VertexId>> {
+    let _ = graph;
+    assert!(clusters_per_sample > 0, "need at least one cluster");
+    assert!(
+        clusters_per_sample <= clustering.num_clusters(),
+        "more clusters per sample than clusters"
+    );
+    let mut samples: Vec<Vec<VertexId>> = (0..num_samples)
+        .map(|s| {
+            let mut chosen = Vec::with_capacity(clusters_per_sample);
+            let mut salt = 0u64;
+            while chosen.len() < clusters_per_sample {
+                let c = rng::rand_range(
+                    seed,
+                    s as u64,
+                    salt,
+                    clustering.num_clusters() as u32,
+                );
+                salt += 1;
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            let mut verts = Vec::new();
+            for c in chosen {
+                verts.extend_from_slice(clustering.members(c));
+            }
+            verts
+        })
+        .collect();
+    let max_len = samples.iter().map(Vec::len).max().unwrap_or(0);
+    for s in &mut samples {
+        while s.len() < max_len {
+            let pad = s[0];
+            s.push(pad);
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_core::{run_cpu, run_nextdoor};
+    use nextdoor_graph::cluster_vertices;
+    use nextdoor_graph::gen::{rmat, RmatParams};
+    use nextdoor_gpu::{Gpu, GpuSpec};
+
+    #[test]
+    fn samples_are_cluster_unions_padded_equal() {
+        let g = rmat(8, 2000, RmatParams::SKEWED, 1);
+        let clustering = cluster_vertices(&g, 16, 5);
+        let samples = cluster_gcn_samples(&g, &clustering, 3, 6, 9);
+        assert_eq!(samples.len(), 6);
+        let len0 = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == len0));
+        // Every vertex of a sample belongs to one of at most 3 clusters.
+        for s in &samples {
+            let mut clusters: Vec<u32> = s.iter().map(|&v| clustering.cluster_of(v)).collect();
+            clusters.sort_unstable();
+            clusters.dedup();
+            assert!(clusters.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn recorded_edges_are_intra_cluster_set() {
+        let g = rmat(9, 8000, RmatParams::SKEWED, 2);
+        let clustering = cluster_vertices(&g, 8, 3);
+        let init = cluster_gcn_samples(&g, &clustering, 2, 4, 7);
+        let res = run_cpu(&g, &ClusterGcn::new(64), &init, 5);
+        for s in 0..4 {
+            for &(u, v) in res.store.edges_of(s) {
+                assert!(g.has_edge(u, v));
+                assert!(init[s].contains(&u), "edge source outside the clusters");
+                assert!(init[s].contains(&v), "edge target outside the clusters");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_across_engines() {
+        let g = rmat(8, 3000, RmatParams::SKEWED, 4);
+        let clustering = cluster_vertices(&g, 12, 1);
+        let init = cluster_gcn_samples(&g, &clustering, 2, 5, 3);
+        let app = ClusterGcn::new(32);
+        let cpu = run_cpu(&g, &app, &init, 6);
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let nd = run_nextdoor(&mut gpu, &g, &app, &init, 6);
+        assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
+        for s in 0..5 {
+            assert_eq!(cpu.store.edges_of(s), nd.store.edges_of(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters per sample")]
+    fn rejects_oversubscription() {
+        let g = rmat(6, 200, RmatParams::SKEWED, 1);
+        let clustering = cluster_vertices(&g, 4, 1);
+        let _ = cluster_gcn_samples(&g, &clustering, 5, 1, 0);
+    }
+}

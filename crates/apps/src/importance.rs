@@ -1,0 +1,280 @@
+//! Importance sampling: FastGCN and LADIES (paper Figure 4b).
+
+use nextdoor_core::api::NextCtx;
+use nextdoor_core::{SamplingApp, SamplingType, Steps};
+use nextdoor_graph::VertexId;
+
+/// FastGCN layer-wise importance sampling (Chen et al., ICLR '18).
+///
+/// At each step (network layer) a batch of vertices is drawn from the whole
+/// graph and, for every transit that links to a drawn vertex, an edge is
+/// recorded into the sample's adjacency matrix — the structure the GCN
+/// layer multiplies with. This follows the paper's Figure 4b sketch:
+/// `next` draws `randInt(0, graph.vertices())` and calls `s.addEdge` for
+/// each connected transit.
+#[derive(Debug, Clone)]
+pub struct FastGcn {
+    layers: usize,
+    batch: usize,
+}
+
+impl FastGcn {
+    /// FastGCN sampling for `layers` network layers with `batch` vertices
+    /// drawn per layer (the paper evaluates batch and step size 64).
+    pub fn new(layers: usize, batch: usize) -> Self {
+        assert!(layers > 0 && batch > 0, "layers and batch must be positive");
+        FastGcn { layers, batch }
+    }
+}
+
+impl SamplingApp for FastGcn {
+    fn name(&self) -> &'static str {
+        "FastGCN"
+    }
+
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.layers)
+    }
+
+    fn sample_size(&self, _step: usize) -> usize {
+        self.batch
+    }
+
+    fn sampling_type(&self) -> SamplingType {
+        SamplingType::Collective
+    }
+
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+        let n = ctx.num_vertices();
+        let v = ctx.rand_range(n) as VertexId;
+        let transits = ctx.transits().to_vec();
+        for t in transits {
+            if ctx.has_edge(t, v) {
+                ctx.add_edge(t, v);
+            }
+        }
+        Some(v)
+    }
+}
+
+/// LADIES layer-dependent importance sampling (Zou et al., NeurIPS '19).
+///
+/// Unlike FastGCN, LADIES restricts each layer's candidates to the
+/// *combined neighbourhood* of the current transits and weights them by
+/// (squared) connectivity — approximated here by degree-proportional
+/// rejection sampling over the combined neighbourhood, with the same
+/// adjacency-matrix recording as FastGCN.
+#[derive(Debug, Clone)]
+pub struct Ladies {
+    layers: usize,
+    batch: usize,
+}
+
+impl Ladies {
+    /// LADIES sampling for `layers` layers with `batch` vertices per layer.
+    pub fn new(layers: usize, batch: usize) -> Self {
+        assert!(layers > 0 && batch > 0, "layers and batch must be positive");
+        Ladies { layers, batch }
+    }
+}
+
+/// Rejection probes for the degree-proportional draw.
+const MAX_PROBES: usize = 8;
+
+impl SamplingApp for Ladies {
+    fn name(&self) -> &'static str {
+        "LADIES"
+    }
+
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.layers)
+    }
+
+    fn sample_size(&self, _step: usize) -> usize {
+        self.batch
+    }
+
+    fn sampling_type(&self) -> SamplingType {
+        SamplingType::Collective
+    }
+
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        // Degree-proportional rejection over the combined neighbourhood: a
+        // candidate's acceptance probability grows with its connectivity,
+        // approximating LADIES' layer-dependent importance distribution.
+        let mut chosen = None;
+        for _ in 0..MAX_PROBES {
+            let i = ctx.rand_range(d);
+            let v = ctx.src_edge(i);
+            let deg = ctx.degree_of(v);
+            // Normalise against a soft cap; heavier vertices accept sooner.
+            let accept = (deg as f32 / (deg as f32 + 8.0)).max(0.05);
+            if ctx.rand_f32() <= accept {
+                chosen = Some(v);
+                break;
+            }
+        }
+        let v = match chosen {
+            Some(v) => v,
+            None => {
+                let i = ctx.rand_range(d);
+                ctx.src_edge(i)
+            }
+        };
+        let transits = ctx.transits().to_vec();
+        for t in transits {
+            if ctx.has_edge(t, v) {
+                ctx.add_edge(t, v);
+            }
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_core::{run_cpu, run_nextdoor, run_sample_parallel};
+    use nextdoor_gpu::{Gpu, GpuSpec};
+    use nextdoor_graph::gen::{rmat, RmatParams};
+
+    fn batches(n: usize, per: usize, v: usize) -> Vec<Vec<VertexId>> {
+        (0..n)
+            .map(|s| {
+                (0..per)
+                    .map(|i| ((s * 37 + i * 13) % v) as VertexId)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fastgcn_records_only_real_edges() {
+        let g = rmat(8, 3000, RmatParams::SKEWED, 1);
+        let init = batches(6, 8, 256);
+        let res = run_cpu(&g, &FastGcn::new(2, 16), &init, 3);
+        let mut total_edges = 0;
+        for s in 0..6 {
+            for &(u, v) in res.store.edges_of(s) {
+                assert!(g.has_edge(u, v), "recorded a non-edge ({u}, {v})");
+                total_edges += 1;
+            }
+        }
+        assert!(total_edges > 0, "dense RMAT batches should record edges");
+    }
+
+    #[test]
+    fn fastgcn_draws_fixed_batch_per_layer() {
+        let g = rmat(8, 3000, RmatParams::SKEWED, 1);
+        let res = run_cpu(&g, &FastGcn::new(3, 16), &batches(2, 4, 256), 5);
+        assert_eq!(res.stats.steps_run, 3);
+        for step in 0..3 {
+            assert_eq!(res.store.step_values(step).slots, 16);
+        }
+    }
+
+    #[test]
+    fn ladies_candidates_come_from_combined_neighborhood() {
+        let g = rmat(8, 3000, RmatParams::SKEWED, 9);
+        let init = batches(4, 4, 256);
+        let res = run_cpu(&g, &Ladies::new(1, 8), &init, 7);
+        for s in 0..4 {
+            for &v in &res.store.step_values(0).values[s * 8..(s + 1) * 8] {
+                if v == nextdoor_core::NULL_VERTEX {
+                    continue;
+                }
+                assert!(
+                    init[s].iter().any(|&t| g.has_edge(t, v)),
+                    "vertex {v} is not in the batch's combined neighbourhood"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladies_prefers_high_degree_vertices() {
+        let g = rmat(10, 20_000, RmatParams::SKEWED, 4);
+        let init = batches(64, 8, 1024);
+        let res = run_cpu(&g, &Ladies::new(1, 16), &init, 2);
+        let uniform = run_cpu(&g, &Layer16, &init, 2);
+        let mean_deg = |r: &nextdoor_core::RunResult| {
+            let mut sum = 0usize;
+            let mut n = 0usize;
+            for s in 0..64 {
+                for &v in &r.store.step_values(0).values[s * 16..(s + 1) * 16] {
+                    if v != nextdoor_core::NULL_VERTEX {
+                        sum += g.degree(v);
+                        n += 1;
+                    }
+                }
+            }
+            sum as f64 / n as f64
+        };
+        let ladies_deg = mean_deg(&res);
+        let uniform_deg = mean_deg(&uniform);
+        assert!(
+            ladies_deg > uniform_deg,
+            "LADIES mean degree {ladies_deg:.1} should exceed uniform {uniform_deg:.1}"
+        );
+    }
+
+    /// Uniform collective sampler used as the control in the degree test.
+    struct Layer16;
+    impl SamplingApp for Layer16 {
+        fn name(&self) -> &'static str {
+            "uniform-collective"
+        }
+        fn steps(&self) -> Steps {
+            Steps::Fixed(1)
+        }
+        fn sample_size(&self, _: usize) -> usize {
+            16
+        }
+        fn sampling_type(&self) -> SamplingType {
+            SamplingType::Collective
+        }
+        fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+            let d = ctx.num_edges();
+            if d == 0 {
+                return None;
+            }
+            let i = ctx.rand_range(d);
+            Some(ctx.src_edge(i))
+        }
+    }
+
+    #[test]
+    fn importance_apps_match_across_engines() {
+        let g = rmat(8, 2500, RmatParams::SKEWED, 6);
+        let init = batches(8, 6, 256);
+        for app in [
+            Box::new(FastGcn::new(2, 12)) as Box<dyn SamplingApp>,
+            Box::new(Ladies::new(2, 12)),
+        ] {
+            let cpu = run_cpu(&g, app.as_ref(), &init, 8);
+            let mut g1 = Gpu::new(GpuSpec::small());
+            let nd = run_nextdoor(&mut g1, &g, app.as_ref(), &init, 8);
+            let mut g2 = Gpu::new(GpuSpec::small());
+            let sp = run_sample_parallel(&mut g2, &g, app.as_ref(), &init, 8);
+            assert_eq!(
+                cpu.store.final_samples(),
+                nd.store.final_samples(),
+                "{} CPU vs ND",
+                app.name()
+            );
+            assert_eq!(
+                cpu.store.final_samples(),
+                sp.store.final_samples(),
+                "{} CPU vs SP",
+                app.name()
+            );
+            for s in 0..8 {
+                assert_eq!(cpu.store.edges_of(s), nd.store.edges_of(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! k-hop neighbourhood sampling (GraphSAGE) and MVS batch sampling.
+
+use nextdoor_core::api::NextCtx;
+use nextdoor_core::{SamplingApp, Steps};
+use nextdoor_graph::VertexId;
+
+/// k-hop neighbourhood sampling as in GraphSAGE (paper Figure 4d).
+///
+/// At step `i`, every vertex added at the previous step becomes a transit
+/// and `fanouts[i]` of its neighbours are sampled uniformly with
+/// replacement. The paper evaluates GraphSAGE's 2-hop configuration
+/// `fanouts = [25, 10]`.
+#[derive(Debug, Clone)]
+pub struct KHop {
+    fanouts: Vec<usize>,
+}
+
+impl KHop {
+    /// A k-hop sampler with the given per-step fanouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty or contains a zero.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one hop");
+        assert!(fanouts.iter().all(|&m| m > 0), "fanouts must be positive");
+        KHop { fanouts }
+    }
+
+    /// GraphSAGE's published configuration.
+    pub fn graphsage() -> Self {
+        KHop::new(vec![25, 10])
+    }
+}
+
+impl SamplingApp for KHop {
+    fn name(&self) -> &'static str {
+        "k-hop"
+    }
+
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.fanouts.len())
+    }
+
+    fn sample_size(&self, step: usize) -> usize {
+        self.fanouts[step]
+    }
+
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        let i = ctx.rand_range(d);
+        Some(ctx.src_edge(i))
+    }
+}
+
+/// Minimal-variance sampling (MVS, Cong et al. KDD '20): each mini-batch
+/// takes the 1-hop neighbours of all vertices in the batch. Expressed in
+/// the abstraction as a single-step individual sampler whose samples start
+/// with a whole batch of root vertices (paper §4.2: "MVS is implemented in
+/// a similar way [to k-hop] as it obtains 1-hop neighbors of all initial
+/// vertices in the sample").
+#[derive(Debug, Clone)]
+pub struct Mvs {
+    neighbors_per_root: usize,
+}
+
+impl Mvs {
+    /// MVS taking `neighbors_per_root` neighbours of each batch vertex.
+    pub fn new(neighbors_per_root: usize) -> Self {
+        assert!(neighbors_per_root > 0, "need a positive fanout");
+        Mvs { neighbors_per_root }
+    }
+}
+
+impl Default for Mvs {
+    /// One neighbour per batch vertex, the reference configuration.
+    fn default() -> Self {
+        Mvs::new(1)
+    }
+}
+
+impl SamplingApp for Mvs {
+    fn name(&self) -> &'static str {
+        "MVS"
+    }
+
+    fn steps(&self) -> Steps {
+        Steps::Fixed(1)
+    }
+
+    fn sample_size(&self, _step: usize) -> usize {
+        self.neighbors_per_root
+    }
+
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        let i = ctx.rand_range(d);
+        Some(ctx.src_edge(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_core::{run_cpu, run_nextdoor, run_sample_parallel, NULL_VERTEX};
+    use nextdoor_gpu::{Gpu, GpuSpec};
+    use nextdoor_graph::gen::{ring_lattice, rmat, RmatParams};
+
+    #[test]
+    fn khop_shapes_follow_fanouts() {
+        let g = ring_lattice(256, 4, 0);
+        let init: Vec<Vec<VertexId>> = (0..10).map(|i| vec![i as VertexId]).collect();
+        let res = run_cpu(&g, &KHop::new(vec![3, 2]), &init, 1);
+        assert_eq!(res.store.step_values(0).slots, 3);
+        assert_eq!(res.store.step_values(1).slots, 6);
+        // On this graph every vertex has degree 8, so no NULLs appear.
+        assert_eq!(res.store.final_samples()[0].len(), 1 + 3 + 6);
+    }
+
+    #[test]
+    fn khop_vertices_are_neighbors_of_transits() {
+        let g = rmat(8, 2000, RmatParams::SKEWED, 3);
+        let init: Vec<Vec<VertexId>> = (0..16).map(|i| vec![(i * 9 % 256) as VertexId]).collect();
+        let res = run_cpu(&g, &KHop::new(vec![4, 3]), &init, 2);
+        for s in 0..16 {
+            let root = init[s][0];
+            let hop1 = &res.store.step_values(0).values[s * 4..(s + 1) * 4];
+            for &v in hop1 {
+                if v != NULL_VERTEX {
+                    assert!(g.has_edge(root, v));
+                }
+            }
+            let hop2 = &res.store.step_values(1).values[s * 12..(s + 1) * 12];
+            for (i, &v) in hop2.iter().enumerate() {
+                if v == NULL_VERTEX {
+                    continue;
+                }
+                let transit = hop1[i / 3];
+                assert_ne!(transit, NULL_VERTEX, "live child of a dead transit");
+                assert!(g.has_edge(transit, v));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_transits_yield_null_children() {
+        // Star graph: centre 0 points at leaves; leaves have out-degree 0.
+        let mut b = nextdoor_graph::GraphBuilder::new(5);
+        for i in 1..5 {
+            b.push_edge(0, i);
+        }
+        let g = b.build().unwrap();
+        let res = run_cpu(&g, &KHop::new(vec![2, 2]), &[vec![0]], 1);
+        let hop1 = &res.store.step_values(0).values;
+        assert!(hop1.iter().all(|&v| v != NULL_VERTEX));
+        let hop2 = &res.store.step_values(1).values;
+        assert!(
+            hop2.iter().all(|&v| v == NULL_VERTEX),
+            "leaves have no out-edges"
+        );
+    }
+
+    #[test]
+    fn mvs_takes_one_hop_of_batch() {
+        let g = ring_lattice(64, 2, 0);
+        let batch: Vec<Vec<VertexId>> = vec![vec![0, 5, 9, 13]];
+        let res = run_cpu(&g, &Mvs::default(), &batch, 3);
+        assert_eq!(res.stats.steps_run, 1);
+        let vals = &res.store.step_values(0).values;
+        assert_eq!(vals.len(), 4);
+        for (i, &v) in vals.iter().enumerate() {
+            assert!(g.has_edge(batch[0][i], v));
+        }
+    }
+
+    #[test]
+    fn khop_matches_across_all_engines() {
+        let g = rmat(9, 4000, RmatParams::SKEWED, 5);
+        let init: Vec<Vec<VertexId>> = (0..48).map(|i| vec![(i * 11 % 512) as VertexId]).collect();
+        let app = KHop::graphsage();
+        let cpu = run_cpu(&g, &app, &init, 6);
+        let mut g1 = Gpu::new(GpuSpec::small());
+        let nd = run_nextdoor(&mut g1, &g, &app, &init, 6);
+        let mut g2 = Gpu::new(GpuSpec::small());
+        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 6);
+        assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
+        assert_eq!(cpu.store.final_samples(), sp.store.final_samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn khop_rejects_empty_fanouts() {
+        let _ = KHop::new(vec![]);
+    }
+}

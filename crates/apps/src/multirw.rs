@@ -1,0 +1,157 @@
+//! Multi-dimensional random walks (Ribeiro & Towsley; used by GraphSAINT).
+
+use nextdoor_core::api::{NextCtx, RngStream, SampleView};
+use nextdoor_core::{SamplingApp, Steps, NULL_VERTEX};
+use nextdoor_graph::VertexId;
+
+/// Multi-dimensional random walk (paper §3, Figure 4c).
+///
+/// Each sample holds a set of root vertices. At every step one root is
+/// chosen uniformly as the transit, one of its neighbours is sampled, and
+/// the neighbour *replaces* the chosen root. The paper evaluates with 100
+/// roots per sample and 100 steps.
+#[derive(Debug, Clone)]
+pub struct MultiRw {
+    length: usize,
+}
+
+impl MultiRw {
+    /// A multi-dimensional walk of `length` steps.
+    pub fn new(length: usize) -> Self {
+        MultiRw { length }
+    }
+}
+
+impl SamplingApp for MultiRw {
+    fn name(&self) -> &'static str {
+        "MultiRW"
+    }
+
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.length)
+    }
+
+    fn sample_size(&self, _step: usize) -> usize {
+        1
+    }
+
+    fn initial_transits(&self, _initial_len: usize) -> usize {
+        1
+    }
+
+    fn num_transits(&self, _step: usize, _initial_len: usize) -> usize {
+        1
+    }
+
+    fn step_transit(
+        &self,
+        _step: usize,
+        view: &dyn SampleView,
+        _transit_idx: usize,
+        rng: &mut RngStream,
+    ) -> VertexId {
+        let roots = view.roots();
+        if roots.is_empty() {
+            return NULL_VERTEX;
+        }
+        roots[rng.next_range(roots.len() as u32) as usize]
+    }
+
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        let i = ctx.rand_range(d);
+        Some(ctx.src_edge(i))
+    }
+
+    fn update_roots(
+        &self,
+        roots: &mut Vec<VertexId>,
+        _step: usize,
+        transit: VertexId,
+        new_vertex: VertexId,
+    ) {
+        if let Some(slot) = roots.iter_mut().find(|r| **r == transit) {
+            *slot = new_vertex;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_core::{run_cpu, run_nextdoor};
+    use nextdoor_gpu::{Gpu, GpuSpec};
+    use nextdoor_graph::gen::{ring_lattice, rmat, RmatParams};
+
+    fn roots(n_samples: usize, roots_per: usize, v: usize) -> Vec<Vec<VertexId>> {
+        (0..n_samples)
+            .map(|s| {
+                (0..roots_per)
+                    .map(|i| ((s * 31 + i * 7) % v) as VertexId)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_vertex_added_per_step() {
+        let g = ring_lattice(128, 3, 0);
+        let res = run_cpu(&g, &MultiRw::new(10), &roots(8, 5, 128), 3);
+        for s in 0..8 {
+            // 5 roots + 10 walk steps.
+            assert_eq!(res.store.final_samples()[s].len(), 15);
+        }
+    }
+
+    #[test]
+    fn roots_evolve() {
+        let g = ring_lattice(128, 3, 0);
+        let before = roots(4, 5, 128);
+        let res = run_cpu(&g, &MultiRw::new(20), &before, 5);
+        let mut changed = 0;
+        for s in 0..4 {
+            if res.store.roots_of(s) != before[s].as_slice() {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 3, "root sets should evolve as the walk moves");
+        for s in 0..4 {
+            assert_eq!(res.store.roots_of(s).len(), 5, "root count is stable");
+        }
+    }
+
+    #[test]
+    fn every_new_vertex_neighbors_some_past_root() {
+        let g = rmat(8, 1500, RmatParams::SKEWED, 3);
+        let res = run_cpu(&g, &MultiRw::new(15), &roots(6, 4, 256), 11);
+        for s in 0..6 {
+            let sample = &res.store.final_samples()[s];
+            for step in 0..res.stats.steps_run {
+                let v = res.store.step_values(step).values[s];
+                if v != NULL_VERTEX {
+                    // Must be adjacent to something already in the sample.
+                    assert!(
+                        sample.iter().any(|&u| g.has_edge(u, v)),
+                        "sampled vertex {v} is not adjacent to the sample"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_across_engines() {
+        let g = rmat(8, 2000, RmatParams::SKEWED, 5);
+        let ini = roots(16, 8, 256);
+        let cpu = run_cpu(&g, &MultiRw::new(12), &ini, 4);
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let nd = run_nextdoor(&mut gpu, &g, &MultiRw::new(12), &ini, 4);
+        assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
+        for s in 0..16 {
+            assert_eq!(cpu.store.roots_of(s), nd.store.roots_of(s));
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Reference CPU samplers of existing GNN systems.
+//!
+//! The paper compares NextDoor against "the samplers of existing GNNs …
+//! written for TensorFlow or numpy and … designed to run only on multi-core
+//! CPUs" (§8.2). These functions mirror those reference implementations'
+//! structure: a per-sample outer loop that grows each sample to completion
+//! before moving on — sample-parallel in spirit, with no transit grouping.
+//! A `threads` parameter partitions the samples across cores, matching the
+//! multi-core configuration the paper measures against.
+
+use std::time::Instant;
+
+use nextdoor_gpu::rng;
+use nextdoor_graph::{Clustering, Csr, VertexId};
+
+/// Output of a CPU sampler run.
+pub struct CpuSamplerResult {
+    /// One grown sample per input sample.
+    pub samples: Vec<Vec<VertexId>>,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+}
+
+fn run_per_sample<F>(num: usize, threads: usize, f: F) -> CpuSamplerResult
+where
+    F: Fn(usize) -> Vec<VertexId> + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let t0 = Instant::now();
+    let mut samples: Vec<Vec<VertexId>> = vec![Vec::new(); num];
+    let per = num.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Vec<VertexId>] = &mut samples;
+        let mut base = 0usize;
+        let f = &f;
+        while base < num {
+            let take = per.min(num - base);
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let chunk_base = base;
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(chunk_base + off);
+                }
+            });
+            base += take;
+        }
+    });
+    CpuSamplerResult {
+        samples,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[inline]
+fn draw(seed: u64, sample: usize, ctr: &mut u64, n: usize) -> usize {
+    let v = rng::rand_range(seed, sample as u64, *ctr, n as u32) as usize;
+    *ctr += 1;
+    v
+}
+
+/// GraphSAGE's reference k-hop sampler: per root, nested loops expand each
+/// hop with the given fanouts.
+pub fn khop_sampler(
+    graph: &Csr,
+    roots: &[VertexId],
+    fanouts: &[usize],
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    run_per_sample(roots.len(), threads, |s| {
+        let mut ctr = 0u64;
+        let mut out = vec![roots[s]];
+        let mut frontier = vec![roots[s]];
+        for &m in fanouts {
+            let mut next_frontier = Vec::with_capacity(frontier.len() * m);
+            for &t in &frontier {
+                let d = graph.degree(t);
+                for _ in 0..m {
+                    if d == 0 {
+                        continue;
+                    }
+                    let v = graph.neighbor(t, draw(seed, s, &mut ctr, d));
+                    out.push(v);
+                    next_frontier.push(v);
+                }
+            }
+            frontier = next_frontier;
+        }
+        out
+    })
+}
+
+/// MVS's reference sampler: the 1-hop neighbours of each batch.
+pub fn mvs_sampler(
+    graph: &Csr,
+    batches: &[Vec<VertexId>],
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    run_per_sample(batches.len(), threads, |s| {
+        let mut ctr = 0u64;
+        let mut out = batches[s].clone();
+        for &t in &batches[s] {
+            let d = graph.degree(t);
+            if d > 0 {
+                out.push(graph.neighbor(t, draw(seed, s, &mut ctr, d)));
+            }
+        }
+        out
+    })
+}
+
+/// GraphSAINT's multi-dimensional random-walk sampler.
+pub fn multirw_sampler(
+    graph: &Csr,
+    root_sets: &[Vec<VertexId>],
+    length: usize,
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    run_per_sample(root_sets.len(), threads, |s| {
+        let mut ctr = 0u64;
+        let mut roots = root_sets[s].clone();
+        let mut out = roots.clone();
+        for _ in 0..length {
+            if roots.is_empty() {
+                break;
+            }
+            let r = draw(seed, s, &mut ctr, roots.len());
+            let t = roots[r];
+            let d = graph.degree(t);
+            if d == 0 {
+                continue;
+            }
+            let v = graph.neighbor(t, draw(seed, s, &mut ctr, d));
+            out.push(v);
+            roots[r] = v;
+        }
+        out
+    })
+}
+
+/// The layer-sampling reference: repeatedly materialises the combined
+/// neighbourhood (the expensive part) and draws from it.
+pub fn layer_sampler(
+    graph: &Csr,
+    roots: &[VertexId],
+    step_size: usize,
+    max_size: usize,
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    run_per_sample(roots.len(), threads, |s| {
+        let mut ctr = 0u64;
+        let mut out = vec![roots[s]];
+        let mut frontier = vec![roots[s]];
+        while out.len() < max_size {
+            // Materialise the combined neighbourhood, as the reference
+            // TensorFlow implementation does.
+            let mut combined = Vec::new();
+            for &t in &frontier {
+                combined.extend_from_slice(graph.neighbors(t));
+            }
+            if combined.is_empty() {
+                break;
+            }
+            let mut added = Vec::new();
+            for _ in 0..step_size {
+                if out.len() + added.len() >= max_size {
+                    break;
+                }
+                added.push(combined[draw(seed, s, &mut ctr, combined.len())]);
+            }
+            if added.is_empty() {
+                break;
+            }
+            out.extend_from_slice(&added);
+            frontier = added;
+        }
+        out
+    })
+}
+
+/// FastGCN's reference importance sampler: per layer, draw a batch from the
+/// whole vertex set and keep the adjacency rows between layers.
+pub fn fastgcn_sampler(
+    graph: &Csr,
+    batches: &[Vec<VertexId>],
+    layers: usize,
+    batch_size: usize,
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    let n = graph.num_vertices();
+    run_per_sample(batches.len(), threads, |s| {
+        let mut ctr = 0u64;
+        let mut out = batches[s].clone();
+        let mut transits = batches[s].clone();
+        for _ in 0..layers {
+            let mut drawn = Vec::with_capacity(batch_size);
+            for _ in 0..batch_size {
+                let v = draw(seed, s, &mut ctr, n) as VertexId;
+                // The reference implementation probes the adjacency matrix
+                // rows of every transit for the drawn column.
+                for &t in &transits {
+                    let _linked = graph.has_edge(t, v);
+                }
+                drawn.push(v);
+            }
+            out.extend_from_slice(&drawn);
+            transits = drawn;
+        }
+        out
+    })
+}
+
+/// LADIES' reference sampler: candidates restricted to the combined
+/// neighbourhood, weighted by connectivity.
+pub fn ladies_sampler(
+    graph: &Csr,
+    batches: &[Vec<VertexId>],
+    layers: usize,
+    batch_size: usize,
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    run_per_sample(batches.len(), threads, |s| {
+        let mut ctr = 0u64;
+        let mut out = batches[s].clone();
+        let mut transits = batches[s].clone();
+        for _ in 0..layers {
+            let mut combined = Vec::new();
+            for &t in &transits {
+                combined.extend_from_slice(graph.neighbors(t));
+            }
+            if combined.is_empty() {
+                break;
+            }
+            // Degree-weighted draw (the layer-dependent distribution):
+            // prefix sums + binary search, as the reference implementation
+            // does with numpy's cumsum/searchsorted.
+            let mut prefix = Vec::with_capacity(combined.len());
+            let mut acc = 0usize;
+            for &v in &combined {
+                acc += graph.degree(v) + 1;
+                prefix.push(acc);
+            }
+            let total = acc;
+            let mut drawn = Vec::with_capacity(batch_size);
+            for _ in 0..batch_size {
+                let target = draw(seed, s, &mut ctr, total);
+                let idx = prefix.partition_point(|&p| p <= target);
+                drawn.push(combined[idx.min(combined.len() - 1)]);
+            }
+            out.extend_from_slice(&drawn);
+            transits = drawn;
+        }
+        out
+    })
+}
+
+/// ClusterGCN's reference sampler: gathers the clusters' vertices and scans
+/// their adjacency for intra-sample edges.
+pub fn clustergcn_sampler(
+    graph: &Csr,
+    clustering: &Clustering,
+    clusters_per_sample: usize,
+    num_samples: usize,
+    seed: u64,
+    threads: usize,
+) -> CpuSamplerResult {
+    run_per_sample(num_samples, threads, |s| {
+        let mut ctr = 0u64;
+        let mut members = Vec::new();
+        let mut chosen: Vec<u32> = Vec::new();
+        while chosen.len() < clusters_per_sample.min(clustering.num_clusters()) {
+            let c = draw(seed, s, &mut ctr, clustering.num_clusters()) as u32;
+            if !chosen.contains(&c) {
+                chosen.push(c);
+                members.extend_from_slice(clustering.members(c));
+            }
+        }
+        members.sort_unstable();
+        // Extract the induced adjacency: scan every member's neighbours.
+        let mut edges = 0usize;
+        for &u in &members {
+            for &v in graph.neighbors(u) {
+                if members.binary_search(&v).is_ok() {
+                    edges += 1;
+                }
+            }
+        }
+        let _ = edges;
+        members
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_graph::cluster_vertices;
+    use nextdoor_graph::gen::{ring_lattice, rmat, RmatParams};
+
+    fn graph() -> Csr {
+        rmat(8, 2500, RmatParams::SKEWED, 3)
+    }
+
+    #[test]
+    fn khop_shapes() {
+        let g = ring_lattice(128, 4, 0);
+        let roots: Vec<VertexId> = (0..20).collect();
+        let res = khop_sampler(&g, &roots, &[3, 2], 1, 4);
+        for (i, s) in res.samples.iter().enumerate() {
+            assert_eq!(s[0], roots[i]);
+            assert_eq!(s.len(), 1 + 3 + 6, "regular graph: no short samples");
+        }
+    }
+
+    #[test]
+    fn khop_edges_valid() {
+        let g = graph();
+        let roots: Vec<VertexId> = (0..10).map(|i| i * 11 % 256).collect();
+        let res = khop_sampler(&g, &roots, &[4], 5, 2);
+        for (i, s) in res.samples.iter().enumerate() {
+            for &v in &s[1..] {
+                assert!(g.has_edge(roots[i], v));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let g = graph();
+        let roots: Vec<VertexId> = (0..64).map(|i| i * 3 % 256).collect();
+        let a = khop_sampler(&g, &roots, &[5, 3], 9, 1);
+        let b = khop_sampler(&g, &roots, &[5, 3], 9, 8);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn multirw_adds_one_per_step() {
+        let g = ring_lattice(64, 2, 0);
+        let sets: Vec<Vec<VertexId>> = (0..5).map(|s| vec![s as u32, s as u32 + 10]).collect();
+        let res = multirw_sampler(&g, &sets, 8, 2, 2);
+        for s in &res.samples {
+            assert_eq!(s.len(), 2 + 8);
+        }
+    }
+
+    #[test]
+    fn layer_respects_max_size() {
+        let g = graph();
+        let roots: Vec<VertexId> = (0..8).map(|i| i * 17 % 256).collect();
+        let res = layer_sampler(&g, &roots, 10, 30, 3, 2);
+        for s in &res.samples {
+            assert!(s.len() <= 30 + 10);
+        }
+    }
+
+    #[test]
+    fn fastgcn_and_ladies_sizes() {
+        let g = graph();
+        let batches: Vec<Vec<VertexId>> = (0..4).map(|s| vec![s as u32, s as u32 + 5]).collect();
+        let f = fastgcn_sampler(&g, &batches, 2, 8, 7, 2);
+        for s in &f.samples {
+            assert_eq!(s.len(), 2 + 16);
+        }
+        let l = ladies_sampler(&g, &batches, 2, 8, 7, 2);
+        for s in &l.samples {
+            assert!(s.len() <= 2 + 16);
+        }
+    }
+
+    #[test]
+    fn clustergcn_returns_cluster_members() {
+        let g = graph();
+        let clustering = cluster_vertices(&g, 8, 1);
+        let res = clustergcn_sampler(&g, &clustering, 2, 5, 3, 2);
+        for s in &res.samples {
+            assert!(!s.is_empty());
+            let mut cl: Vec<u32> = s.iter().map(|&v| clustering.cluster_of(v)).collect();
+            cl.sort_unstable();
+            cl.dedup();
+            assert!(cl.len() <= 2);
+        }
+    }
+}

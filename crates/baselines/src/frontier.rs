@@ -1,0 +1,191 @@
+//! A Gunrock-style frontier-centric engine on the GPU simulator (paper §7).
+//!
+//! Gunrock's `Advance` operator assigns **one thread per neighbour of each
+//! frontier vertex** and generates the next frontier. Expressing graph
+//! sampling this way has the two structural problems the paper identifies:
+//!
+//! 1. only one degree of parallelism — every thread that owns a neighbour
+//!    must iterate over *all* the samples associated with its transit
+//!    sequentially;
+//! 2. load is balanced by vertex degree, but sampling touches only
+//!    `m ≪ degree` neighbours, so most of the expanded work is wasted.
+//!
+//! The engine produces exactly the same samples as the other engines (it
+//! executes the application functionally through the CPU oracle) while the
+//! simulated kernels charge the frontier abstraction's characteristic
+//! work: a full neighbour expansion per step plus a sequential per-sample
+//! loop in every thread.
+
+use nextdoor_core::api::SamplingApp;
+use nextdoor_core::{run_cpu, RunResult, NULL_VERTEX};
+use nextdoor_graph::{Csr, VertexId};
+use nextdoor_gpu::{Gpu, LaunchConfig, WARP_SIZE};
+
+/// Runs `app` under the frontier-centric abstraction.
+///
+/// Returns the run result with `stats.total_ms` reflecting the simulated
+/// frontier-centric execution. Only individual-transit applications whose
+/// transits are the previous step's vertices can be expressed in this
+/// abstraction (as in Gunrock itself); collective applications panic.
+pub fn run_frontier(
+    gpu: &mut Gpu,
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    seed: u64,
+) -> RunResult {
+    assert!(
+        matches!(
+            app.sampling_type(),
+            nextdoor_core::SamplingType::Individual
+        ),
+        "the frontier abstraction cannot express collective sampling"
+    );
+    let mut res = run_cpu(graph, app, init, seed);
+    let counters0 = *gpu.counters();
+    let gg = nextdoor_core::GpuGraph::upload(gpu, graph).expect("graph fits on device");
+    // Re-trace each executed step, charging the Advance expansion.
+    for step in 0..res.stats.steps_run {
+        let m = app.sample_size(step);
+        // Frontier = the transits of this step with their sample counts.
+        let mut counts: std::collections::HashMap<VertexId, u32> =
+            std::collections::HashMap::new();
+        for s in 0..res.store.num_samples() {
+            let view_len = if step == 0 {
+                init[s].len()
+            } else {
+                res.store.step_values(step - 1).slots
+            };
+            for t in 0..view_len {
+                let v = if step == 0 {
+                    init[s][t]
+                } else {
+                    res.store.step_values(step - 1).values
+                        [s * res.store.step_values(step - 1).slots + t]
+                };
+                if v != NULL_VERTEX {
+                    *counts.entry(v).or_default() += 1;
+                }
+            }
+        }
+        let mut frontier: Vec<(VertexId, u32)> = counts.into_iter().collect();
+        frontier.sort_unstable();
+        // Advance: one thread per (frontier vertex, neighbour).
+        let mut lane_of: Vec<(VertexId, u32, usize)> = Vec::new();
+        for &(v, c) in &frontier {
+            for nbr in 0..graph.degree(v) {
+                lane_of.push((v, c, nbr));
+            }
+        }
+        let total = lane_of.len();
+        if total == 0 {
+            continue;
+        }
+        gpu.launch(
+            "gunrock_advance",
+            LaunchConfig::grid1d(total, 256),
+            |blk| {
+                blk.for_each_warp(|w| {
+                    let gid = w.global_thread_ids();
+                    let msk = w.mask_where(|l| gid[l] < total);
+                    if msk == 0 {
+                        return;
+                    }
+                    // Each thread loads its neighbour (coalesced within a
+                    // vertex's range).
+                    let idx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
+                        let (v, _, nbr) = lane_of[gid[l].min(total - 1)];
+                        let (start, _) = graph.adjacency_range(v);
+                        start + nbr
+                    });
+                    let _ = w.ld_global(&gg.cols, &idx, msk);
+                    // Sequential loop over the transit's samples: the warp
+                    // serialises to the largest count (divergence).
+                    let mut max_c = 0u32;
+                    let mut min_c = u32::MAX;
+                    for l in 0..WARP_SIZE {
+                        if msk & (1 << l) != 0 {
+                            let (_, c, _) = lane_of[gid[l].min(total - 1)];
+                            max_c = max_c.max(c);
+                            min_c = min_c.min(c);
+                        }
+                    }
+                    if max_c != min_c {
+                        w.charge_divergence(2);
+                    }
+                    // Per sample: the sampling decision (an RNG draw and a
+                    // comparison) for each of the m draws, plus the
+                    // conditional frontier insert — all sequential.
+                    let rand_cost =
+                        (nextdoor_gpu::GpuSpec::v100().cost.rand_cycles) as u64;
+                    w.charge_compute(max_c as u64 * (m as u64 * (rand_cost + 1) + 1));
+                });
+            },
+        );
+        // Frontier-insert pass: scattered atomic appends of new transits.
+        let inserts = res
+            .store
+            .step_values(step)
+            .values
+            .iter()
+            .filter(|&&v| v != NULL_VERTEX)
+            .count();
+        if inserts > 0 {
+            let mut new_frontier = gpu.alloc::<u32>(inserts);
+            let mut cursor = gpu.alloc::<u32>(1);
+            gpu.launch(
+                "gunrock_frontier_insert",
+                LaunchConfig::grid1d(inserts, 256),
+                |blk| {
+                    blk.for_each_warp(|w| {
+                        let gid = w.global_thread_ids();
+                        let msk = w.mask_where(|l| gid[l] < inserts);
+                        if msk == 0 {
+                            return;
+                        }
+                        // Atomic cursor bump, then a scattered write of the
+                        // accepted vertex into the new frontier.
+                        let pos =
+                            w.atomic_add_global(&mut cursor, &[0; WARP_SIZE], [1; WARP_SIZE], msk);
+                        let idx: [usize; WARP_SIZE] =
+                            std::array::from_fn(|l| (pos[l] as usize).min(inserts - 1));
+                        w.st_global(&mut new_frontier, &idx, [0; WARP_SIZE], msk);
+                    });
+                },
+            );
+        }
+    }
+    let counters = gpu.counters().diff(&counters0);
+    res.stats.total_ms = gpu.spec().cycles_to_ms(counters.cycles);
+    res.stats.sampling_ms = res.stats.total_ms;
+    res.stats.scheduling_ms = 0.0;
+    res.stats.counters = counters;
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_apps::KHop;
+    use nextdoor_core::run_nextdoor;
+    use nextdoor_gpu::GpuSpec;
+    use nextdoor_graph::gen::{rmat, RmatParams};
+
+    #[test]
+    fn frontier_produces_correct_samples_but_slower() {
+        let g = rmat(10, 20_000, RmatParams::SKEWED, 3);
+        let init: Vec<Vec<VertexId>> = (0..1024).map(|i| vec![(i * 5 % 1024) as u32]).collect();
+        let app = KHop::graphsage();
+        let mut g1 = Gpu::new(GpuSpec::small());
+        let fr = run_frontier(&mut g1, &g, &app, &init, 4);
+        let mut g2 = Gpu::new(GpuSpec::small());
+        let nd = run_nextdoor(&mut g2, &g, &app, &init, 4);
+        assert_eq!(fr.store.final_samples(), nd.store.final_samples());
+        assert!(
+            fr.stats.total_ms > nd.stats.total_ms,
+            "frontier {:.3} ms should be slower than NextDoor {:.3} ms",
+            fr.stats.total_ms,
+            nd.stats.total_ms
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Comparison systems the paper evaluates NextDoor against (§8.2, §8.3).
+//!
+//! * [`knightking`] — a walker-centric, multi-threaded CPU random-walk
+//!   engine in the style of KnightKing (Yang et al., SOSP '19), the
+//!   state-of-the-art CPU baseline for random walks. Its API is restricted
+//!   to random walks, exactly like the original's.
+//! * [`cpu_samplers`] — the reference CPU samplers that ship with existing
+//!   GNNs (GraphSAGE, FastGCN, LADIES, MVS, ClusterGCN, GraphSAINT):
+//!   per-sample loops on the host, as in their TensorFlow/numpy
+//!   implementations.
+//! * [`frontier`] — a Gunrock-style frontier-centric engine running on the
+//!   GPU simulator: the `Advance` operator visits *every* neighbour of
+//!   every frontier vertex and processes a transit's samples sequentially
+//!   (§7 "Frontier-centric Abstraction").
+//! * [`message_passing`] — a Tigr-style vertex message-passing engine on
+//!   the GPU simulator: one thread per transit vertex, all its samples
+//!   processed sequentially (§7 "Message-passing Abstraction").
+
+pub mod cpu_samplers;
+pub mod frontier;
+pub mod knightking;
+pub mod message_passing;

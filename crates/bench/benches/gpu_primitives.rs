@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the GPU simulator's device-wide
+//! primitives: the components whose cost Figure 6 attributes to the
+//! scheduling index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nextdoor_gpu::algorithms::{exclusive_scan, histogram, radix_sort_pairs};
+use nextdoor_gpu::{Gpu, GpuSpec};
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclusive_scan");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let data: Vec<u32> = (0..n as u32).map(|i| i % 7).collect();
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuSpec::small());
+                let input = gpu.to_device(&data);
+                let (out, total) = exclusive_scan(&mut gpu, &input);
+                criterion::black_box((out.len(), total));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_sort_pairs");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let keys: Vec<u32> = (0..n as u64)
+                .map(|i| nextdoor_gpu::rng::rand_range(3, i, 0, 1 << 20))
+                .collect();
+            let vals: Vec<u32> = (0..n as u32).collect();
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuSpec::small());
+                let k = gpu.to_device(&keys);
+                let v = gpu.to_device(&vals);
+                let (sk, _sv) = radix_sort_pairs(&mut gpu, &k, &v, 1 << 20);
+                criterion::black_box(sk.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_100k_into_256", |b| {
+        let keys: Vec<u32> = (0..100_000u64)
+            .map(|i| nextdoor_gpu::rng::rand_range(5, i, 0, 256))
+            .collect();
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            let k = gpu.to_device(&keys);
+            let bins = histogram(&mut gpu, &k, 256);
+            criterion::black_box(bins.as_slice()[0]);
+        });
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_radix_sort, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks comparing the engines on one step-heavy and
+//! one fanout-heavy application (host-time of the simulation itself; the
+//! table/figure binaries report *simulated* time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nextdoor_apps::{DeepWalk, KHop};
+use nextdoor_core::{run_cpu, run_nextdoor, run_sample_parallel, run_vanilla_tp};
+use nextdoor_gpu::{Gpu, GpuSpec};
+use nextdoor_graph::gen::{rmat, RmatParams};
+
+fn bench_engines(c: &mut Criterion) {
+    let graph = rmat(10, 10_000, RmatParams::SKEWED, 1).with_random_weights(1.0, 5.0, 2);
+    let init: Vec<Vec<u32>> = (0..256).map(|i| vec![(i * 4) as u32]).collect();
+    let mut group = c.benchmark_group("engines_khop");
+    group.sample_size(10);
+    let app = KHop::new(vec![8, 4]);
+    group.bench_function("nextdoor", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            criterion::black_box(run_nextdoor(&mut gpu, &graph, &app, &init, 3).stats.total_ms)
+        })
+    });
+    group.bench_function("sample_parallel", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            criterion::black_box(
+                run_sample_parallel(&mut gpu, &graph, &app, &init, 3).stats.total_ms,
+            )
+        })
+    });
+    group.bench_function("vanilla_tp", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            criterion::black_box(run_vanilla_tp(&mut gpu, &graph, &app, &init, 3).stats.total_ms)
+        })
+    });
+    group.bench_function("cpu_reference", |b| {
+        b.iter(|| criterion::black_box(run_cpu(&graph, &app, &init, 3).stats.total_ms))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("engines_deepwalk");
+    group.sample_size(10);
+    let app = DeepWalk::new(20);
+    group.bench_function("nextdoor", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            criterion::black_box(run_nextdoor(&mut gpu, &graph, &app, &init, 3).stats.total_ms)
+        })
+    });
+    group.bench_function("cpu_reference", |b| {
+        b.iter(|| criterion::black_box(run_cpu(&graph, &app, &init, 3).stats.total_ms))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

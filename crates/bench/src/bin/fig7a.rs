@@ -1,0 +1,61 @@
+//! Figure 7a: NextDoor's speedup on random walks over KnightKing, SP and
+//! TP (paper: 26–50x over KnightKing; 1.09–6x over SP).
+
+use nextdoor_baselines::knightking::{
+    run_knightking, DeepWalkRule, Node2VecRule, PprRule, WalkRule,
+};
+use nextdoor_bench::{header, row, speedup, AppInit, BenchConfig};
+use nextdoor_core::{run_nextdoor, run_sample_parallel, run_vanilla_tp, SamplingApp};
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Figure 7a: random-walk speedups (scale {}, {} samples)", cfg.scale, cfg.samples);
+    println!("Paper reference: NextDoor is 26-50x over KnightKing and 1.09-6x over SP;");
+    println!("node2vec gains least over SP (divergent rejection loop), DeepWalk/PPR most.");
+    let apps: Vec<(Box<dyn SamplingApp>, Box<dyn WalkRule>)> = vec![
+        (
+            Box::new(nextdoor_apps::DeepWalk::new(100)),
+            Box::new(DeepWalkRule { length: 100 }),
+        ),
+        (
+            Box::new(nextdoor_apps::Ppr::new(0.01)),
+            Box::new(PprRule { termination: 0.01, cap: 800 }),
+        ),
+        (
+            Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)),
+            Box::new(Node2VecRule { length: 100, p: 2.0, q: 0.5 }),
+        ),
+    ];
+    for dataset in Dataset::MAIN4 {
+        let graph = cfg.graph(dataset);
+        let init = cfg.init_for(&graph, AppInit::Walk);
+        let roots: Vec<u32> = init.iter().map(|s| s[0]).collect();
+        header(
+            &format!("{dataset} ({} vertices, {} edges)", graph.num_vertices(), graph.num_edges()),
+            &["KnightKing", "SP", "TP", "NextDoor", "vs KK", "vs SP", "vs TP"],
+        );
+        for (app, rule) in &apps {
+            let kk = run_knightking(&graph, rule.as_ref(), &roots, cfg.seed, cfg.threads);
+            let mut g1 = Gpu::new(cfg.gpu.clone());
+            let sp = run_sample_parallel(&mut g1, &graph, app.as_ref(), &init, cfg.seed);
+            let mut g2 = Gpu::new(cfg.gpu.clone());
+            let tp = run_vanilla_tp(&mut g2, &graph, app.as_ref(), &init, cfg.seed);
+            let mut g3 = Gpu::new(cfg.gpu.clone());
+            let nd = run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed);
+            row(
+                app.name(),
+                &[
+                    nextdoor_bench::ms(kk.wall_ms),
+                    nextdoor_bench::ms(sp.stats.total_ms),
+                    nextdoor_bench::ms(tp.stats.total_ms),
+                    nextdoor_bench::ms(nd.stats.total_ms),
+                    speedup(kk.wall_ms, nd.stats.total_ms),
+                    speedup(sp.stats.total_ms, nd.stats.total_ms),
+                    speedup(tp.stats.total_ms, nd.stats.total_ms),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 7b: NextDoor's speedup on GNN sampling applications over the
+//! GNNs' reference CPU samplers, SP and TP (paper: order-of-magnitude over
+//! the CPU samplers; 1.09-6x over SP).
+
+use nextdoor_baselines::cpu_samplers as cpu;
+use nextdoor_bench::{header, row, speedup, AppInit, BenchConfig};
+use nextdoor_core::{run_nextdoor, run_sample_parallel, run_vanilla_tp, SamplingApp};
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::{cluster_vertices, Dataset};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Figure 7b: GNN-sampler speedups (scale {}, {} samples)", cfg.scale, cfg.samples);
+    println!("Paper reference: order-of-magnitude speedups over existing GNN samplers;");
+    println!("SP also beats them, and NextDoor beats SP by 1.09-6x (layer sampling most).");
+    for dataset in Dataset::MAIN4 {
+        let graph = cfg.graph(dataset);
+        header(
+            &format!("{dataset} ({} vertices)", graph.num_vertices()),
+            &["CPU sampler", "SP", "TP", "NextDoor", "vs CPU", "vs SP", "vs TP"],
+        );
+        let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
+            (Box::new(nextdoor_apps::KHop::graphsage()), AppInit::Walk),
+            (Box::new(nextdoor_apps::MultiRw::new(100)), AppInit::MultiRw),
+            (Box::new(nextdoor_apps::Layer::new(250, 500)), AppInit::LayerRoots),
+            (Box::new(nextdoor_apps::FastGcn::new(2, 64)), AppInit::Batch),
+            (Box::new(nextdoor_apps::Ladies::new(2, 64)), AppInit::Batch),
+            (Box::new(nextdoor_apps::Mvs::default()), AppInit::Batch),
+            (Box::new(nextdoor_apps::ClusterGcn::new(64)), AppInit::Cluster),
+        ];
+        for (app, kind) in apps {
+            let init = cfg.init_for(&graph, kind);
+            let cpu_ms = match app.name() {
+                "k-hop" => {
+                    let roots: Vec<u32> = init.iter().map(|s| s[0]).collect();
+                    cpu::khop_sampler(&graph, &roots, &[25, 10], cfg.seed, cfg.threads).wall_ms
+                }
+                "MultiRW" => {
+                    cpu::multirw_sampler(&graph, &init, 100, cfg.seed, cfg.threads).wall_ms
+                }
+                "Layer" => {
+                    let roots: Vec<u32> = init.iter().map(|s| s[0]).collect();
+                    cpu::layer_sampler(&graph, &roots, 250, 500, cfg.seed, cfg.threads).wall_ms
+                }
+                "FastGCN" => {
+                    cpu::fastgcn_sampler(&graph, &init, 2, 64, cfg.seed, cfg.threads).wall_ms
+                }
+                "LADIES" => {
+                    cpu::ladies_sampler(&graph, &init, 2, 64, cfg.seed, cfg.threads).wall_ms
+                }
+                "MVS" => cpu::mvs_sampler(&graph, &init, cfg.seed, cfg.threads).wall_ms,
+                "ClusterGCN" => {
+                    let clustering = cluster_vertices(
+                        &graph,
+                        (graph.num_vertices() / 64).max(8),
+                        cfg.seed ^ 0x1004,
+                    );
+                    cpu::clustergcn_sampler(
+                        &graph, &clustering, 4, init.len(), cfg.seed, cfg.threads,
+                    )
+                    .wall_ms
+                }
+                other => panic!("no CPU reference sampler for {other}"),
+            };
+            let mut g1 = Gpu::new(cfg.gpu.clone());
+            let sp = run_sample_parallel(&mut g1, &graph, app.as_ref(), &init, cfg.seed);
+            let mut g2 = Gpu::new(cfg.gpu.clone());
+            let tp = run_vanilla_tp(&mut g2, &graph, app.as_ref(), &init, cfg.seed);
+            let mut g3 = Gpu::new(cfg.gpu.clone());
+            let nd = run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed);
+            row(
+                app.name(),
+                &[
+                    nextdoor_bench::ms(cpu_ms),
+                    nextdoor_bench::ms(sp.stats.total_ms),
+                    nextdoor_bench::ms(tp.stats.total_ms),
+                    nextdoor_bench::ms(nd.stats.total_ms),
+                    speedup(cpu_ms, nd.stats.total_ms),
+                    speedup(sp.stats.total_ms, nd.stats.total_ms),
+                    speedup(tp.stats.total_ms, nd.stats.total_ms),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 9: NextDoor's speedup over the Gunrock-style frontier-centric
+//! and Tigr-style message-passing abstractions (paper: consistent speedups
+//! from the extra degree of parallelism and sampling-aware load balance).
+
+use nextdoor_baselines::{frontier::run_frontier, message_passing::run_message_passing};
+use nextdoor_bench::{header, row, speedup, AppInit, BenchConfig};
+use nextdoor_core::{run_nextdoor, SamplingApp};
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Figure 9: speedup over Gunrock and Tigr abstractions (scale {})", cfg.scale);
+    println!("Paper reference: NextDoor wins because those abstractions expose only one");
+    println!("degree of parallelism and balance load by degree, not by samples.");
+    let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
+        (Box::new(nextdoor_apps::KHop::graphsage()), AppInit::Walk),
+        (Box::new(nextdoor_apps::DeepWalk::new(100)), AppInit::Walk),
+        (Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)), AppInit::Walk),
+    ];
+    for dataset in Dataset::MAIN4 {
+        let graph = cfg.graph(dataset);
+        header(
+            &format!("{dataset} ({} vertices)", graph.num_vertices()),
+            &["Gunrock", "Tigr", "NextDoor", "vs Gunrock", "vs Tigr"],
+        );
+        for (app, kind) in &apps {
+            let init = cfg.init_for(&graph, *kind);
+            let mut g1 = Gpu::new(cfg.gpu.clone());
+            let fr = run_frontier(&mut g1, &graph, app.as_ref(), &init, cfg.seed);
+            let mut g2 = Gpu::new(cfg.gpu.clone());
+            let mp = run_message_passing(&mut g2, &graph, app.as_ref(), &init, cfg.seed);
+            let mut g3 = Gpu::new(cfg.gpu.clone());
+            let nd = run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed);
+            row(
+                app.name(),
+                &[
+                    nextdoor_bench::ms(fr.stats.total_ms),
+                    nextdoor_bench::ms(mp.stats.total_ms),
+                    nextdoor_bench::ms(nd.stats.total_ms),
+                    speedup(fr.stats.total_ms, nd.stats.total_ms),
+                    speedup(mp.stats.total_ms, nd.stats.total_ms),
+                ],
+            );
+        }
+    }
+}

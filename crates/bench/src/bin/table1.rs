@@ -1,0 +1,73 @@
+//! Table 1: fraction of training time existing GNNs spend in (CPU) graph
+//! sampling (paper: 25%-62% of each epoch, worst for FastGCN on LiveJ).
+
+use nextdoor_baselines::cpu_samplers as cpu;
+use nextdoor_bench::{header, row, BenchConfig};
+use nextdoor_gnn::{GraphSageModel, Trainer};
+use nextdoor_graph::{cluster_vertices, Dataset, VertexId};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Table 1: fraction of epoch time spent sampling (scale {})", cfg.scale);
+    println!("Paper reference: GraphSAGE 25%-51%, FastGCN 26%-62%, LADIES 25%-56%,");
+    println!("MVS 24%-51%, ClusterGCN 26%-43%, GraphSAINT 25%-53%.");
+    let datasets = [
+        Dataset::Ppi,
+        Dataset::Reddit,
+        Dataset::Orkut,
+        Dataset::Patents,
+        Dataset::LiveJournal,
+    ];
+    header(
+        "sampling share of epoch",
+        &["PPI", "Reddit", "Orkut", "Patents", "LiveJ"],
+    );
+    let samplers: [&str; 6] = ["GraphSAGE", "FastGCN", "LADIES", "MVS", "ClusterGCN", "GraphSAINT"];
+    for name in samplers {
+        let mut cells = Vec::new();
+        for dataset in datasets {
+            let graph = cfg.graph(dataset);
+            let model = GraphSageModel::new(128, 128, 16, cfg.seed);
+            let mut trainer = Trainer::new(model, 64, 0.1);
+            let verts: Vec<VertexId> = (0..cfg.samples.min(graph.num_vertices()) as u32).collect();
+            let clustering =
+                cluster_vertices(&graph, (graph.num_vertices() / 64).max(8), cfg.seed);
+            let mut sampler = |batch: &[VertexId]| match name {
+                "GraphSAGE" => {
+                    let r = cpu::khop_sampler(&graph, batch, &[25, 10], cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                "FastGCN" => {
+                    let batches: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+                    let r = cpu::fastgcn_sampler(&graph, &batches, 2, 64, cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                "LADIES" => {
+                    let batches: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+                    let r = cpu::ladies_sampler(&graph, &batches, 2, 64, cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                "MVS" => {
+                    let batches: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+                    let r = cpu::mvs_sampler(&graph, &batches, cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                "ClusterGCN" => {
+                    let r = cpu::clustergcn_sampler(
+                        &graph, &clustering, 2, batch.len(), cfg.seed, cfg.threads,
+                    );
+                    (r.samples, r.wall_ms)
+                }
+                "GraphSAINT" => {
+                    let sets: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v; 4]).collect();
+                    let r = cpu::multirw_sampler(&graph, &sets, 100, cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                other => panic!("unknown sampler {other}"),
+            };
+            let b = trainer.run_epoch(&verts, &mut sampler);
+            cells.push(format!("{:.0}%", 100.0 * b.sampling_fraction()));
+        }
+        row(name, &cells);
+    }
+}

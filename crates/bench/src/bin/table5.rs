@@ -1,0 +1,80 @@
+//! Table 5: end-to-end training speedup after integrating NextDoor as the
+//! sampler (paper: 1.03x-4.75x, growing with graph size for FastGCN and
+//! LADIES because sampling cost scales with the graph while per-batch
+//! training cost stays constant).
+
+use nextdoor_baselines::cpu_samplers as cpu;
+use nextdoor_bench::{header, row, BenchConfig};
+use nextdoor_core::run_nextdoor;
+use nextdoor_gnn::{GraphSageModel, Trainer};
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::{Dataset, VertexId};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Table 5: end-to-end GNN speedup with NextDoor sampling (scale {})", cfg.scale);
+    println!("Paper reference: GraphSAGE limited by TF tensor copies; FastGCN 1.25-4.75x,");
+    println!("LADIES 1.07-2.34x, ClusterGCN 1.03-1.51x; bigger graphs gain more.");
+    let datasets = [
+        Dataset::Ppi,
+        Dataset::Reddit,
+        Dataset::Orkut,
+        Dataset::Patents,
+        Dataset::LiveJournal,
+    ];
+    header(
+        "epoch speedup",
+        &["PPI", "Reddit", "Orkut", "Patents", "LiveJ"],
+    );
+    for name in ["GraphSAGE", "FastGCN", "LADIES"] {
+        let mut cells = Vec::new();
+        for dataset in datasets {
+            let graph = cfg.graph(dataset);
+            let verts: Vec<VertexId> = (0..cfg.samples.min(graph.num_vertices()) as u32).collect();
+            // Baseline epoch: reference CPU sampler.
+            let model = GraphSageModel::new(128, 128, 16, cfg.seed);
+            let mut trainer = Trainer::new(model, 64, 0.1);
+            let mut cpu_sampler = |batch: &[VertexId]| match name {
+                "GraphSAGE" => {
+                    let r = cpu::khop_sampler(&graph, batch, &[25, 10], cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                "FastGCN" => {
+                    let batches: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+                    let r = cpu::fastgcn_sampler(&graph, &batches, 2, 64, cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                "LADIES" => {
+                    let batches: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+                    let r = cpu::ladies_sampler(&graph, &batches, 2, 64, cfg.seed, cfg.threads);
+                    (r.samples, r.wall_ms)
+                }
+                other => panic!("unknown sampler {other}"),
+            };
+            let base = trainer.run_epoch(&verts, &mut cpu_sampler);
+            // NextDoor epoch: simulated GPU sampling time.
+            let model = GraphSageModel::new(128, 128, 16, cfg.seed);
+            let mut trainer = Trainer::new(model, 64, 0.1);
+            let mut nd_sampler = |batch: &[VertexId]| {
+                let init: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+                let mut gpu = Gpu::new(cfg.gpu.clone());
+                let res = match name {
+                    "GraphSAGE" => run_nextdoor(
+                        &mut gpu, &graph, &nextdoor_apps::KHop::graphsage(), &init, cfg.seed,
+                    ),
+                    "FastGCN" => run_nextdoor(
+                        &mut gpu, &graph, &nextdoor_apps::FastGcn::new(2, 64), &init, cfg.seed,
+                    ),
+                    "LADIES" => run_nextdoor(
+                        &mut gpu, &graph, &nextdoor_apps::Ladies::new(2, 64), &init, cfg.seed,
+                    ),
+                    other => panic!("unknown sampler {other}"),
+                };
+                (res.store.final_samples(), res.stats.total_ms)
+            };
+            let with_nd = trainer.run_epoch(&verts, &mut nd_sampler);
+            cells.push(format!("{:.2}x", base.total_ms() / with_nd.total_ms()));
+        }
+        row(name, &cells);
+    }
+}

@@ -1,0 +1,36 @@
+use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+use nextdoor_core::engine::nextdoor::run_nextdoor;
+use nextdoor_gpu::{Gpu, GpuSpec};
+use nextdoor_graph::gen::{rmat, RmatParams};
+use std::collections::HashMap;
+
+struct Walk(usize);
+impl SamplingApp for Walk {
+    fn name(&self) -> &'static str { "walk" }
+    fn steps(&self) -> Steps { Steps::Fixed(self.0) }
+    fn sample_size(&self, _: usize) -> usize { 1 }
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+        let d = ctx.num_edges();
+        if d == 0 { return None; }
+        let i = ctx.rand_range(d);
+        Some(ctx.src_edge(i))
+    }
+}
+
+fn main() {
+    let g = rmat(10, 10_000, RmatParams::SKEWED, 7);
+    let init: Vec<Vec<u32>> = (0..512).map(|i| vec![(i * 2) as u32]).collect();
+    let mut gpu = Gpu::new(GpuSpec::small());
+    let _ = run_nextdoor(&mut gpu, &g, &Walk(10), &init, 4);
+    let mut by: HashMap<String,(u64,u64,f64)> = HashMap::new();
+    for k in gpu.kernel_log() {
+        let e = by.entry(k.name.clone()).or_default();
+        e.0 += k.counters.gld_transactions;
+        e.1 += 1;
+        e.2 += k.cycles;
+    }
+    let mut v: Vec<_> = by.into_iter().collect();
+    v.sort_by_key(|x| std::cmp::Reverse(x.1.0));
+    for (n,(tx,cnt,cyc)) in v { println!("{n:24} gld_tx={tx:8} launches={cnt:4} cycles={cyc:12.0}"); }
+    println!("total gld={} cycles={}", gpu.counters().gld_transactions, gpu.counters().cycles);
+}

@@ -1,0 +1,189 @@
+//! The shared step loop of the three GPU engines.
+//!
+//! The engines differ only in how each step's `next` invocations are
+//! scheduled onto the GPU; everything else — transit planning, collective
+//! neighbourhood semantics, uniqueness, termination — is common and lives
+//! here, so that the engines are directly comparable (and provably produce
+//! identical samples). The out-of-GPU-memory mode (§8.4) reuses
+//! [`exec_step`] with its own outer loop.
+
+use crate::api::{SamplingApp, SamplingType, NULL_VERTEX};
+use crate::engine::collective::{
+    build_combined_sample_parallel, build_combined_transit_parallel, prepare_combined,
+    run_collective_next_kernel,
+};
+use crate::engine::kernels::{
+    block_class_work, charge_step_transits, grid_class_work, run_sample_parallel_kernel,
+    run_subwarp_kernel, run_transit_block_kernel, BlockWork, StepExec, StepOut,
+};
+use crate::engine::scheduling::{build_scheduling_index, partition_kernel_classes};
+use crate::engine::{finish_step, plan_step, step_budget, unique, EngineStats, RunResult, StepPlan};
+use crate::gpu_graph::GpuGraph;
+use crate::store::SampleStore;
+use nextdoor_gpu::{DeviceBuffer, Gpu};
+use nextdoor_graph::{Csr, VertexId};
+
+/// Which parallelisation strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GpuEngineKind {
+    /// Transit-parallel with scheduling index and three kernel classes.
+    NextDoor,
+    /// Fine-grained sample-parallel (the paper's SP baseline).
+    SampleParallel,
+    /// Vanilla transit-parallel: map inversion but one block per transit
+    /// (the paper's TP baseline).
+    VanillaTp,
+}
+
+/// Collects the live `(transit, pair_id)` pairs of a step.
+pub(crate) fn live_pairs(plan: &StepPlan, num_samples: usize) -> Vec<(VertexId, u32)> {
+    let mut pairs = Vec::with_capacity(num_samples * plan.tps);
+    for s in 0..num_samples {
+        for t in 0..plan.tps {
+            let tv = plan.transits[s * plan.tps + t];
+            if tv != NULL_VERTEX {
+                pairs.push((tv, (s * plan.tps + t) as u32));
+            }
+        }
+    }
+    pairs
+}
+
+/// Executes one step's `next` invocations under `kind`, filling `out`.
+/// Returns the cycles spent building the scheduling index.
+pub(crate) fn exec_step(
+    gpu: &mut Gpu,
+    ex: &StepExec<'_>,
+    kind: GpuEngineKind,
+    transit_buf: &DeviceBuffer<u32>,
+    out: &mut StepOut,
+) -> f64 {
+    let ns = ex.store.num_samples();
+    let plan = ex.plan;
+    let mut sched_cycles = 0.0;
+    match ex.app.sampling_type() {
+        SamplingType::Individual => match kind {
+            GpuEngineKind::NextDoor => {
+                let pairs = live_pairs(plan, ns);
+                let c0 = gpu.counters().cycles;
+                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices());
+                let classes = partition_kernel_classes(gpu, &index, plan.m, 1024);
+                sched_cycles += gpu.counters().cycles - c0;
+                run_subwarp_kernel(gpu, ex, &index, &classes.sub_warp, out);
+                let bw = block_class_work(&index, &classes.block);
+                run_transit_block_kernel(gpu, "nextdoor_block", ex, &index, &bw, false, out);
+                let gw = grid_class_work(&index, &classes.grid, plan.m, 1024);
+                run_transit_block_kernel(gpu, "nextdoor_grid", ex, &index, &gw, false, out);
+            }
+            GpuEngineKind::SampleParallel => {
+                run_sample_parallel_kernel(gpu, ex, transit_buf, out);
+            }
+            GpuEngineKind::VanillaTp => {
+                let pairs = live_pairs(plan, ns);
+                let c0 = gpu.counters().cycles;
+                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices());
+                sched_cycles += gpu.counters().cycles - c0;
+                let bw: Vec<BlockWork> = (0..index.segments.len())
+                    .map(|si| BlockWork {
+                        seg: si,
+                        pair_start: 0,
+                        pair_count: index.segments[si].count,
+                    })
+                    .collect();
+                run_transit_block_kernel(gpu, "tp_block", ex, &index, &bw, true, out);
+            }
+        },
+        SamplingType::Collective => {
+            let mut comb = prepare_combined(gpu, ex);
+            match kind {
+                GpuEngineKind::NextDoor | GpuEngineKind::VanillaTp => {
+                    let pairs = live_pairs(plan, ns);
+                    let c0 = gpu.counters().cycles;
+                    let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices());
+                    sched_cycles += gpu.counters().cycles - c0;
+                    build_combined_transit_parallel(gpu, ex, &index, &mut comb);
+                }
+                GpuEngineKind::SampleParallel => {
+                    build_combined_sample_parallel(gpu, ex, &mut comb);
+                }
+            }
+            run_collective_next_kernel(gpu, ex, &comb, out);
+        }
+    }
+    sched_cycles
+}
+
+/// Runs `app` to completion with the chosen engine on `gpu`.
+pub(crate) fn run_gpu_engine(
+    gpu: &mut Gpu,
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    seed: u64,
+    kind: GpuEngineKind,
+) -> RunResult {
+    assert!(!init.is_empty(), "need at least one initial sample");
+    let init_len = init[0].len();
+    assert!(
+        init.iter().all(|s| s.len() == init_len),
+        "initial samples must have equal sizes"
+    );
+    let gg = GpuGraph::upload(gpu, graph).expect("graph must fit in device memory");
+    let mut store = SampleStore::new(init.to_vec());
+    let counters0 = *gpu.counters();
+    let mut sched_cycles = 0.0;
+    let mut steps_run = 0;
+    let init_flat: Vec<u32> = init.iter().flatten().copied().collect();
+    let mut prev_buf = gpu.to_device(&init_flat);
+    for step in 0..step_budget(app) {
+        let plan = plan_step(app, &store, step, seed);
+        if plan.live == 0 {
+            break;
+        }
+        let ns = store.num_samples();
+        let mut transit_buf = gpu.alloc::<u32>(ns * plan.tps);
+        charge_step_transits(gpu, &prev_buf, &mut transit_buf);
+        transit_buf.as_mut_slice().copy_from_slice(&plan.transits);
+        let mut out = StepOut::new(gpu, ns, plan.slots);
+        {
+            let ex = StepExec {
+                graph,
+                gg: &gg,
+                app,
+                store: &store,
+                plan: &plan,
+                seed,
+            };
+            sched_cycles += exec_step(gpu, &ex, kind, &transit_buf, &mut out);
+        }
+        let StepOut {
+            mut values,
+            edges,
+            step_buf,
+        } = out;
+        if app.unique(step) {
+            unique::dedup_values_gpu(gpu, &mut values, plan.slots, ns);
+        }
+        let live_this_step = values.iter().any(|&v| v != NULL_VERTEX);
+        finish_step(app, &mut store, &plan, values, edges);
+        steps_run += 1;
+        prev_buf = step_buf;
+        if !live_this_step {
+            break;
+        }
+    }
+    let counters = gpu.counters().diff(&counters0);
+    let spec = gpu.spec();
+    let total_ms = spec.cycles_to_ms(counters.cycles);
+    let scheduling_ms = spec.cycles_to_ms(sched_cycles);
+    RunResult {
+        store,
+        stats: EngineStats {
+            total_ms,
+            sampling_ms: total_ms - scheduling_ms,
+            scheduling_ms,
+            counters,
+            steps_run,
+        },
+    }
+}

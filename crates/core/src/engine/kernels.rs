@@ -1,0 +1,471 @@
+//! The sampling kernels shared by the GPU engines.
+//!
+//! Three transit-parallel kernels implement Table 2 of the paper (sub-warp,
+//! thread-block, grid), and one fine-grained sample-parallel kernel
+//! implements the SP baseline of §5.1. The user-defined `next` function runs
+//! per lane under trace capture; each warp then replays its 32 traces in
+//! lock-step, which is where coalescing, caching and divergence are charged.
+
+use crate::api::{EdgeCost, SamplingApp, SamplingType, NULL_VERTEX};
+use crate::engine::scheduling::SchedulingIndex;
+use crate::engine::{run_next_individual, StepPlan};
+use crate::gpu_graph::GpuGraph;
+use crate::store::SampleStore;
+use nextdoor_gpu::lane::LaneTrace;
+use nextdoor_gpu::warp::mask_first_n;
+use nextdoor_gpu::{DeviceBuffer, Gpu, LaunchConfig, WARP_SIZE};
+use nextdoor_graph::{Csr, VertexId};
+
+/// Everything a sampling kernel needs to know about the current step.
+pub(crate) struct StepExec<'a> {
+    pub graph: &'a Csr,
+    pub gg: &'a GpuGraph,
+    pub app: &'a dyn SamplingApp,
+    pub store: &'a SampleStore,
+    pub plan: &'a StepPlan,
+    pub seed: u64,
+}
+
+impl StepExec<'_> {
+    /// Decodes a pair id into `(sample, transit_idx)`.
+    #[inline]
+    pub fn decode_pair(&self, pair_id: u32) -> (usize, usize) {
+        (
+            pair_id as usize / self.plan.tps,
+            pair_id as usize % self.plan.tps,
+        )
+    }
+
+    /// Output slot of `(sample, tidx, j)` in the step's value array.
+    #[inline]
+    pub fn out_index(&self, sample: usize, tidx: usize, j: usize) -> usize {
+        match self.app.sampling_type() {
+            SamplingType::Individual => sample * self.plan.slots + tidx * self.plan.m + j,
+            SamplingType::Collective => sample * self.plan.slots + j,
+        }
+    }
+}
+
+/// Host-side mirror of a step's outputs plus the device buffer the kernels
+/// write through.
+pub(crate) struct StepOut {
+    pub values: Vec<VertexId>,
+    pub edges: Vec<Vec<(VertexId, VertexId)>>,
+    pub step_buf: DeviceBuffer<u32>,
+}
+
+impl StepOut {
+    pub fn new(gpu: &Gpu, num_samples: usize, slots: usize) -> Self {
+        StepOut {
+            values: vec![NULL_VERTEX; num_samples * slots],
+            edges: vec![Vec::new(); num_samples],
+            step_buf: gpu.alloc(num_samples * slots),
+        }
+    }
+}
+
+/// Charges the `stepTransits` kernel: one thread per `(sample, transit_idx)`
+/// reads the previous step's vertex and writes the transit array. Values are
+/// computed host-side in [`crate::engine::plan_step`]; this accounts the
+/// traffic.
+pub(crate) fn charge_step_transits(
+    gpu: &mut Gpu,
+    prev_buf: &DeviceBuffer<u32>,
+    transit_buf: &mut DeviceBuffer<u32>,
+) {
+    let n = transit_buf.len();
+    if n == 0 {
+        return;
+    }
+    let prev_len = prev_buf.len().max(1);
+    gpu.launch(
+        "step_transits",
+        LaunchConfig::grid1d(n, 256),
+        |blk| {
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let m = w.mask_where(|l| gid[l] < n);
+                if m == 0 {
+                    return;
+                }
+                let safe = gid.map(|g| g.min(n - 1));
+                let v = w.ld_global(prev_buf, &safe.map(|g| g % prev_len), m);
+                w.st_global(transit_buf, &safe, v, m);
+            });
+        },
+    );
+}
+
+/// Registers each thread dedicates to neighbour caching in the sub-warp
+/// kernel (`u32` slots). V100 threads have up to 255 32-bit registers;
+/// 32 slots (128 bytes) leaves ample room for the kernel's own state while
+/// letting a single-thread sub-warp cache a typical adjacency list (the
+/// evaluation graphs average 4-39 neighbours).
+const REG_CACHE_PER_THREAD: usize = 32;
+
+/// One unit of work for a lane of a transit-parallel kernel.
+#[derive(Debug, Clone, Copy)]
+struct LaneWork {
+    sample: usize,
+    tidx: usize,
+    j: usize,
+    transit: VertexId,
+    /// Physical slot in the device output buffer. Transit-parallel kernels
+    /// write in execution (sorted-pair) order, so consecutive lanes hit
+    /// consecutive addresses — this is why NextDoor's global stores are
+    /// fully coalesced (Table 4). The semantic `(sample, tidx, j)` position
+    /// is kept in the host mirror.
+    phys: usize,
+    /// How many leading neighbours of the transit the engine cached for
+    /// this lane (registers or shared memory).
+    cached_len: usize,
+}
+
+/// Runs `next` for the lanes described by `work`, replays the traces on the
+/// warp, stores outputs through the step buffer, and mirrors values/edges
+/// into `out`.
+#[allow(clippy::too_many_arguments)]
+fn execute_lanes(
+    w: &mut nextdoor_gpu::WarpCtx<'_>,
+    ex: &StepExec<'_>,
+    work: &[Option<LaneWork>; WARP_SIZE],
+    cost: EdgeCost,
+    out_values: &mut [VertexId],
+    out_edges: &mut [Vec<(VertexId, VertexId)>],
+    step_buf: &mut DeviceBuffer<u32>,
+) {
+    let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
+    let mut vals = [NULL_VERTEX; WARP_SIZE];
+    let mut idxs = [0usize; WARP_SIZE];
+    let mut mask = 0u32;
+    for l in 0..WARP_SIZE {
+        let Some(lw) = work[l] else { continue };
+        mask |= 1 << l;
+        debug_assert_eq!(
+            ex.plan.transits[lw.sample * ex.plan.tps + lw.tidx],
+            lw.transit,
+            "lane work must agree with the step plan"
+        );
+        let (v, es) = run_next_individual(
+            ex.app,
+            ex.graph,
+            ex.store,
+            ex.plan,
+            lw.sample,
+            lw.tidx,
+            lw.j,
+            ex.seed,
+            cost,
+            lw.cached_len,
+            ex.gg.cols_base(),
+            Some(&mut traces[l]),
+        );
+        vals[l] = v;
+        idxs[l] = lw.phys.min(step_buf.len() - 1);
+        out_values[ex.out_index(lw.sample, lw.tidx, lw.j)] = v;
+        out_edges[lw.sample].extend(es);
+    }
+    if mask == 0 {
+        return;
+    }
+    w.replay(&traces, mask);
+    w.st_global(step_buf, &idxs, vals, mask);
+}
+
+/// The sub-warp kernel (Table 2, row 3): several transits per warp, each
+/// `(transit, sample)` pair on `m` consecutive lanes; adjacency held in
+/// registers and read via warp shuffles.
+pub(crate) fn run_subwarp_kernel(
+    gpu: &mut Gpu,
+    ex: &StepExec<'_>,
+    index: &SchedulingIndex,
+    class: &[usize],
+    out: &mut StepOut,
+) {
+    if class.is_empty() {
+        return;
+    }
+    let m = ex.plan.m;
+    // Greedy-pack whole segments into warps of 32 lanes.
+    let mut warps: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut used = 0usize;
+    for &si in class {
+        let need = index.segments[si].count * m;
+        debug_assert!(need <= WARP_SIZE);
+        if used + need > WARP_SIZE {
+            warps.push(std::mem::take(&mut cur));
+            used = 0;
+        }
+        cur.push(si);
+        used += need;
+    }
+    if !cur.is_empty() {
+        warps.push(cur);
+    }
+    let total_threads = warps.len() * WARP_SIZE;
+    let values = &mut out.values;
+    let edges = &mut out.edges;
+    let step_buf = &mut out.step_buf;
+    gpu.launch(
+        "nextdoor_subwarp",
+        LaunchConfig::grid1d(total_threads, 256),
+        |blk| {
+            blk.for_each_warp(|w| {
+                let gw = w.global_warp_id();
+                if gw >= warps.len() {
+                    return;
+                }
+                let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+                let mut lane = 0usize;
+                for &si in &warps[gw] {
+                    let seg = index.segments[si];
+                    let deg = ex.graph.degree(seg.transit);
+                    // Register caching: the transit's sub-warps can hold
+                    // REG_CACHE_PER_THREAD neighbours per thread; they are
+                    // loaded once with coalesced reads and served to every
+                    // lane via warp shuffles.
+                    let threads = seg.count * m;
+                    // Adaptive cache sizing: preload no more sectors than
+                    // the expected number of accesses can pay back (a few
+                    // probes per slot), bounded by the register budget.
+                    let expected = (4 * threads).next_multiple_of(8).max(8);
+                    let reg_n = deg.min(expected).min(REG_CACHE_PER_THREAD * threads);
+                    if reg_n > 0 {
+                        let (start, _) = ex.graph.adjacency_range(seg.transit);
+                        let mut c = 0;
+                        while c < reg_n {
+                            let len = (reg_n - c).min(WARP_SIZE);
+                            let idx: [usize; WARP_SIZE] =
+                                std::array::from_fn(|l| start + c + l.min(len - 1));
+                            let _ = w.ld_global(&ex.gg.cols, &idx, mask_first_n(len));
+                            c += len;
+                        }
+                    }
+                    for p in 0..seg.count {
+                        let pair_id = index.sorted_pair_ids[seg.start + p];
+                        let (sample, tidx) = ex.decode_pair(pair_id);
+                        for j in 0..m {
+                            work[lane] = Some(LaneWork {
+                                sample,
+                                tidx,
+                                j,
+                                transit: seg.transit,
+                                phys: (seg.start + p) * m + j,
+                                cached_len: reg_n,
+                            });
+                            lane += 1;
+                        }
+                    }
+                }
+                execute_lanes(w, ex, &work, EdgeCost::Registers, values, edges, step_buf);
+            });
+        },
+    );
+}
+
+/// A unit of block-level work: a chunk of one transit's pairs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockWork {
+    /// Segment index into the scheduling index.
+    pub seg: usize,
+    /// First pair of the chunk, relative to the segment start.
+    pub pair_start: usize,
+    /// Pairs in the chunk.
+    pub pair_count: usize,
+}
+
+/// Expands the thread-block class into one [`BlockWork`] per transit.
+pub(crate) fn block_class_work(index: &SchedulingIndex, class: &[usize]) -> Vec<BlockWork> {
+    class
+        .iter()
+        .map(|&si| BlockWork {
+            seg: si,
+            pair_start: 0,
+            pair_count: index.segments[si].count,
+        })
+        .collect()
+}
+
+/// Expands the grid class into chunks small enough for one block each.
+pub(crate) fn grid_class_work(
+    index: &SchedulingIndex,
+    class: &[usize],
+    m: usize,
+    block_threads: usize,
+) -> Vec<BlockWork> {
+    let pairs_per_block = (block_threads / m).max(1);
+    let mut work = Vec::new();
+    for &si in class {
+        let count = index.segments[si].count;
+        let mut start = 0;
+        while start < count {
+            let chunk = pairs_per_block.min(count - start);
+            work.push(BlockWork {
+                seg: si,
+                pair_start: start,
+                pair_count: chunk,
+            });
+            start += chunk;
+        }
+    }
+    work
+}
+
+/// The thread-block and grid kernels (Table 2, rows 1–2): each block serves
+/// one transit (or one chunk of a huge transit), caching the adjacency list
+/// in shared memory. With `grid_stride` a block loops over its lanes'
+/// work — the vanilla-TP configuration that has no grid class and therefore
+/// no load balancing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_transit_block_kernel(
+    gpu: &mut Gpu,
+    name: &str,
+    ex: &StepExec<'_>,
+    index: &SchedulingIndex,
+    blocks: &[BlockWork],
+    grid_stride: bool,
+    out: &mut StepOut,
+) {
+    if blocks.is_empty() {
+        return;
+    }
+    let m = ex.plan.m;
+    let block_dim = 1024usize;
+    let values = &mut out.values;
+    let edges = &mut out.edges;
+    let step_buf = &mut out.step_buf;
+    gpu.launch(
+        name,
+        LaunchConfig {
+            grid_dim: blocks.len(),
+            block_dim,
+        },
+        |blk| {
+            let bw = blocks[blk.block_idx];
+            let seg = index.segments[bw.seg];
+            let deg = ex.graph.degree(seg.transit);
+            let (row_start, _) = ex.graph.adjacency_range(seg.transit);
+            // Shared-memory cache of the adjacency list; spill to global
+            // when it does not fit (§6.1.2 "Caching").
+            let cache_n = deg.min(blk.shared_words_free());
+            let cache = if cache_n > 0 {
+                blk.shared_alloc(cache_n)
+            } else {
+                None
+            };
+            let cached_len = cache.map_or(0, |_| cache_n);
+            if let Some(arr) = cache {
+                let chunks = cache_n.div_ceil(WARP_SIZE);
+                let num_warps = blk.num_warps();
+                blk.for_each_warp(|w| {
+                    let mut c = w.warp_in_block;
+                    while c < chunks {
+                        let base = c * WARP_SIZE;
+                        let len = WARP_SIZE.min(cache_n - base);
+                        let msk = mask_first_n(len);
+                        let gidx: [usize; WARP_SIZE] =
+                            std::array::from_fn(|l| row_start + (base + l).min(cache_n - 1));
+                        let v = w.ld_global(&ex.gg.cols, &gidx, msk);
+                        let sidx: [usize; WARP_SIZE] =
+                            std::array::from_fn(|l| (base + l).min(cache_n - 1));
+                        w.st_shared(&arr, &sidx, v, msk);
+                        c += num_warps;
+                    }
+                });
+                blk.syncthreads();
+            }
+            let lanes_needed = bw.pair_count * m;
+            let iterations = if grid_stride {
+                lanes_needed.div_ceil(block_dim)
+            } else {
+                1
+            };
+            blk.for_each_warp(|w| {
+                for it in 0..iterations {
+                    let lane_base = it * block_dim + w.warp_in_block * WARP_SIZE;
+                    if lane_base >= lanes_needed {
+                        break;
+                    }
+                    let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+                    for l in 0..WARP_SIZE {
+                        let off = lane_base + l;
+                        if off >= lanes_needed {
+                            break;
+                        }
+                        let local_pair = off / m;
+                        let j = off % m;
+                        let pair_pos = seg.start + bw.pair_start + local_pair;
+                        let pair_id = index.sorted_pair_ids[pair_pos];
+                        let (sample, tidx) = ex.decode_pair(pair_id);
+                        work[l] = Some(LaneWork {
+                            sample,
+                            tidx,
+                            j,
+                            transit: seg.transit,
+                            phys: pair_pos * m + j,
+                            cached_len,
+                        });
+                    }
+                    execute_lanes(w, ex, &work, EdgeCost::Shared, values, edges, step_buf);
+                }
+            });
+        },
+    );
+}
+
+/// The fine-grained sample-parallel kernel of §5.1 (the SP baseline):
+/// `m` consecutive threads per `(sample, transit)` pair, no transit
+/// grouping, no caching — every adjacency access is a global load and
+/// lanes of one warp hold different transits.
+pub(crate) fn run_sample_parallel_kernel(
+    gpu: &mut Gpu,
+    ex: &StepExec<'_>,
+    transit_buf: &DeviceBuffer<u32>,
+    out: &mut StepOut,
+) {
+    let ns = ex.store.num_samples();
+    let tps = ex.plan.tps;
+    let m = ex.plan.m;
+    let num_pairs = ns * tps;
+    let total_threads = num_pairs * m;
+    if total_threads == 0 {
+        return;
+    }
+    let values = &mut out.values;
+    let edges = &mut out.edges;
+    let step_buf = &mut out.step_buf;
+    gpu.launch(
+        "sp_sample",
+        LaunchConfig::grid1d(total_threads, 256),
+        |blk| {
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let valid = w.mask_where(|l| gid[l] < total_threads);
+                if valid == 0 {
+                    return;
+                }
+                // Each lane reads its pair's transit from global memory.
+                let pair_idx: [usize; WARP_SIZE] =
+                    std::array::from_fn(|l| (gid[l] / m).min(num_pairs - 1));
+                let transits = w.ld_global(transit_buf, &pair_idx, valid);
+                let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+                for l in 0..WARP_SIZE {
+                    if valid & (1 << l) == 0 || transits[l] == NULL_VERTEX {
+                        continue;
+                    }
+                    let pair = gid[l] / m;
+                    work[l] = Some(LaneWork {
+                        sample: pair / tps,
+                        tidx: pair % tps,
+                        j: gid[l] % m,
+                        transit: transits[l],
+                        phys: gid[l],
+                        cached_len: 0,
+                    });
+                }
+                execute_lanes(w, ex, &work, EdgeCost::Global, values, edges, step_buf);
+            });
+        },
+    );
+}

@@ -1,0 +1,358 @@
+//! Sampling engines.
+//!
+//! Four engines execute the same [`SamplingApp`](crate::api::SamplingApp):
+//!
+//! * [`nextdoor`] — the paper's contribution: transit-parallel execution
+//!   with a GPU-built scheduling index, three load-balanced kernel classes
+//!   and per-class caching (§6).
+//! * [`sp`] — the optimised sample-parallel baseline of §5.1/§8.2 ("SP").
+//! * [`tp`] — the vanilla transit-parallel baseline of §5.2 ("TP"): map
+//!   inversion plus one thread block per transit, no load balancing.
+//! * [`cpu`] — a sequential host reference used as the correctness oracle.
+//!
+//! All four produce **bit-identical samples** for the same `(graph, app,
+//! initial samples, seed)` because every random draw is keyed by its logical
+//! coordinate `(sample, step, slot)`, never by thread or execution order.
+
+pub(crate) mod collective;
+pub mod cpu;
+pub(crate) mod driver;
+pub(crate) mod kernels;
+pub mod nextdoor;
+pub mod scheduling;
+pub mod sp;
+pub mod tp;
+pub mod unique;
+
+use crate::api::{
+    EdgeCost, EdgeSource, NextCtx, RngStream, SamplingApp, SamplingType, Steps, NULL_VERTEX,
+};
+use crate::store::SampleStore;
+use nextdoor_gpu::lane::LaneTrace;
+use nextdoor_gpu::Counters;
+use nextdoor_graph::{Csr, VertexId};
+
+/// Salt mixed into the seed for `stepTransits` draws so that they never
+/// collide with `next` draws.
+pub(crate) const TRANSIT_SEED_SALT: u64 = 0x7452_414E_5349_5453; // "TRANSITS"
+
+/// Result of running a sampling application on an engine.
+pub struct RunResult {
+    /// All sample contents (both output formats are available on the store).
+    pub store: SampleStore,
+    /// Timing and counter statistics.
+    pub stats: EngineStats,
+}
+
+/// Timing breakdown and simulator counters for one run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// End-to-end time in milliseconds (simulated for GPU engines,
+    /// wall-clock for the CPU reference).
+    pub total_ms: f64,
+    /// Time spent executing sampling kernels.
+    pub sampling_ms: f64,
+    /// Time spent building the scheduling index (map inversion, sort, scan;
+    /// Figure 6's second component). Zero for SP and CPU.
+    pub scheduling_ms: f64,
+    /// Simulator counter deltas for the run (empty for the CPU reference).
+    pub counters: Counters,
+    /// Steps actually executed.
+    pub steps_run: usize,
+}
+
+/// The per-step execution plan shared by every engine.
+pub(crate) struct StepPlan {
+    /// Step index.
+    pub step: usize,
+    /// `sampleSize(step)` — the paper's `mᵢ`.
+    pub m: usize,
+    /// Transits per sample at this step.
+    pub tps: usize,
+    /// Output slots per sample: `tps * m` (individual) or `m` (collective).
+    pub slots: usize,
+    /// Transit of each `(sample, transit_idx)`, `NULL_VERTEX` when the
+    /// sample has terminated; length `num_samples * tps`.
+    pub transits: Vec<VertexId>,
+    /// Number of live (non-NULL) transit entries.
+    pub live: usize,
+}
+
+/// Computes the step plan: sizes plus the `stepTransits` values.
+pub(crate) fn plan_step(
+    app: &dyn SamplingApp,
+    store: &SampleStore,
+    step: usize,
+    seed: u64,
+) -> StepPlan {
+    let init_len = store.initial(0).len();
+    let tps = app.num_transits(step, init_len);
+    let m = app.sample_size(step);
+    let slots = match app.sampling_type() {
+        SamplingType::Individual => tps * m,
+        SamplingType::Collective => m,
+    };
+    let ns = store.num_samples();
+    let mut transits = vec![NULL_VERTEX; ns * tps];
+    let mut live = 0;
+    for s in 0..ns {
+        let view = store.view(s, step);
+        for t in 0..tps {
+            let mut rng = RngStream::new(seed ^ TRANSIT_SEED_SALT, s, step, t);
+            let v = app.step_transit(step, &view, t, &mut rng);
+            if v != NULL_VERTEX {
+                live += 1;
+            }
+            transits[s * tps + t] = v;
+        }
+    }
+    StepPlan {
+        step,
+        m,
+        tps,
+        slots,
+        transits,
+        live,
+    }
+}
+
+/// Number of steps to attempt.
+pub(crate) fn step_budget(app: &dyn SamplingApp) -> usize {
+    match app.steps() {
+        Steps::Fixed(k) => k,
+        Steps::Infinite => app.max_steps_cap(),
+    }
+}
+
+/// Runs `next` for one individual-transit slot, returning the sampled
+/// vertex (or `NULL_VERTEX`) and any application edges it recorded.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_next_individual(
+    app: &dyn SamplingApp,
+    graph: &Csr,
+    store: &SampleStore,
+    plan: &StepPlan,
+    sample: usize,
+    tidx: usize,
+    j: usize,
+    seed: u64,
+    cost: EdgeCost,
+    cached_len: usize,
+    cols_base: u64,
+    trace: Option<&mut LaneTrace>,
+) -> (VertexId, Vec<(VertexId, VertexId)>) {
+    let transit = plan.transits[sample * plan.tps + tidx];
+    debug_assert_ne!(transit, NULL_VERTEX);
+    let slot = tidx * plan.m + j;
+    let view = store.view(sample, plan.step);
+    let transit_slice = [transit];
+    let mut ctx = NextCtx {
+        step: plan.step,
+        sample_id: sample,
+        slot,
+        graph,
+        source: EdgeSource::Transit { transit },
+        transits: &transit_slice,
+        view: &view,
+        rng: RngStream::new(seed, sample, plan.step, slot),
+        cost,
+        cached_len,
+        trace,
+        graph_cols_base: cols_base,
+        new_edges: Vec::new(),
+    };
+    let v = app.next(&mut ctx).unwrap_or(NULL_VERTEX);
+    let edges = ctx.take_new_edges();
+    (v, edges)
+}
+
+/// Runs `next` for one collective-transit slot over a prebuilt combined
+/// neighbourhood.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_next_collective(
+    app: &dyn SamplingApp,
+    graph: &Csr,
+    store: &SampleStore,
+    plan: &StepPlan,
+    sample: usize,
+    j: usize,
+    combined: &[VertexId],
+    combined_base: u64,
+    transits: &[VertexId],
+    seed: u64,
+    trace: Option<&mut LaneTrace>,
+) -> (VertexId, Vec<(VertexId, VertexId)>) {
+    let view = store.view(sample, plan.step);
+    let mut ctx = NextCtx {
+        step: plan.step,
+        sample_id: sample,
+        slot: j,
+        graph,
+        source: EdgeSource::Combined {
+            vertices: combined,
+            base_addr: combined_base,
+        },
+        transits,
+        view: &view,
+        rng: RngStream::new(seed, sample, plan.step, j),
+        cost: EdgeCost::Global,
+        cached_len: 0,
+        trace,
+        graph_cols_base: 0x2000,
+        new_edges: Vec::new(),
+    };
+    let v = app.next(&mut ctx).unwrap_or(NULL_VERTEX);
+    let edges = ctx.take_new_edges();
+    (v, edges)
+}
+
+/// Builds the combined neighbourhood of a sample: the concatenated
+/// adjacency lists of its live transits, in transit order. All engines use
+/// this same functional definition.
+pub(crate) fn build_combined(graph: &Csr, transits: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    for &t in transits {
+        if t != NULL_VERTEX {
+            out.extend_from_slice(graph.neighbors(t));
+        }
+    }
+    out
+}
+
+/// Applies post-step bookkeeping common to every engine: root updates and
+/// application-edge recording, then appends the step to the store.
+pub(crate) fn finish_step(
+    app: &dyn SamplingApp,
+    store: &mut SampleStore,
+    plan: &StepPlan,
+    values: Vec<VertexId>,
+    edges: Vec<Vec<(VertexId, VertexId)>>,
+) {
+    let ns = store.num_samples();
+    for (s, es) in edges.into_iter().enumerate() {
+        store.add_edges(s, es);
+    }
+    // Root updates (multi-dimensional random walks replace the chosen root).
+    for s in 0..ns {
+        for t in 0..plan.tps {
+            let transit = plan.transits[s * plan.tps + t];
+            if transit == NULL_VERTEX {
+                continue;
+            }
+            for j in 0..plan.m {
+                let idx = match app.sampling_type() {
+                    SamplingType::Individual => s * plan.slots + t * plan.m + j,
+                    SamplingType::Collective => s * plan.slots + j,
+                };
+                let v = values[idx];
+                if v != NULL_VERTEX {
+                    let mut roots = std::mem::take(store.roots_of_mut(s));
+                    app.update_roots(&mut roots, plan.step, transit, v);
+                    *store.roots_of_mut(s) = roots;
+                }
+            }
+            if matches!(app.sampling_type(), SamplingType::Collective) {
+                break;
+            }
+        }
+    }
+    store.record_step(plan.slots, values);
+}
+
+/// Picks `num_samples` initial samples of one random vertex each, the
+/// default initial-sample policy mentioned in §4.1.
+pub fn initial_samples_random(
+    graph: &Csr,
+    num_samples: usize,
+    vertices_per_sample: usize,
+    seed: u64,
+) -> Vec<Vec<VertexId>> {
+    let n = graph.num_vertices() as u32;
+    assert!(n > 0, "empty graph");
+    (0..num_samples)
+        .map(|s| {
+            (0..vertices_per_sample)
+                .map(|i| nextdoor_gpu::rng::rand_range(seed, s as u64, i as u64, n))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Steps;
+    use nextdoor_graph::gen::ring_lattice;
+
+    struct UniformWalk;
+    impl SamplingApp for UniformWalk {
+        fn name(&self) -> &'static str {
+            "uniform-walk"
+        }
+        fn steps(&self) -> Steps {
+            Steps::Fixed(3)
+        }
+        fn sample_size(&self, _s: usize) -> usize {
+            1
+        }
+        fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+            let d = ctx.num_edges();
+            if d == 0 {
+                return None;
+            }
+            let i = ctx.rand_range(d);
+            Some(ctx.src_edge(i))
+        }
+    }
+
+    #[test]
+    fn plan_step_counts_live_transits() {
+        let g = ring_lattice(16, 2, 0);
+        let store = SampleStore::new(vec![vec![0], vec![5]]);
+        let plan = plan_step(&UniformWalk, &store, 0, 42);
+        assert_eq!(plan.tps, 1);
+        assert_eq!(plan.m, 1);
+        assert_eq!(plan.slots, 1);
+        assert_eq!(plan.live, 2);
+        assert_eq!(plan.transits, vec![0, 5]);
+        let _ = g;
+    }
+
+    #[test]
+    fn run_next_is_deterministic_across_cost_classes() {
+        let g = ring_lattice(16, 2, 0);
+        let store = SampleStore::new(vec![vec![0]]);
+        let plan = plan_step(&UniformWalk, &store, 0, 42);
+        let (v1, _) = run_next_individual(
+            &UniformWalk, &g, &store, &plan, 0, 0, 0, 7, EdgeCost::Global, 0, 0, None,
+        );
+        let (v2, _) = run_next_individual(
+            &UniformWalk, &g, &store, &plan, 0, 0, 0, 7, EdgeCost::Shared, 999, 0, None,
+        );
+        assert_eq!(v1, v2, "cost class must not affect the sampled value");
+        assert!(g.neighbors(0).contains(&v1));
+    }
+
+    #[test]
+    fn build_combined_concatenates_live_transits() {
+        let g = ring_lattice(8, 1, 0);
+        let c = build_combined(&g, &[0, NULL_VERTEX, 2]);
+        let mut expect = g.neighbors(0).to_vec();
+        expect.extend_from_slice(g.neighbors(2));
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn initial_samples_shape_and_determinism() {
+        let g = ring_lattice(32, 2, 0);
+        let a = initial_samples_random(&g, 5, 3, 9);
+        let b = initial_samples_random(&g, 5, 3, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|s| s.len() == 3));
+        assert!(a
+            .iter()
+            .flatten()
+            .all(|&v| (v as usize) < g.num_vertices()));
+    }
+}

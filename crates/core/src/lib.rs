@@ -1,0 +1,62 @@
+//! NextDoor: transit-parallel graph sampling on (simulated) GPUs.
+//!
+//! This crate implements the core contribution of *"Accelerating Graph
+//! Sampling for Graph Machine Learning using GPUs"* (EuroSys 2021):
+//!
+//! * the high-level **graph sampling abstraction** (§3) and programming API
+//!   (§4) — [`api::SamplingApp`], [`api::NextCtx`];
+//! * the **transit-parallel engine** with per-step scheduling index,
+//!   three load-balanced kernel classes and adjacency caching (§6) —
+//!   [`engine::nextdoor::run_nextdoor`];
+//! * the **SP** and vanilla **TP** comparison engines (§5) and a sequential
+//!   CPU oracle — [`engine::sp`], [`engine::tp`], [`engine::cpu`];
+//! * **collective transit sampling** (§6.2), **unique neighbours** (§6.3),
+//!   **multi-GPU sampling** (§6.4) — [`multi_gpu`] — and the
+//!   **out-of-GPU-memory mode** for large graphs (§8.4) — [`large_graph`].
+//!
+//! All engines produce bit-identical samples for the same inputs; they
+//! differ (and are measured) only in how they schedule work on the GPU.
+//!
+//! # Examples
+//!
+//! ```
+//! use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+//! use nextdoor_core::engine::{initial_samples_random, nextdoor::run_nextdoor};
+//! use nextdoor_graph::gen::{rmat, RmatParams};
+//! use nextdoor_gpu::{Gpu, GpuSpec};
+//!
+//! struct UniformWalk;
+//! impl SamplingApp for UniformWalk {
+//!     fn name(&self) -> &'static str { "uniform-walk" }
+//!     fn steps(&self) -> Steps { Steps::Fixed(4) }
+//!     fn sample_size(&self, _step: usize) -> usize { 1 }
+//!     fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+//!         let d = ctx.num_edges();
+//!         if d == 0 { return None; }
+//!         let i = ctx.rand_range(d);
+//!         Some(ctx.src_edge(i))
+//!     }
+//! }
+//!
+//! let graph = rmat(8, 1000, RmatParams::SKEWED, 1);
+//! let init = initial_samples_random(&graph, 32, 1, 7);
+//! let mut gpu = Gpu::new(GpuSpec::small());
+//! let result = run_nextdoor(&mut gpu, &graph, &UniformWalk, &init, 42);
+//! assert_eq!(result.store.num_samples(), 32);
+//! ```
+
+pub mod api;
+pub mod engine;
+pub mod gpu_graph;
+pub mod large_graph;
+pub mod multi_gpu;
+pub mod store;
+
+pub use api::{NextCtx, SampleView, SamplingApp, SamplingType, Steps, NULL_VERTEX};
+pub use engine::cpu::run_cpu;
+pub use engine::nextdoor::run_nextdoor;
+pub use engine::sp::run_sample_parallel;
+pub use engine::tp::run_vanilla_tp;
+pub use engine::{initial_samples_random, EngineStats, RunResult};
+pub use gpu_graph::GpuGraph;
+pub use store::SampleStore;

@@ -1,0 +1,98 @@
+//! Deterministic synthetic vertex features and labels.
+//!
+//! The paper's datasets ship with real features; for timing experiments
+//! only the tensor *shapes* matter, so features are generated from a hash
+//! of the vertex id. Labels are derived from features so that training has
+//! signal to fit (useful for smoke-testing that learning actually works).
+
+use nextdoor_gpu::rng;
+use nextdoor_graph::VertexId;
+
+use crate::tensor::Matrix;
+
+/// Deterministic feature vector of `dim` entries for vertex `v`.
+pub fn vertex_features(v: VertexId, dim: usize, seed: u64) -> Vec<f32> {
+    (0..dim)
+        .map(|i| rng::rand_f32(seed, v as u64, i as u64) * 2.0 - 1.0)
+        .collect()
+}
+
+/// Deterministic label in `[0, classes)` for vertex `v`, correlated with
+/// its features (the sign pattern of the first few entries).
+pub fn vertex_label(v: VertexId, classes: usize, seed: u64) -> usize {
+    let f = vertex_features(v, 4, seed);
+    let mut bits = 0usize;
+    for (i, &x) in f.iter().enumerate() {
+        if x > 0.0 {
+            bits |= 1 << i;
+        }
+    }
+    bits % classes
+}
+
+/// Stacks the features of `vertices` into a `(len, dim)` matrix.
+pub fn feature_matrix(vertices: &[VertexId], dim: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(vertices.len(), dim, |r, c| {
+        rng::rand_f32(seed, vertices[r] as u64, c as u64) * 2.0 - 1.0
+    })
+}
+
+/// Mean of each sample's sampled-vertex features: a `(num_samples, dim)`
+/// matrix. This is the mean-aggregation step of GraphSAGE applied to the
+/// sampled neighbourhood.
+pub fn mean_aggregate(samples: &[Vec<VertexId>], dim: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(samples.len(), dim, |r, c| {
+        let s = &samples[r];
+        if s.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for &v in s {
+            acc += rng::rand_f32(seed, v as u64, c as u64) * 2.0 - 1.0;
+        }
+        acc / s.len() as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_deterministic_and_bounded() {
+        let a = vertex_features(5, 16, 1);
+        let b = vertex_features(5, 16, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert_ne!(a, vertex_features(6, 16, 1));
+    }
+
+    #[test]
+    fn labels_in_range_and_distributed() {
+        let mut counts = [0usize; 4];
+        for v in 0..1000u32 {
+            counts[vertex_label(v, 4, 7)] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            assert!(n > 100, "class {c} underrepresented: {n}");
+        }
+    }
+
+    #[test]
+    fn feature_matrix_matches_vectors() {
+        let m = feature_matrix(&[3, 9], 8, 2);
+        assert_eq!(m.row(0), vertex_features(3, 8, 2).as_slice());
+        assert_eq!(m.row(1), vertex_features(9, 8, 2).as_slice());
+    }
+
+    #[test]
+    fn mean_aggregate_averages() {
+        let m = mean_aggregate(&[vec![1, 1]], 4, 3);
+        let f = vertex_features(1, 4, 3);
+        for c in 0..4 {
+            assert!((m.get(0, c) - f[c]).abs() < 1e-6);
+        }
+        let empty = mean_aggregate(&[vec![]], 4, 3);
+        assert_eq!(empty.row(0), &[0.0; 4]);
+    }
+}

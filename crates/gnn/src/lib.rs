@@ -1,0 +1,32 @@
+//! Minimal GNN training substrate.
+//!
+//! The paper's Table 1 measures what fraction of a training epoch existing
+//! GNNs spend in (CPU) graph sampling, and Table 5 the end-to-end speedup
+//! from swapping NextDoor in as the sampler. Reproducing those requires a
+//! trainer whose per-batch compute is real and whose sampler is pluggable —
+//! not a state-of-the-art GNN. This crate provides:
+//!
+//! * [`tensor`] — a small dense matrix type with the matmul/activation/
+//!   softmax kernels mini-batch training needs;
+//! * [`features`] — deterministic synthetic vertex features and labels (the
+//!   datasets' real features are not available, and only the *compute
+//!   shape* matters for timing);
+//! * [`model`] — a two-layer GraphSAGE-style network (mean aggregation of
+//!   sampled neighbourhoods, two linear layers, softmax cross-entropy) with
+//!   full backpropagation;
+//! * [`train`] — the epoch loop with pluggable samplers and a
+//!   sampling-vs-training time breakdown.
+//!
+//! Training compute runs on the host; a documented calibration constant
+//! ([`train::GPU_TRAIN_SPEEDUP`]) converts it to an estimated GPU training
+//! time, since the paper's baselines train on the V100 while sampling on
+//! the CPU.
+
+pub mod features;
+pub mod model;
+pub mod tensor;
+pub mod train;
+
+pub use model::GraphSageModel;
+pub use tensor::Matrix;
+pub use train::{EpochBreakdown, Trainer};

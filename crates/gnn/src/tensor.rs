@@ -1,0 +1,290 @@
+//! Dense row-major matrices and the handful of kernels training needs.
+
+use nextdoor_gpu::rng;
+
+/// A dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a per-entry function.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Deterministic He-style initialisation keyed by `seed`.
+    pub fn he_init(rows: usize, cols: usize, seed: u64) -> Self {
+        let scale = (2.0 / rows as f32).sqrt();
+        Matrix::from_fn(rows, cols, |r, c| {
+            let u = rng::rand_f32(seed, (r * cols + c) as u64, 1);
+            (u * 2.0 - 1.0) * scale
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self × other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(r);
+                let out_row = out.row_mut(k);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            for c in 0..other.rows {
+                let mut acc = 0.0;
+                for (a, b) in self.row(r).iter().zip(other.row(c)) {
+                    acc += a * b;
+                }
+                *out.get_mut(r, c) = acc;
+            }
+        }
+        out
+    }
+
+    /// In-place ReLU; returns the pre-activation mask for backprop.
+    pub fn relu_in_place(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|v| {
+                let active = *v > 0.0;
+                if !active {
+                    *v = 0.0;
+                }
+                active
+            })
+            .collect()
+    }
+
+    /// Zeroes entries whose mask bit is false (ReLU backward).
+    pub fn apply_mask(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.data.len(), "mask length mismatch");
+        for (v, &m) in self.data.iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Row-wise softmax in place.
+    pub fn softmax_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let max = row.iter().cloned().fold(f32::MIN, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+
+    /// `self -= lr * grad` (SGD step).
+    pub fn sgd_step(&mut self, grad: &Matrix, lr: f32) {
+        assert_eq!(self.rows, grad.rows, "gradient shape mismatch");
+        assert_eq!(self.cols, grad.cols, "gradient shape mismatch");
+        for (w, g) in self.data.iter_mut().zip(&grad.data) {
+            *w -= lr * g;
+        }
+    }
+
+    /// Scales every entry.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+/// Mean cross-entropy of softmax `probs` against integer `labels`, and the
+/// pre-softmax gradient `(probs - onehot) / n`.
+pub fn cross_entropy(probs: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(probs.rows(), labels.len(), "one label per row");
+    let n = labels.len() as f32;
+    let mut grad = probs.clone();
+    let mut loss = 0.0;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < probs.cols(), "label out of range");
+        loss -= probs.get(r, y).max(1e-12).ln();
+        *grad.get_mut(r, y) -= 1.0;
+    }
+    grad.scale(1.0 / n);
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        // First row of a is [0,1,2]; first col of b is [0,2,4].
+        assert_eq!(c.get(0, 0), 10.0);
+        assert_eq!(c.get(1, 1), 40.0);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f32 + 1.0);
+        let t = a.t_matmul(&b);
+        // aᵀ is 2x3, so the result is 2x4.
+        assert_eq!((t.rows(), t.cols()), (2, 4));
+        let explicit = Matrix::from_fn(2, 3, |r, c| a.get(c, r)).matmul(&b);
+        assert_eq!(t, explicit);
+
+        let c = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let d = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let m = c.matmul_t(&d);
+        let explicit = c.matmul(&Matrix::from_fn(2, 3, |r, cc| d.get(cc, r)));
+        assert_eq!(m, explicit);
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut m = Matrix::from_fn(1, 4, |_, c| c as f32 - 2.0);
+        let mask = m.relu_in_place();
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(mask, vec![false, false, false, true]);
+        let mut g = Matrix::from_fn(1, 4, |_, _| 1.0);
+        g.apply_mask(&mask);
+        assert_eq!(g.row(0), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalise() {
+        let mut m = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        m.softmax_rows();
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(m.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_points_down() {
+        let mut logits = Matrix::from_fn(1, 3, |_, c| c as f32);
+        logits.softmax_rows();
+        let (loss, grad) = cross_entropy(&logits, &[2]);
+        assert!(loss > 0.0);
+        assert!(grad.get(0, 2) < 0.0, "true class pushed up");
+        assert!(grad.get(0, 0) > 0.0, "wrong classes pushed down");
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut w = Matrix::zeros(1, 2);
+        let g = Matrix::from_fn(1, 2, |_, c| if c == 0 { 1.0 } else { -1.0 });
+        w.sgd_step(&g, 0.5);
+        assert_eq!(w.row(0), &[-0.5, 0.5]);
+    }
+
+    #[test]
+    fn he_init_is_deterministic_and_bounded() {
+        let a = Matrix::he_init(16, 8, 3);
+        let b = Matrix::he_init(16, 8, 3);
+        assert_eq!(a, b);
+        let scale = (2.0f32 / 16.0).sqrt();
+        assert!(a.row(0).iter().all(|v| v.abs() <= scale));
+        assert_ne!(a, Matrix::he_init(16, 8, 4));
+    }
+}

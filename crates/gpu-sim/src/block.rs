@@ -1,0 +1,175 @@
+//! Thread-block execution context.
+
+use crate::counters::Counters;
+use crate::spec::{CostModel, GpuSpec};
+use crate::warp::{SharedArray, WarpCtx, WarpStats, WARP_SIZE};
+
+/// Accumulated cost of one thread block.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BlockStats {
+    pub pipeline_cycles: f64,
+    pub mem_bw_cycles: f64,
+    pub mem_requests: u64,
+    pub counters: Counters,
+    pub shared_words_used: usize,
+}
+
+/// Execution context of one thread block.
+///
+/// Warps inside a block run to completion one after another; cross-warp
+/// communication through shared memory must therefore be structured in
+/// *phases* separated by [`BlockCtx::syncthreads`] — e.g. all warps
+/// cooperatively load an adjacency list, barrier, then all warps sample
+/// from it. This matches how the NextDoor kernels are organised.
+pub struct BlockCtx<'a> {
+    /// Index of this block within the grid.
+    pub block_idx: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) spec: &'a GpuSpec,
+    pub(crate) shared: Vec<u32>,
+    pub(crate) shared_used: usize,
+    pub(crate) stats: BlockStats,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(block_idx: usize, block_dim: usize, spec: &'a GpuSpec) -> Self {
+        BlockCtx {
+            block_idx,
+            block_dim,
+            cost: &spec.cost,
+            spec,
+            shared: Vec::new(),
+            shared_used: 0,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Number of warps in this block.
+    pub fn num_warps(&self) -> usize {
+        self.block_dim.div_ceil(WARP_SIZE)
+    }
+
+    /// Attempts to allocate `words` 32-bit words of shared memory.
+    ///
+    /// Returns `None` when the block's shared-memory budget would be
+    /// exceeded — the caller then falls back to global memory, exactly like
+    /// NextDoor "transparently loads neighbors from global memory" when an
+    /// adjacency list does not fit (§6.1.2).
+    pub fn shared_alloc(&mut self, words: usize) -> Option<SharedArray> {
+        let bytes = (self.shared_used + words) * 4;
+        if bytes > self.spec.shared_mem_per_block {
+            return None;
+        }
+        let offset = self.shared_used;
+        self.shared_used += words;
+        if self.shared.len() < self.shared_used {
+            self.shared.resize(self.shared_used, 0);
+        }
+        self.stats.shared_words_used = self.stats.shared_words_used.max(self.shared_used);
+        Some(SharedArray {
+            offset,
+            len: words,
+        })
+    }
+
+    /// Remaining shared-memory words available to this block.
+    pub fn shared_words_free(&self) -> usize {
+        self.spec.shared_mem_per_block / 4 - self.shared_used
+    }
+
+    /// Runs `f` once per warp of the block, accumulating each warp's cost.
+    pub fn for_each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx<'_>)) {
+        for w in 0..self.num_warps() {
+            self.with_warp(w, &mut f);
+        }
+    }
+
+    /// Runs `f` for a single warp `w` of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.num_warps()`.
+    pub fn with_warp(&mut self, w: usize, f: &mut impl FnMut(&mut WarpCtx<'_>)) {
+        assert!(w < self.num_warps(), "warp index out of range");
+        let mut ws = WarpStats::default();
+        {
+            let mut ctx = WarpCtx {
+                block_idx: self.block_idx,
+                warp_in_block: w,
+                block_dim: self.block_dim,
+                cost: self.cost,
+                shared: &mut self.shared,
+                stats: &mut ws,
+            };
+            f(&mut ctx);
+        }
+        self.stats.pipeline_cycles += ws.pipeline_cycles;
+        self.stats.mem_bw_cycles += ws.mem_bw_cycles;
+        self.stats.mem_requests += ws.mem_requests;
+        self.stats.counters.merge(&ws.counters);
+    }
+
+    /// Block-wide barrier (`__syncthreads`).
+    pub fn syncthreads(&mut self) {
+        self.stats.counters.barriers += 1;
+        self.stats.pipeline_cycles += self.cost.syncthreads_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+
+    #[test]
+    fn warp_count_rounds_up() {
+        let spec = GpuSpec::small();
+        let b = BlockCtx::new(0, 33, &spec);
+        assert_eq!(b.num_warps(), 2);
+        let b = BlockCtx::new(0, 32, &spec);
+        assert_eq!(b.num_warps(), 1);
+    }
+
+    #[test]
+    fn shared_alloc_respects_budget() {
+        let mut spec = GpuSpec::small();
+        spec.shared_mem_per_block = 64; // 16 words
+        let mut b = BlockCtx::new(0, 32, &spec);
+        let a = b.shared_alloc(10).expect("fits");
+        assert_eq!(a.len(), 10);
+        assert_eq!(b.shared_words_free(), 6);
+        assert!(b.shared_alloc(10).is_none(), "over budget");
+        assert!(b.shared_alloc(6).is_some(), "exactly fits");
+    }
+
+    #[test]
+    fn for_each_warp_visits_all() {
+        let spec = GpuSpec::small();
+        let mut b = BlockCtx::new(3, 128, &spec);
+        let mut seen = Vec::new();
+        b.for_each_warp(|w| {
+            assert_eq!(w.block_idx, 3);
+            seen.push(w.warp_in_block);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn warp_costs_accumulate_into_block() {
+        let spec = GpuSpec::small();
+        let mut b = BlockCtx::new(0, 64, &spec);
+        b.for_each_warp(|w| w.charge_compute(5));
+        assert_eq!(b.stats.counters.compute_ops, 10);
+        assert!(b.stats.pipeline_cycles >= 10.0);
+    }
+
+    #[test]
+    fn syncthreads_counts_barrier() {
+        let spec = GpuSpec::small();
+        let mut b = BlockCtx::new(0, 64, &spec);
+        b.syncthreads();
+        assert_eq!(b.stats.counters.barriers, 1);
+    }
+}

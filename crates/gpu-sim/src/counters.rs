@@ -1,0 +1,206 @@
+//! nvprof-style performance counters.
+
+/// Counters accumulated over one or more kernel launches.
+///
+/// Field names mirror the nvprof metrics the paper reports (§8.2.1/§8.2.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// Warp-level global load requests.
+    pub gld_requests: u64,
+    /// 32-byte global load transactions (sectors).
+    pub gld_transactions: u64,
+    /// Bytes actually requested by global loads (for efficiency metrics).
+    pub gld_bytes_requested: u64,
+    /// Warp-level global store requests.
+    pub gst_requests: u64,
+    /// 32-byte global store transactions (sectors).
+    pub gst_transactions: u64,
+    /// Bytes actually requested by global stores.
+    pub gst_bytes_requested: u64,
+    /// Warp-level atomic operations on global memory.
+    pub atomics: u64,
+    /// Warp-level shared-memory loads.
+    pub shared_loads: u64,
+    /// Warp-level shared-memory stores.
+    pub shared_stores: u64,
+    /// Warp shuffle operations.
+    pub shuffles: u64,
+    /// Warp-level compute instructions.
+    pub compute_ops: u64,
+    /// RNG draws.
+    pub rand_draws: u64,
+    /// Divergent branch events (extra serialised groups within a warp).
+    pub divergent_branches: u64,
+    /// Block-wide barriers executed.
+    pub barriers: u64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Host-to-device bytes transferred.
+    pub htod_bytes: u64,
+    /// Device-to-host bytes transferred.
+    pub dtoh_bytes: u64,
+    /// Total simulated cycles (sum of kernel makespans + charged transfers).
+    pub cycles: f64,
+    /// Sum over launches of (busy SM cycles).
+    pub sm_busy_cycles: f64,
+    /// Sum over launches of (makespan × number of SMs).
+    pub sm_total_cycles: f64,
+}
+
+impl Counters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.gld_requests += other.gld_requests;
+        self.gld_transactions += other.gld_transactions;
+        self.gld_bytes_requested += other.gld_bytes_requested;
+        self.gst_requests += other.gst_requests;
+        self.gst_transactions += other.gst_transactions;
+        self.gst_bytes_requested += other.gst_bytes_requested;
+        self.atomics += other.atomics;
+        self.shared_loads += other.shared_loads;
+        self.shared_stores += other.shared_stores;
+        self.shuffles += other.shuffles;
+        self.compute_ops += other.compute_ops;
+        self.rand_draws += other.rand_draws;
+        self.divergent_branches += other.divergent_branches;
+        self.barriers += other.barriers;
+        self.launches += other.launches;
+        self.htod_bytes += other.htod_bytes;
+        self.dtoh_bytes += other.dtoh_bytes;
+        self.cycles += other.cycles;
+        self.sm_busy_cycles += other.sm_busy_cycles;
+        self.sm_total_cycles += other.sm_total_cycles;
+    }
+
+    /// Global-memory *store efficiency*: requested bytes over transferred
+    /// bytes, as a percentage. 100% means perfectly coalesced stores
+    /// (paper's Table 4).
+    pub fn gst_efficiency(&self) -> f64 {
+        if self.gst_transactions == 0 {
+            100.0
+        } else {
+            100.0 * self.gst_bytes_requested as f64 / (self.gst_transactions as f64 * 32.0)
+        }
+    }
+
+    /// Global-memory *load efficiency*, analogous to [`Self::gst_efficiency`].
+    pub fn gld_efficiency(&self) -> f64 {
+        if self.gld_transactions == 0 {
+            100.0
+        } else {
+            100.0 * self.gld_bytes_requested as f64 / (self.gld_transactions as f64 * 32.0)
+        }
+    }
+
+    /// *Multiprocessor activity*: average SM busy fraction over the whole
+    /// execution, as a percentage (paper's Table 4).
+    pub fn multiprocessor_activity(&self) -> f64 {
+        if self.sm_total_cycles == 0.0 {
+            0.0
+        } else {
+            100.0 * self.sm_busy_cycles / self.sm_total_cycles
+        }
+    }
+
+    /// Counter deltas since `before` (which must be an earlier snapshot of
+    /// the same accumulator).
+    pub fn diff(&self, before: &Counters) -> Counters {
+        Counters {
+            gld_requests: self.gld_requests - before.gld_requests,
+            gld_transactions: self.gld_transactions - before.gld_transactions,
+            gld_bytes_requested: self.gld_bytes_requested - before.gld_bytes_requested,
+            gst_requests: self.gst_requests - before.gst_requests,
+            gst_transactions: self.gst_transactions - before.gst_transactions,
+            gst_bytes_requested: self.gst_bytes_requested - before.gst_bytes_requested,
+            atomics: self.atomics - before.atomics,
+            shared_loads: self.shared_loads - before.shared_loads,
+            shared_stores: self.shared_stores - before.shared_stores,
+            shuffles: self.shuffles - before.shuffles,
+            compute_ops: self.compute_ops - before.compute_ops,
+            rand_draws: self.rand_draws - before.rand_draws,
+            divergent_branches: self.divergent_branches - before.divergent_branches,
+            barriers: self.barriers - before.barriers,
+            launches: self.launches - before.launches,
+            htod_bytes: self.htod_bytes - before.htod_bytes,
+            dtoh_bytes: self.dtoh_bytes - before.dtoh_bytes,
+            cycles: self.cycles - before.cycles,
+            sm_busy_cycles: self.sm_busy_cycles - before.sm_busy_cycles,
+            sm_total_cycles: self.sm_total_cycles - before.sm_total_cycles,
+        }
+    }
+
+    /// Total L2 read transactions. In this model every global load sector
+    /// passes through L2, matching how the paper uses the
+    /// `l2_read_transactions` metric to compare NextDoor with SP (Fig. 8).
+    pub fn l2_read_transactions(&self) -> u64 {
+        self.gld_transactions
+    }
+}
+
+/// Per-launch statistics returned by [`crate::Gpu::launch`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Name the kernel was launched under.
+    pub name: String,
+    /// Number of thread blocks.
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Simulated makespan of this launch in cycles.
+    pub cycles: f64,
+    /// Counter deltas attributable to this launch.
+    pub counters: Counters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters {
+            gld_transactions: 5,
+            cycles: 10.0,
+            ..Counters::default()
+        };
+        let b = Counters {
+            gld_transactions: 7,
+            cycles: 2.5,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gld_transactions, 12);
+        assert!((a.cycles - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_efficiency_bounds() {
+        let mut c = Counters::default();
+        assert_eq!(c.gst_efficiency(), 100.0);
+        c.gst_transactions = 4;
+        c.gst_bytes_requested = 128;
+        assert!((c.gst_efficiency() - 100.0).abs() < 1e-9);
+        c.gst_transactions = 8; // same bytes, twice the sectors
+        assert!((c.gst_efficiency() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_ratio() {
+        let c = Counters {
+            sm_busy_cycles: 50.0,
+            sm_total_cycles: 100.0,
+            ..Counters::default()
+        };
+        assert!((c.multiprocessor_activity() - 50.0).abs() < 1e-9);
+        assert_eq!(Counters::default().multiprocessor_activity(), 0.0);
+    }
+
+    #[test]
+    fn l2_reads_track_gld() {
+        let c = Counters {
+            gld_transactions: 42,
+            ..Counters::default()
+        };
+        assert_eq!(c.l2_read_transactions(), 42);
+    }
+}

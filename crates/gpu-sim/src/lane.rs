@@ -1,0 +1,256 @@
+//! Per-lane traces for user-defined code.
+//!
+//! The engine cannot express a sampling application's user-defined `next`
+//! function in warp-vectorised form — it is arbitrary per-lane code (e.g.
+//! node2vec's rejection-sampling loop runs a data-dependent number of
+//! iterations). Instead, each lane records the operations it performed as a
+//! [`LaneTrace`]; [`replay_traces`] then aligns the traces of the 32 lanes
+//! position by position, coalescing memory operations that line up and
+//! charging divergence where they do not — which is precisely how lock-step
+//! SIMT hardware behaves.
+
+use crate::warp::{SectorSet, WarpCtx, WARP_SIZE};
+
+/// One operation performed by a single lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaneOp {
+    /// Global-memory read of `bytes` at virtual address `addr`.
+    GlobalLoad {
+        /// Virtual address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// Global-memory write of `bytes` at virtual address `addr`.
+    GlobalStore {
+        /// Virtual address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// Shared-memory read.
+    SharedLoad,
+    /// Shared-memory write.
+    SharedStore,
+    /// Register read via warp shuffle.
+    Shfl,
+    /// `n` ALU instructions.
+    Compute(u16),
+    /// One counter-based RNG draw.
+    Rand,
+}
+
+impl LaneOp {
+    /// Discriminant used for divergence grouping: lanes at the same trace
+    /// position executing different kinds of operation must serialise.
+    fn kind(&self) -> u8 {
+        match self {
+            LaneOp::GlobalLoad { .. } => 0,
+            LaneOp::GlobalStore { .. } => 1,
+            LaneOp::SharedLoad => 2,
+            LaneOp::SharedStore => 3,
+            LaneOp::Shfl => 4,
+            LaneOp::Compute(_) => 5,
+            LaneOp::Rand => 6,
+        }
+    }
+}
+
+/// The sequence of operations one lane performed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneTrace {
+    ops: Vec<LaneOp>,
+}
+
+impl LaneTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operation.
+    #[inline]
+    pub fn push(&mut self, op: LaneOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Clears the trace for reuse (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[LaneOp] {
+        &self.ops
+    }
+}
+
+/// Replays 32 lane traces in lock-step against `warp`, charging coalesced
+/// memory transactions, compute cycles and divergence.
+pub(crate) fn replay_traces(
+    warp: &mut WarpCtx<'_>,
+    traces: &[LaneTrace; WARP_SIZE],
+    mask: u32,
+) {
+    let max_len = (0..WARP_SIZE)
+        .filter(|l| mask & (1 << l) != 0)
+        .map(|l| traces[l].len())
+        .max()
+        .unwrap_or(0);
+    let mut lanes_alive_prev = mask.count_ones();
+    for pos in 0..max_len {
+        // Collect the ops of lanes still alive at this position.
+        let mut kinds_present = [false; 7];
+        let mut lanes_alive = 0u32;
+        for l in 0..WARP_SIZE {
+            if mask & (1 << l) != 0 && pos < traces[l].len() {
+                kinds_present[traces[l].ops[pos].kind() as usize] = true;
+                lanes_alive += 1;
+            }
+        }
+        // Lanes that ran out of ops while others continue: one divergence
+        // event per drop-off point.
+        if lanes_alive < lanes_alive_prev {
+            warp.charge_divergence(2);
+            lanes_alive_prev = lanes_alive;
+        }
+        let groups = kinds_present.iter().filter(|&&k| k).count() as u64;
+        warp.charge_divergence(groups);
+        // Charge each serialised group.
+        for kind in 0..7u8 {
+            if !kinds_present[kind as usize] {
+                continue;
+            }
+            match kind {
+                0 | 1 => {
+                    // Global load/store group: coalesce across lanes.
+                    let mut sectors = SectorSet::new();
+                    let mut active = 0u64;
+                    let mut bytes_req = 0u64;
+                    for l in 0..WARP_SIZE {
+                        if mask & (1 << l) == 0 || pos >= traces[l].len() {
+                            continue;
+                        }
+                        match traces[l].ops[pos] {
+                            LaneOp::GlobalLoad { addr, bytes }
+                                if kind == 0 =>
+                            {
+                                sectors.insert_range(addr, bytes as u64);
+                                bytes_req += bytes as u64;
+                                active += 1;
+                            }
+                            LaneOp::GlobalStore { addr, bytes }
+                                if kind == 1 =>
+                            {
+                                sectors.insert_range(addr, bytes as u64);
+                                bytes_req += bytes as u64;
+                                active += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if active == 0 {
+                        continue;
+                    }
+                    let tx = sectors.count();
+                    let c = &mut warp.stats.counters;
+                    if kind == 0 {
+                        c.gld_requests += 1;
+                        c.gld_transactions += tx;
+                        c.gld_bytes_requested += bytes_req;
+                    } else {
+                        c.gst_requests += 1;
+                        c.gst_transactions += tx;
+                        c.gst_bytes_requested += bytes_req;
+                    }
+                    warp.stats.mem_bw_cycles += tx as f64 * warp.cost.global_tx_cycles;
+                    warp.stats.mem_requests += 1;
+                }
+                2 => {
+                    warp.stats.counters.shared_loads += 1;
+                    warp.stats.pipeline_cycles += warp.cost.shared_cycles;
+                }
+                3 => {
+                    warp.stats.counters.shared_stores += 1;
+                    warp.stats.pipeline_cycles += warp.cost.shared_cycles;
+                }
+                4 => {
+                    warp.stats.counters.shuffles += 1;
+                    warp.stats.pipeline_cycles += warp.cost.shfl_cycles;
+                }
+                5 => {
+                    // Compute group: SIMT executes the widest lane's count.
+                    let mut max_n = 0u16;
+                    let mut draws = 0u64;
+                    for l in 0..WARP_SIZE {
+                        if mask & (1 << l) != 0 && pos < traces[l].len() {
+                            if let LaneOp::Compute(n) = traces[l].ops[pos] {
+                                max_n = max_n.max(n);
+                                draws += 1;
+                            }
+                        }
+                    }
+                    let _ = draws;
+                    warp.charge_compute(max_n as u64);
+                }
+                6 => {
+                    let mut draws = 0u64;
+                    for l in 0..WARP_SIZE {
+                        if mask & (1 << l) != 0 && pos < traces[l].len() {
+                            if matches!(traces[l].ops[pos], LaneOp::Rand) {
+                                draws += 1;
+                            }
+                        }
+                    }
+                    warp.stats.counters.rand_draws += draws;
+                    warp.stats.pipeline_cycles += warp.cost.rand_cycles;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_in_order() {
+        let mut t = LaneTrace::new();
+        assert!(t.is_empty());
+        t.push(LaneOp::Compute(3));
+        t.push(LaneOp::Rand);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ops()[0], LaneOp::Compute(3));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn kind_discriminants_are_distinct() {
+        let ops = [
+            LaneOp::GlobalLoad { addr: 0, bytes: 4 },
+            LaneOp::GlobalStore { addr: 0, bytes: 4 },
+            LaneOp::SharedLoad,
+            LaneOp::SharedStore,
+            LaneOp::Shfl,
+            LaneOp::Compute(1),
+            LaneOp::Rand,
+        ];
+        let mut kinds: Vec<u8> = ops.iter().map(|o| o.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), ops.len());
+    }
+}

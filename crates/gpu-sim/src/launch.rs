@@ -1,0 +1,347 @@
+//! The simulated GPU device: memory allocation and kernel launches.
+
+use std::rc::Rc;
+
+use crate::block::BlockCtx;
+use crate::counters::{Counters, KernelStats};
+use crate::mem::{DeviceBuffer, MemTracker, OutOfMemory};
+use crate::sched;
+use crate::spec::GpuSpec;
+use crate::warp::WARP_SIZE;
+
+/// Grid and block dimensions of a kernel launch (1-D, as all NextDoor
+/// kernels are).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid_dim: usize,
+    /// Threads per block (multiple of the warp size for full warps).
+    pub block_dim: usize,
+}
+
+impl LaunchConfig {
+    /// Creates a config covering at least `total_threads` with blocks of
+    /// `block_dim` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_dim` is zero or exceeds 1024.
+    pub fn grid1d(total_threads: usize, block_dim: usize) -> Self {
+        assert!(block_dim > 0, "block_dim must be positive");
+        assert!(block_dim <= 1024, "block_dim exceeds the CUDA limit");
+        LaunchConfig {
+            grid_dim: total_threads.div_ceil(block_dim),
+            block_dim,
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+}
+
+/// A simulated GPU device.
+///
+/// Owns the memory tracker and the accumulated [`Counters`]; kernels are
+/// launched with [`Gpu::launch`]. Buffers are owned by the caller so that
+/// kernels can borrow some buffers mutably and others immutably under the
+/// usual Rust rules.
+pub struct Gpu {
+    spec: GpuSpec,
+    tracker: Rc<MemTracker>,
+    counters: Counters,
+    kernel_log: Vec<KernelStats>,
+    charge_transfers: bool,
+}
+
+impl Gpu {
+    /// Creates a device with the given specification.
+    pub fn new(spec: GpuSpec) -> Self {
+        let tracker = MemTracker::new(spec.device_memory);
+        Gpu {
+            spec,
+            tracker,
+            counters: Counters::default(),
+            kernel_log: Vec::new(),
+            charge_transfers: false,
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Allocates a zero-initialised device buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when device memory is exhausted; use [`Gpu::try_alloc`] for
+    /// the fallible path (the out-of-memory experiment needs it).
+    pub fn alloc<T: Copy + Default>(&self, len: usize) -> DeviceBuffer<T> {
+        self.try_alloc(len).expect("device memory exhausted")
+    }
+
+    /// Allocates a zero-initialised device buffer, reporting exhaustion.
+    pub fn try_alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        DeviceBuffer::new(len, self.tracker.clone())
+    }
+
+    /// Copies a host slice to a fresh device buffer, charging the PCIe
+    /// transfer when transfer charging is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when device memory is exhausted.
+    pub fn to_device<T: Copy + Default>(&mut self, src: &[T]) -> DeviceBuffer<T> {
+        self.try_to_device(src).expect("device memory exhausted")
+    }
+
+    /// Fallible variant of [`Gpu::to_device`].
+    pub fn try_to_device<T: Copy + Default>(
+        &mut self,
+        src: &[T],
+    ) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        let buf = DeviceBuffer::from_slice(src, self.tracker.clone())?;
+        self.charge_htod(buf.size_bytes());
+        Ok(buf)
+    }
+
+    /// Enables or disables charging of host↔device transfer time. The paper
+    /// excludes transfer time except in the large-graph experiment (§8.4).
+    pub fn set_charge_transfers(&mut self, yes: bool) {
+        self.charge_transfers = yes;
+    }
+
+    /// Charges a host-to-device transfer of `bytes` (if charging is on).
+    pub fn charge_htod(&mut self, bytes: usize) {
+        self.counters.htod_bytes += bytes as u64;
+        if self.charge_transfers {
+            self.counters.cycles += self.spec.pcie_cycles(bytes);
+        }
+    }
+
+    /// Charges a device-to-host transfer of `bytes` (if charging is on).
+    pub fn charge_dtoh(&mut self, bytes: usize) {
+        self.counters.dtoh_bytes += bytes as u64;
+        if self.charge_transfers {
+            self.counters.cycles += self.spec.pcie_cycles(bytes);
+        }
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn mem_used(&self) -> usize {
+        self.tracker.used()
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn mem_capacity(&self) -> usize {
+        self.tracker.capacity()
+    }
+
+    /// Launches a kernel: `kernel` is invoked once per thread block.
+    ///
+    /// Returns the per-launch statistics; the same deltas are accumulated
+    /// into [`Gpu::counters`].
+    pub fn launch(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        mut kernel: impl FnMut(&mut BlockCtx<'_>),
+    ) -> KernelStats {
+        let mut launch_counters = Counters::default();
+        let mut block_times = Vec::with_capacity(cfg.grid_dim);
+        let mut max_shared_words = 0usize;
+        let warps_per_block = cfg.block_dim.div_ceil(WARP_SIZE).max(1);
+        // First pass: execute blocks functionally and collect their costs.
+        let mut raw: Vec<(f64, f64, u64)> = Vec::with_capacity(cfg.grid_dim);
+        for b in 0..cfg.grid_dim {
+            let mut ctx = BlockCtx::new(b, cfg.block_dim, &self.spec);
+            kernel(&mut ctx);
+            launch_counters.merge(&ctx.stats.counters);
+            max_shared_words = max_shared_words.max(ctx.stats.shared_words_used);
+            raw.push((
+                ctx.stats.pipeline_cycles,
+                ctx.stats.mem_bw_cycles,
+                ctx.stats.mem_requests,
+            ));
+        }
+        // Occupancy: how many blocks can an SM host at once?
+        let resident_blocks = self.resident_blocks(cfg.block_dim, max_shared_words * 4);
+        let resident_warps = (warps_per_block * resident_blocks).min(self.spec.max_warps_per_sm);
+        // Second pass: convert each block's cost components to a time,
+        // overlapping compute with memory and hiding latency behind the
+        // resident warps.
+        let cost = &self.spec.cost;
+        for &(pipeline, bw, reqs) in &raw {
+            let latency_bound = reqs as f64 * cost.global_latency / resident_warps as f64;
+            let t = pipeline.max(bw).max(latency_bound) + cost.block_overhead;
+            block_times.push(t);
+        }
+        let sch = sched::schedule(self.spec.num_sms, 1, &block_times);
+        let cycles = sch.makespan + cost.launch_overhead;
+        launch_counters.launches = 1;
+        launch_counters.cycles = cycles;
+        launch_counters.sm_busy_cycles = sch.busy;
+        launch_counters.sm_total_cycles = sch.makespan * self.spec.num_sms as f64;
+        self.counters.merge(&launch_counters);
+        let stats = KernelStats {
+            name: name.to_string(),
+            blocks: cfg.grid_dim,
+            threads_per_block: cfg.block_dim,
+            cycles,
+            counters: launch_counters,
+        };
+        self.kernel_log.push(stats.clone());
+        stats
+    }
+
+    /// Number of blocks of `block_dim` threads and `shared_bytes` of shared
+    /// memory that one SM can host concurrently.
+    fn resident_blocks(&self, block_dim: usize, shared_bytes: usize) -> usize {
+        let warps_per_block = block_dim.div_ceil(WARP_SIZE).max(1);
+        let by_warps = self.spec.max_warps_per_sm / warps_per_block;
+        let by_blocks = self.spec.max_blocks_per_sm;
+        let by_shared = if shared_bytes == 0 {
+            usize::MAX
+        } else {
+            self.spec.shared_mem_per_block / shared_bytes
+        };
+        by_warps.min(by_blocks).min(by_shared).max(1)
+    }
+
+    /// Accumulated counters over all launches and transfers.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Per-launch log, in launch order.
+    pub fn kernel_log(&self) -> &[KernelStats] {
+        &self.kernel_log
+    }
+
+    /// Total simulated time so far, in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.spec.cycles_to_ms(self.counters.cycles)
+    }
+
+    /// Resets counters and the kernel log (memory stays allocated).
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+        self.kernel_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+    use crate::warp::FULL_MASK;
+
+    #[test]
+    fn grid1d_rounds_up() {
+        let c = LaunchConfig::grid1d(100, 32);
+        assert_eq!(c.grid_dim, 4);
+        assert_eq!(c.total_threads(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "CUDA limit")]
+    fn grid1d_rejects_oversized_blocks() {
+        let _ = LaunchConfig::grid1d(10, 2048);
+    }
+
+    #[test]
+    fn simple_kernel_moves_data_and_counts() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let src = gpu.to_device(&(0u32..64).collect::<Vec<_>>());
+        let mut dst = gpu.alloc::<u32>(64);
+        let stats = gpu.launch("copy", LaunchConfig::grid1d(64, 32), |blk| {
+            blk.for_each_warp(|w| {
+                let idx = w.global_thread_ids();
+                let v = w.ld_global(&src, &idx, FULL_MASK);
+                w.st_global(&mut dst, &idx, v, FULL_MASK);
+            });
+        });
+        assert_eq!(dst.as_slice(), src.as_slice());
+        assert_eq!(stats.blocks, 2);
+        // A full warp reading 32 consecutive u32s touches 4 sectors.
+        assert_eq!(stats.counters.gld_transactions, 8);
+        assert_eq!(stats.counters.gst_transactions, 8);
+        assert!((stats.counters.gst_efficiency() - 100.0).abs() < 1e-9);
+        assert!(gpu.counters().cycles > 0.0);
+    }
+
+    #[test]
+    fn strided_access_is_uncoalesced() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let src = gpu.to_device(&vec![7u32; 32 * 32]);
+        let mut dst = gpu.alloc::<u32>(32);
+        let stats = gpu.launch("gather", LaunchConfig::grid1d(32, 32), |blk| {
+            blk.for_each_warp(|w| {
+                let idx: [usize; 32] = std::array::from_fn(|l| l * 32);
+                let out_idx = w.global_thread_ids();
+                let v = w.ld_global(&src, &idx, FULL_MASK);
+                w.st_global(&mut dst, &out_idx, v, FULL_MASK);
+            });
+        });
+        // 32 lanes × stride 128 bytes: every lane hits its own sector.
+        assert_eq!(stats.counters.gld_transactions, 32);
+        assert!(stats.counters.gld_efficiency() < 15.0);
+    }
+
+    #[test]
+    fn imbalanced_blocks_lower_activity() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let stats = gpu.launch("skew", LaunchConfig { grid_dim: 8, block_dim: 32 }, |blk| {
+            let heavy = if blk.block_idx == 0 { 10_000 } else { 10 };
+            blk.for_each_warp(|w| w.charge_compute(heavy));
+        });
+        let act = stats.counters.multiprocessor_activity();
+        assert!(act < 40.0, "activity {act} should reflect the straggler");
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let stats = gpu.launch("noop", LaunchConfig { grid_dim: 0, block_dim: 32 }, |_| {});
+        assert!((stats.cycles - gpu.spec().cost.launch_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_charging_toggle() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let _a = gpu.to_device(&vec![0u8; 1 << 20]);
+        let free_cycles = gpu.counters().cycles;
+        assert_eq!(free_cycles, 0.0, "transfers free by default");
+        gpu.set_charge_transfers(true);
+        let _b = gpu.to_device(&vec![0u8; 1 << 20]);
+        assert!(gpu.counters().cycles > 0.0);
+        assert_eq!(gpu.counters().htod_bytes, 2 << 20);
+    }
+
+    #[test]
+    fn oom_reported_and_memory_reclaimed() {
+        let mut spec = GpuSpec::small();
+        spec.device_memory = 1 << 16;
+        let gpu = Gpu::new(spec);
+        let a = gpu.try_alloc::<u8>(50_000).unwrap();
+        assert!(gpu.try_alloc::<u8>(50_000).is_err());
+        drop(a);
+        assert!(gpu.try_alloc::<u8>(50_000).is_ok());
+    }
+
+    #[test]
+    fn reset_clears_counters_not_memory() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let buf = gpu.to_device(&[1u32, 2, 3]);
+        gpu.launch("noop", LaunchConfig { grid_dim: 1, block_dim: 32 }, |blk| {
+            blk.for_each_warp(|w| w.charge_compute(1));
+        });
+        gpu.reset_counters();
+        assert_eq!(gpu.counters().cycles, 0.0);
+        assert_eq!(gpu.kernel_log().len(), 0);
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+    }
+}

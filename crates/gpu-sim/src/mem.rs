@@ -1,0 +1,217 @@
+//! Device memory: typed buffers in a virtual global address space.
+//!
+//! Buffers carry a virtual base address so the simulator can compute which
+//! 32-byte sectors a warp's accesses touch (the unit in which NVIDIA
+//! hardware counts global-memory transactions). A shared allocation tracker
+//! enforces the device-memory capacity, which the out-of-GPU-memory
+//! experiment (§8.4 of the paper) depends on.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Error returned when an allocation exceeds the remaining device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes still available on the device.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Shared allocator state: a bump address counter plus a live-bytes gauge.
+#[derive(Debug)]
+pub(crate) struct MemTracker {
+    next_addr: Cell<u64>,
+    used: Cell<usize>,
+    capacity: usize,
+}
+
+impl MemTracker {
+    pub(crate) fn new(capacity: usize) -> Rc<Self> {
+        Rc::new(MemTracker {
+            // Start well above zero so that address 0 never aliases a buffer.
+            next_addr: Cell::new(0x1000),
+            used: Cell::new(0),
+            capacity,
+        })
+    }
+
+    pub(crate) fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn reserve(&self, bytes: usize) -> Result<u64, OutOfMemory> {
+        let available = self.capacity - self.used.get();
+        if bytes > available {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.used.set(self.used.get() + bytes);
+        let base = self.next_addr.get();
+        // 256-byte alignment, matching cudaMalloc.
+        let aligned = (base + 255) & !255;
+        self.next_addr.set(aligned + bytes as u64);
+        Ok(aligned)
+    }
+
+    fn release(&self, bytes: usize) {
+        self.used.set(self.used.get() - bytes);
+    }
+}
+
+/// A typed buffer in simulated device global memory.
+///
+/// Element type is constrained to `Copy` plain data; the simulator's kernels
+/// use `u32`, `u64`, `f32` and `usize`. The backing store is host memory —
+/// reads and writes through [`crate::WarpCtx`] are charged simulated
+/// transactions, while [`DeviceBuffer::as_slice`] is the un-charged
+/// "cudaMemcpy back to host and inspect" path used by tests and by result
+/// extraction.
+#[derive(Debug)]
+pub struct DeviceBuffer<T: Copy> {
+    base: u64,
+    data: Vec<T>,
+    tracker: Rc<MemTracker>,
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    pub(crate) fn new(len: usize, tracker: Rc<MemTracker>) -> Result<Self, OutOfMemory> {
+        let bytes = len * std::mem::size_of::<T>();
+        let base = tracker.reserve(bytes)?;
+        Ok(DeviceBuffer {
+            base,
+            data: vec![T::default(); len],
+            tracker,
+        })
+    }
+
+    pub(crate) fn from_slice(src: &[T], tracker: Rc<MemTracker>) -> Result<Self, OutOfMemory> {
+        let bytes = std::mem::size_of_val(src);
+        let base = tracker.reserve(bytes)?;
+        Ok(DeviceBuffer {
+            base,
+            data: src.to_vec(),
+            tracker,
+        })
+    }
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Virtual address of element `idx`.
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        debug_assert!(idx <= self.data.len());
+        self.base + (idx * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Host view of the contents (the "copy back and inspect" path; not
+    /// charged as simulated traffic).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable host view (host-side initialisation; not charged).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Reads element `idx` (device-side; the caller charges the access).
+    #[inline]
+    pub(crate) fn read(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    /// Writes element `idx` (device-side; the caller charges the access).
+    #[inline]
+    pub(crate) fn write(&mut self, idx: usize, v: T) {
+        self.data[idx] = v;
+    }
+}
+
+impl<T: Copy> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.tracker.release(self.size_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> Rc<MemTracker> {
+        MemTracker::new(1 << 20)
+    }
+
+    #[test]
+    fn alloc_zeroed_and_addressed() {
+        let t = tracker();
+        let b = DeviceBuffer::<u32>::new(16, t.clone()).unwrap();
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.as_slice(), &[0u32; 16]);
+        assert_eq!(b.addr_of(0) % 256, 0, "allocations are 256-byte aligned");
+        assert_eq!(b.addr_of(4) - b.addr_of(0), 16);
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_overlap() {
+        let t = tracker();
+        let a = DeviceBuffer::<u32>::new(100, t.clone()).unwrap();
+        let b = DeviceBuffer::<u32>::new(100, t.clone()).unwrap();
+        let a_end = a.addr_of(100);
+        assert!(b.addr_of(0) >= a_end);
+    }
+
+    #[test]
+    fn capacity_enforced_and_released_on_drop() {
+        let t = MemTracker::new(1024);
+        let a = DeviceBuffer::<u8>::new(800, t.clone()).unwrap();
+        let err = DeviceBuffer::<u8>::new(800, t.clone()).unwrap_err();
+        assert_eq!(err.requested, 800);
+        assert_eq!(err.available, 224);
+        assert!(err.to_string().contains("out of memory"));
+        drop(a);
+        assert_eq!(t.used(), 0);
+        let _b = DeviceBuffer::<u8>::new(800, t.clone()).unwrap();
+        assert_eq!(t.used(), 800);
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let t = tracker();
+        let b = DeviceBuffer::from_slice(&[1u32, 2, 3], t).unwrap();
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Counter-based (stateless) random numbers for kernels.
+//!
+//! GPU kernels cannot carry sequential RNG state across threads, so — like
+//! Philox in cuRAND — the simulator derives every draw from a key: a short
+//! SplitMix64 hash chain over `(seed, key, salt)`. Because draws are keyed
+//! by *logical* identifiers (sample id, step, slot) rather than by execution
+//! order, every engine (transit-parallel, sample-parallel, CPU reference)
+//! produces bit-identical samples. The workspace's equivalence tests rely
+//! on this.
+
+/// SplitMix64 finalising mix.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a `(seed, key, salt)` triple into 64 uniform bits.
+#[inline]
+pub fn hash3(seed: u64, key: u64, salt: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ key.wrapping_mul(0xD6E8FEB86659FD93)) ^ salt)
+}
+
+/// One 32-bit uniform draw.
+#[inline]
+pub fn rand_u32(seed: u64, key: u64, salt: u64) -> u32 {
+    (hash3(seed, key, salt) >> 32) as u32
+}
+
+/// One uniform draw in `[0, 1)`.
+#[inline]
+pub fn rand_f32(seed: u64, key: u64, salt: u64) -> f32 {
+    (rand_u32(seed, key, salt) >> 8) as f32 / (1u32 << 24) as f32
+}
+
+/// One uniform draw in `[0, n)` via the multiply-shift range reduction.
+///
+/// Returns 0 when `n == 0` so callers can treat empty ranges uniformly.
+#[inline]
+pub fn rand_range(seed: u64, key: u64, salt: u64, n: u32) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    ((rand_u32(seed, key, salt) as u64 * n as u64) >> 32) as u32
+}
+
+/// Packs a `(sample, step, slot)` logical coordinate into an RNG key.
+///
+/// Sampling engines use this to guarantee engine-independent draws: the key
+/// depends only on which logical decision is being made, never on which
+/// thread makes it.
+#[inline]
+pub fn sample_key(sample: u64, step: u64, slot: u64) -> u64 {
+    sample
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(step.wrapping_mul(0xC2B2AE3D27D4EB4F))
+        .wrapping_add(slot.wrapping_mul(0x165667B19E3779F9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(rand_u32(1, 2, 3), rand_u32(1, 2, 3));
+        assert_ne!(rand_u32(1, 2, 3), rand_u32(1, 2, 4));
+        assert_ne!(rand_u32(1, 2, 3), rand_u32(2, 2, 3));
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        for i in 0..10_000u64 {
+            let v = rand_f32(42, i, 7);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_bounds_and_zero() {
+        assert_eq!(rand_range(1, 2, 3, 0), 0);
+        for i in 0..10_000u64 {
+            let v = rand_range(9, i, 1, 17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let n = 8u32;
+        let mut counts = [0u32; 8];
+        let draws = 80_000u64;
+        for i in 0..draws {
+            counts[rand_range(123, i, 0, n) as usize] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {b} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn bits_look_independent_across_keys() {
+        // Adjacent keys should flip about half the output bits.
+        let mut total = 0u32;
+        for i in 0..1_000u64 {
+            total += (rand_u32(5, i, 0) ^ rand_u32(5, i + 1, 0)).count_ones();
+        }
+        let avg = total as f64 / 1_000.0;
+        assert!((avg - 16.0).abs() < 1.5, "avalanche average {avg}");
+    }
+
+    #[test]
+    fn sample_key_disambiguates_coordinates() {
+        assert_ne!(sample_key(1, 0, 0), sample_key(0, 1, 0));
+        assert_ne!(sample_key(1, 0, 0), sample_key(0, 0, 1));
+        assert_ne!(sample_key(2, 3, 4), sample_key(3, 2, 4));
+    }
+}

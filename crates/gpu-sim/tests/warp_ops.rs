@@ -1,0 +1,196 @@
+//! Black-box tests of the warp-level operations through the public launch
+//! API: shuffle semantics, atomic return values, divergence accounting from
+//! trace replay, and occupancy-driven behaviour.
+
+use nextdoor_gpu::lane::{LaneOp, LaneTrace};
+use nextdoor_gpu::warp::FULL_MASK;
+use nextdoor_gpu::{Gpu, GpuSpec, LaunchConfig, WARP_SIZE};
+
+fn one_warp(gpu: &mut Gpu, f: impl FnMut(&mut nextdoor_gpu::WarpCtx<'_>)) {
+    let mut f = Some(f);
+    gpu.launch(
+        "test",
+        LaunchConfig {
+            grid_dim: 1,
+            block_dim: 32,
+        },
+        move |blk| {
+            let mut g = f.take().expect("single block");
+            blk.for_each_warp(|w| g(w));
+        },
+    );
+}
+
+#[test]
+fn shfl_moves_values_between_lanes() {
+    let mut gpu = Gpu::new(GpuSpec::small());
+    one_warp(&mut gpu, |w| {
+        let vals: [u32; WARP_SIZE] = std::array::from_fn(|l| l as u32 * 10);
+        // Broadcast from lane 3.
+        let out = w.shfl(vals, &[3; WARP_SIZE], FULL_MASK);
+        assert!(out.iter().all(|&v| v == 30));
+        // Rotate by one.
+        let srcs: [usize; WARP_SIZE] = std::array::from_fn(|l| (l + 1) % WARP_SIZE);
+        let rot = w.shfl(vals, &srcs, FULL_MASK);
+        assert_eq!(rot[0], 10);
+        assert_eq!(rot[31], 0);
+    });
+    assert_eq!(gpu.counters().shuffles, 2);
+}
+
+#[test]
+fn atomic_add_serialises_conflicts_and_returns_olds() {
+    let mut gpu = Gpu::new(GpuSpec::small());
+    let mut buf = gpu.alloc::<u32>(4);
+    one_warp(&mut gpu, |w| {
+        // All 32 lanes hit slot 0: the returned "old" values must be a
+        // permutation of 0..32 and the final cell 32.
+        let olds = w.atomic_add_global(&mut buf, &[0; WARP_SIZE], [1; WARP_SIZE], FULL_MASK);
+        let mut sorted = olds;
+        sorted.sort_unstable();
+        let expect: [u32; WARP_SIZE] = std::array::from_fn(|l| l as u32);
+        assert_eq!(sorted, expect);
+    });
+    assert_eq!(buf.as_slice()[0], 32);
+    assert!(gpu.counters().atomics > 0);
+}
+
+#[test]
+fn rand_lanes_is_key_deterministic() {
+    let mut gpu = Gpu::new(GpuSpec::small());
+    let mut captured = Vec::new();
+    one_warp(&mut gpu, |w| {
+        let keys: [u64; WARP_SIZE] = std::array::from_fn(|l| l as u64);
+        captured.push(w.rand_lanes(7, &keys, 1, FULL_MASK));
+        captured.push(w.rand_lanes(7, &keys, 1, FULL_MASK));
+        captured.push(w.rand_lanes(8, &keys, 1, FULL_MASK));
+    });
+    assert_eq!(captured[0], captured[1], "same keys, same draws");
+    assert_ne!(captured[0], captured[2], "seed changes draws");
+}
+
+#[test]
+fn replay_charges_divergence_for_uneven_traces() {
+    let mut gpu = Gpu::new(GpuSpec::small());
+    one_warp(&mut gpu, |w| {
+        let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
+        // Half the lanes do 1 compute op, half do 3: some lanes drop out early.
+        for (l, t) in traces.iter_mut().enumerate() {
+            let n = if l % 2 == 0 { 1 } else { 3 };
+            for _ in 0..n {
+                t.push(LaneOp::Compute(1));
+            }
+        }
+        w.replay(&traces, FULL_MASK);
+    });
+    assert!(
+        gpu.counters().divergent_branches > 0,
+        "uneven trace lengths must register as divergence"
+    );
+}
+
+#[test]
+fn replay_coalesces_contiguous_and_splits_scattered() {
+    let spec = GpuSpec::small();
+    // Contiguous addresses: 32 x 4B = 4 sectors.
+    let mut gpu = Gpu::new(spec.clone());
+    one_warp(&mut gpu, |w| {
+        let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
+        for (l, t) in traces.iter_mut().enumerate() {
+            t.push(LaneOp::GlobalLoad {
+                addr: 0x1000 + (l as u64) * 4,
+                bytes: 4,
+            });
+        }
+        w.replay(&traces, FULL_MASK);
+    });
+    assert_eq!(gpu.counters().gld_transactions, 4);
+    // Scattered addresses: one sector per lane.
+    let mut gpu2 = Gpu::new(spec);
+    one_warp(&mut gpu2, |w| {
+        let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
+        for (l, t) in traces.iter_mut().enumerate() {
+            t.push(LaneOp::GlobalLoad {
+                addr: 0x1000 + (l as u64) * 4096,
+                bytes: 4,
+            });
+        }
+        w.replay(&traces, FULL_MASK);
+    });
+    assert_eq!(gpu2.counters().gld_transactions, 32);
+    assert!(gpu2.counters().cycles > gpu.counters().cycles);
+}
+
+#[test]
+fn mixed_op_kinds_at_same_position_serialise() {
+    let mut gpu = Gpu::new(GpuSpec::small());
+    one_warp(&mut gpu, |w| {
+        let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
+        for (l, t) in traces.iter_mut().enumerate() {
+            if l < 16 {
+                t.push(LaneOp::Rand);
+            } else {
+                t.push(LaneOp::Compute(1));
+            }
+        }
+        w.replay(&traces, FULL_MASK);
+    });
+    assert!(gpu.counters().divergent_branches >= 1);
+    assert_eq!(gpu.counters().rand_draws, 16);
+}
+
+#[test]
+fn shared_memory_round_trip_within_block() {
+    let mut gpu = Gpu::new(GpuSpec::small());
+    let mut out = gpu.alloc::<u32>(64);
+    gpu.launch(
+        "stage",
+        LaunchConfig {
+            grid_dim: 1,
+            block_dim: 64,
+        },
+        |blk| {
+            let arr = blk.shared_alloc(64).expect("fits");
+            blk.for_each_warp(|w| {
+                let tid = w.thread_ids_in_block();
+                let vals = w.lanes_from_fn(FULL_MASK, |l| (tid[l] * 3) as u32);
+                w.st_shared(&arr, &tid, vals, FULL_MASK);
+            });
+            blk.syncthreads();
+            // Warp 0 reads what warp 1 wrote (cross-warp via shared).
+            blk.for_each_warp(|w| {
+                let tid = w.thread_ids_in_block();
+                let v = w.ld_shared(&arr, &tid.map(|t| 63 - t), FULL_MASK);
+                w.st_global(&mut out, &tid, v, FULL_MASK);
+            });
+        },
+    );
+    for t in 0..64 {
+        assert_eq!(out.as_slice()[t], ((63 - t) * 3) as u32);
+    }
+}
+
+#[test]
+fn occupancy_small_grids_leave_sms_idle() {
+    let mut gpu = Gpu::new(GpuSpec::small()); // 8 SMs
+    let stats = gpu.launch(
+        "underfilled",
+        LaunchConfig {
+            grid_dim: 2,
+            block_dim: 32,
+        },
+        |blk| blk.for_each_warp(|w| w.charge_compute(1000)),
+    );
+    let act = stats.counters.multiprocessor_activity();
+    assert!(act < 30.0, "2 blocks on 8 SMs: activity {act}");
+    let stats = gpu.launch(
+        "filled",
+        LaunchConfig {
+            grid_dim: 64,
+            block_dim: 32,
+        },
+        |blk| blk.for_each_warp(|w| w.charge_compute(1000)),
+    );
+    let act = stats.counters.multiprocessor_activity();
+    assert!(act > 90.0, "64 equal blocks on 8 SMs: activity {act}");
+}

@@ -1,0 +1,131 @@
+//! Vertex clustering for ClusterGCN-style sampling.
+//!
+//! The paper's ClusterGCN experiment "randomly assigned vertices in
+//! clusters"; [`cluster_vertices`] reproduces exactly that with a
+//! deterministic hash partition.
+
+use crate::csr::{splitmix64, Csr, VertexId};
+
+/// A partition of a graph's vertices into disjoint clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<u32>,
+    members: Vec<Vec<VertexId>>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Cluster id of vertex `v`.
+    pub fn cluster_of(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Sorted member list of cluster `c`.
+    pub fn members(&self, c: u32) -> &[VertexId] {
+        &self.members[c as usize]
+    }
+
+    /// All member lists.
+    pub fn all_members(&self) -> &[Vec<VertexId>] {
+        &self.members
+    }
+}
+
+/// Randomly (but deterministically, keyed by `seed`) partitions the vertices
+/// of `g` into `num_clusters` clusters.
+///
+/// # Panics
+///
+/// Panics if `num_clusters` is zero or exceeds the vertex count.
+pub fn cluster_vertices(g: &Csr, num_clusters: usize, seed: u64) -> Clustering {
+    let n = g.num_vertices();
+    assert!(num_clusters > 0, "need at least one cluster");
+    assert!(num_clusters <= n, "more clusters than vertices");
+    let mut assignment = vec![0u32; n];
+    let mut members = vec![Vec::new(); num_clusters];
+    for v in 0..n {
+        let c = (splitmix64(seed ^ (v as u64).wrapping_mul(0xA24BAED4963EE407)) as usize
+            % num_clusters) as u32;
+        assignment[v] = c;
+        members[c as usize].push(v as VertexId);
+    }
+    // Guarantee non-empty clusters: steal one vertex for each empty cluster
+    // from the largest cluster. This keeps downstream code panic-free on
+    // tiny graphs.
+    for c in 0..num_clusters {
+        if members[c].is_empty() {
+            let donor = (0..num_clusters)
+                .max_by_key(|&d| members[d].len())
+                .expect("num_clusters > 0");
+            let v = members[donor].pop().expect("donor has >1 member");
+            assignment[v as usize] = c as u32;
+            members[c].push(v);
+        }
+    }
+    for m in &mut members {
+        m.sort_unstable();
+    }
+    Clustering {
+        assignment,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ring_lattice;
+
+    #[test]
+    fn partition_is_total_and_disjoint() {
+        let g = ring_lattice(200, 2, 0);
+        let c = cluster_vertices(&g, 8, 42);
+        assert_eq!(c.num_clusters(), 8);
+        let mut seen = vec![false; 200];
+        for cl in 0..8u32 {
+            for &v in c.members(cl) {
+                assert!(!seen[v as usize], "vertex {v} in two clusters");
+                seen[v as usize] = true;
+                assert_eq!(c.cluster_of(v), cl);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = ring_lattice(100, 2, 0);
+        assert_eq!(cluster_vertices(&g, 5, 1), cluster_vertices(&g, 5, 1));
+        assert_ne!(cluster_vertices(&g, 5, 1), cluster_vertices(&g, 5, 2));
+    }
+
+    #[test]
+    fn clusters_never_empty() {
+        let g = ring_lattice(10, 1, 0);
+        let c = cluster_vertices(&g, 10, 0);
+        for cl in 0..10u32 {
+            assert!(!c.members(cl).is_empty());
+        }
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = ring_lattice(10_000, 2, 0);
+        let c = cluster_vertices(&g, 10, 7);
+        for cl in 0..10u32 {
+            let frac = c.members(cl).len() as f64 / 10_000.0;
+            assert!((0.05..0.2).contains(&frac), "cluster {cl} has fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters than vertices")]
+    fn too_many_clusters_rejected() {
+        let g = ring_lattice(10, 1, 0);
+        let _ = cluster_vertices(&g, 11, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on SNAP graphs (Table 3). Those datasets cannot be
+//! shipped here, so the reproduction generates graphs whose *structural
+//! parameters* — vertex count, edge count, degree skew — match the originals
+//! (see [`crate::datasets`]). RMAT is the workhorse: with the classic
+//! `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` parameters it produces the
+//! power-law degree distributions typical of social networks, which is the
+//! property that drives load imbalance in transit-parallel sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Parameters of the recursive-matrix (RMAT/Kronecker) generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability mass of the top-left quadrant (self-community links).
+    pub a: f64,
+    /// Probability mass of the top-right quadrant.
+    pub b: f64,
+    /// Probability mass of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The classic Graph500-style parameters producing strong degree skew.
+    pub const SKEWED: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    /// Milder skew, closer to a citation network such as cit-Patents.
+    pub const MILD: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+    };
+
+    /// Implicit probability of the bottom-right quadrant.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates a directed RMAT graph with `2^scale` vertices and roughly
+/// `num_edges` distinct edges (duplicates are collapsed), made undirected.
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities do not sum to at most 1.
+pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> Csr {
+    assert!(params.d() >= 0.0, "RMAT quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).undirected(true);
+    for _ in 0..num_edges {
+        let (mut lo_s, mut hi_s) = (0usize, n);
+        let (mut lo_d, mut hi_d) = (0usize, n);
+        while hi_s - lo_s > 1 {
+            let r: f64 = rng.gen();
+            let (top, left) = if r < params.a {
+                (true, true)
+            } else if r < params.a + params.b {
+                (true, false)
+            } else if r < params.a + params.b + params.c {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            let mid_s = (lo_s + hi_s) / 2;
+            let mid_d = (lo_d + hi_d) / 2;
+            if top {
+                hi_s = mid_s;
+            } else {
+                lo_s = mid_s;
+            }
+            if left {
+                hi_d = mid_d;
+            } else {
+                lo_d = mid_d;
+            }
+        }
+        b.push_edge(lo_s as VertexId, lo_d as VertexId);
+    }
+    b.build().expect("generator endpoints are always in range")
+}
+
+/// Generates a directed Erdős–Rényi `G(n, m)` graph, made undirected.
+pub fn erdos_renyi(n: usize, num_edges: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).undirected(true);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..n) as VertexId;
+        let d = rng.gen_range(0..n) as VertexId;
+        b.push_edge(s, d);
+    }
+    b.build().expect("generator endpoints are always in range")
+}
+
+/// Generates an undirected Barabási–Albert preferential-attachment graph:
+/// each new vertex attaches to `m` existing vertices chosen proportionally
+/// to degree.
+///
+/// # Panics
+///
+/// Panics if `n <= m` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(m > 0 && n > m, "need n > m > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).undirected(true);
+    // `targets` holds one entry per edge endpoint, so uniform sampling from
+    // it is degree-proportional sampling.
+    let mut targets: Vec<VertexId> = (0..m as VertexId).collect();
+    for v in m..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.push_edge(v as VertexId, t);
+            targets.push(v as VertexId);
+            targets.push(t);
+        }
+    }
+    b.build().expect("generator endpoints are always in range")
+}
+
+/// Generates an undirected ring lattice where each vertex connects to its
+/// `k` nearest neighbours on each side. Useful as a perfectly regular,
+/// zero-skew stress test.
+///
+/// # Panics
+///
+/// Panics if `2 * k >= n`.
+pub fn ring_lattice(n: usize, k: usize, seed_unused: u64) -> Csr {
+    let _ = seed_unused;
+    assert!(2 * k < n, "ring lattice requires 2k < n");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for off in 1..=k {
+            let u = ((v + off) % n) as VertexId;
+            b.push_edge(v as VertexId, u);
+            b.push_edge(u, v as VertexId);
+        }
+    }
+    b.build().expect("generator endpoints are always in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn rmat_is_deterministic_and_sized() {
+        let g1 = rmat(10, 5_000, RmatParams::SKEWED, 1);
+        let g2 = rmat(10, 5_000, RmatParams::SKEWED, 1);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_vertices(), 1024);
+        assert!(g1.num_edges() > 5_000, "undirected dedup keeps most edges");
+        assert!(g1.num_edges() <= 10_000);
+    }
+
+    #[test]
+    fn rmat_seeds_differ() {
+        let g1 = rmat(8, 1_000, RmatParams::SKEWED, 1);
+        let g2 = rmat(8, 1_000, RmatParams::SKEWED, 2);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 40_000, RmatParams::SKEWED, 7);
+        let stats = DegreeStats::of(&g);
+        assert!(
+            stats.max as f64 > 10.0 * stats.mean,
+            "max degree {} should dwarf mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_has_low_skew() {
+        let g = erdos_renyi(4_096, 40_000, 3);
+        let stats = DegreeStats::of(&g);
+        assert!(
+            (stats.max as f64) < 4.0 * stats.mean,
+            "ER max degree {} should stay near mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(500, 3, 9);
+        assert_eq!(g.num_vertices(), 500);
+        // Every vertex beyond the seed set contributes m undirected edges.
+        assert!(g.num_edges() >= 2 * 3 * (500 - 3) - 100);
+        let stats = DegreeStats::of(&g);
+        assert!(stats.max >= 3 * 3, "hubs should emerge");
+    }
+
+    #[test]
+    fn ring_lattice_is_regular() {
+        let g = ring_lattice(100, 3, 0);
+        for v in 0..100u32 {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2k < n")]
+    fn ring_lattice_rejects_too_dense() {
+        let _ = ring_lattice(4, 2, 0);
+    }
+
+    #[test]
+    fn undirected_generators_are_symmetric() {
+        for g in [
+            rmat(8, 2_000, RmatParams::SKEWED, 5),
+            erdos_renyi(256, 2_000, 5),
+            barabasi_albert(256, 2, 5),
+        ] {
+            for v in 0..g.num_vertices() as VertexId {
+                for &u in g.neighbors(v) {
+                    assert!(g.has_edge(u, v), "missing reverse of ({v}, {u})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Plain-text edge-list I/O in the SNAP style.
+//!
+//! The SNAP datasets used by the paper ship as whitespace-separated
+//! `src dst [weight]` lines with `#` comments. This module parses and writes
+//! that format so that users with the real datasets can load them directly.
+
+use crate::builder::{BuildError, GraphBuilder};
+use crate::csr::{Csr, VertexId};
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoError {
+    /// A line did not have 2 (or 3, when weighted) whitespace-separated fields.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A field failed to parse as an integer or float.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// The resulting edge list failed CSR construction.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Malformed { line, content } => {
+                write!(f, "line {line}: malformed edge line {content:?}")
+            }
+            IoError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse number {field:?}")
+            }
+            IoError::Build(e) => write!(f, "building CSR failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<BuildError> for IoError {
+    fn from(e: BuildError) -> Self {
+        IoError::Build(e)
+    }
+}
+
+/// Parses a SNAP-style edge list into a CSR graph.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Vertex ids
+/// are used as-is; the vertex count is `max id + 1` unless a larger
+/// `min_vertices` is given. A third column, when present on *every* edge
+/// line, is read as the edge weight.
+///
+/// # Examples
+///
+/// ```
+/// let g = nextdoor_graph::parse_edge_list("# comment\n0 1\n1 2\n", false, 0).unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn parse_edge_list(text: &str, undirected: bool, min_vertices: usize) -> Result<Csr, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, Option<f32>)> = Vec::new();
+    let mut max_v: usize = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 2 && fields.len() != 3 {
+            return Err(IoError::Malformed {
+                line: line_no,
+                content: line.to_string(),
+            });
+        }
+        let parse_id = |s: &str| -> Result<VertexId, IoError> {
+            s.parse().map_err(|_| IoError::BadNumber {
+                line: line_no,
+                field: s.to_string(),
+            })
+        };
+        let s = parse_id(fields[0])?;
+        let d = parse_id(fields[1])?;
+        let w = if fields.len() == 3 {
+            Some(fields[2].parse().map_err(|_| IoError::BadNumber {
+                line: line_no,
+                field: fields[2].to_string(),
+            })?)
+        } else {
+            None
+        };
+        max_v = max_v.max(s as usize).max(d as usize);
+        edges.push((s, d, w));
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        (max_v + 1).max(min_vertices)
+    };
+    let all_weighted = !edges.is_empty() && edges.iter().all(|e| e.2.is_some());
+    let mut b = GraphBuilder::new(n).undirected(undirected);
+    for (s, d, w) in edges {
+        if all_weighted {
+            b.push_weighted_edge(s, d, w.expect("checked all_weighted"));
+        } else {
+            b.push_edge(s, d);
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Serialises a graph as a SNAP-style edge list (one `src dst [w]` per line).
+pub fn write_edge_list(g: &Csr) -> String {
+    let mut out = String::new();
+    out.push_str("# nextdoor-graph edge list\n");
+    for v in 0..g.num_vertices() as VertexId {
+        for (i, &u) in g.neighbors(v).iter().enumerate() {
+            if g.is_weighted() {
+                out.push_str(&format!("{v} {u} {}\n", g.edge_weight(v, i)));
+            } else {
+                out.push_str(&format!("{v} {u}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let g = parse_edge_list("# hi\n\n% also a comment\n0 1\n2 0\n", false, 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn undirected_parse() {
+        let g = parse_edge_list("0 1\n", true, 0).unwrap();
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated_tail() {
+        let g = parse_edge_list("0 1\n", false, 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn weighted_parse() {
+        let g = parse_edge_list("0 1 2.5\n1 0 1.5\n", false, 0).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0, 0), 2.5);
+    }
+
+    #[test]
+    fn mixed_weight_columns_fall_back_to_unweighted() {
+        let g = parse_edge_list("0 1 2.5\n1 0\n", false, 0).unwrap();
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = parse_edge_list("0 1\n0 1 2 3\n", false, 0).unwrap_err();
+        match err {
+            IoError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reports_field() {
+        let err = parse_edge_list("0 x\n", false, 0).unwrap_err();
+        match &err {
+            IoError::BadNumber { line, field } => {
+                assert_eq!(*line, 1);
+                assert_eq!(field, "x");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("cannot parse"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = parse_edge_list("0 1\n1 2\n2 0\n", false, 0).unwrap();
+        let text = write_edge_list(&g);
+        let g2 = parse_edge_list(&text, false, 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn weighted_round_trip() {
+        let g = parse_edge_list("0 1 1.5\n1 0 2.25\n", false, 0).unwrap();
+        let g2 = parse_edge_list(&write_edge_list(&g), false, 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let g = parse_edge_list("# nothing\n", false, 0).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

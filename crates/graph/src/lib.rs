@@ -1,0 +1,40 @@
+//! Graph substrate for the NextDoor reproduction.
+//!
+//! This crate provides the compressed-sparse-row (CSR) graph representation
+//! that every other crate in the workspace builds on, together with
+//! deterministic synthetic graph generators, an edge-list I/O layer, the
+//! scaled stand-ins for the paper's Table 3 datasets, degree statistics, and
+//! a simple vertex-clustering pass used by ClusterGCN sampling.
+//!
+//! # Examples
+//!
+//! ```
+//! use nextdoor_graph::{GraphBuilder, Csr};
+//!
+//! let g: Csr = GraphBuilder::new(4)
+//!     .edge(0, 1)
+//!     .edge(1, 2)
+//!     .edge(2, 3)
+//!     .undirected(true)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.degree(1), 2);
+//! assert_eq!(g.neighbors(1), &[0, 2]);
+//! ```
+
+pub mod builder;
+pub mod cluster;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use builder::{BuildError, GraphBuilder};
+pub use cluster::{cluster_vertices, Clustering};
+pub use csr::{Csr, VertexId};
+pub use datasets::{Dataset, DatasetSpec};
+pub use gen::{barabasi_albert, erdos_renyi, ring_lattice, rmat, RmatParams};
+pub use io::{parse_edge_list, write_edge_list, IoError};
+pub use stats::DegreeStats;

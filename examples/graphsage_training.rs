@@ -1,0 +1,67 @@
+//! End-to-end GraphSAGE-style training with NextDoor as the sampler — the
+//! integration the paper's Table 5 measures. Each epoch samples 2-hop
+//! neighbourhoods transit-parallel on the simulated GPU, then trains the
+//! mean-aggregation model; the epoch breakdown shows where time goes.
+//!
+//! ```sh
+//! cargo run --release --example graphsage_training
+//! ```
+
+use nextdoor::apps::KHop;
+use nextdoor::baselines::cpu_samplers::khop_sampler;
+use nextdoor::core::run_nextdoor;
+use nextdoor::gnn::{GraphSageModel, Trainer};
+use nextdoor::gpu::{Gpu, GpuSpec};
+use nextdoor::graph::{Dataset, VertexId};
+
+fn main() {
+    let graph = Dataset::Ppi.generate(0.05, 1);
+    println!(
+        "training on {} vertices / {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let train_vertices: Vec<VertexId> = (0..1024.min(graph.num_vertices() as u32)).collect();
+
+    // Epochs with the reference CPU sampler (the paper's baseline setup).
+    let model = GraphSageModel::new(32, 64, 8, 5);
+    let mut trainer = Trainer::new(model, 64, 0.2);
+    let mut cpu_sampler = |batch: &[VertexId]| {
+        let r = khop_sampler(&graph, batch, &[25, 10], 7, 4);
+        (r.samples, r.wall_ms)
+    };
+    let cpu_epoch = trainer.run_epoch(&train_vertices, &mut cpu_sampler);
+    println!(
+        "CPU-sampled epoch: {:.2} ms total, {:.0}% sampling, loss {:.3}",
+        cpu_epoch.total_ms(),
+        100.0 * cpu_epoch.sampling_fraction(),
+        cpu_epoch.mean_loss
+    );
+
+    // Epochs with NextDoor on the simulated GPU.
+    let model = GraphSageModel::new(32, 64, 8, 5);
+    let mut trainer = Trainer::new(model, 64, 0.2);
+    let app = KHop::graphsage();
+    let mut nd_sampler = |batch: &[VertexId]| {
+        let init: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
+        let mut gpu = Gpu::new(GpuSpec::v100());
+        let res = run_nextdoor(&mut gpu, &graph, &app, &init, 7);
+        (res.store.final_samples(), res.stats.total_ms)
+    };
+    let mut last = None;
+    for epoch in 0..5 {
+        let b = trainer.run_epoch(&train_vertices, &mut nd_sampler);
+        println!(
+            "NextDoor epoch {epoch}: {:.2} ms total, {:.0}% sampling, loss {:.3}",
+            b.total_ms(),
+            100.0 * b.sampling_fraction(),
+            b.mean_loss
+        );
+        last = Some(b);
+    }
+    let nd_epoch = last.expect("ran at least one epoch");
+    println!(
+        "end-to-end speedup from NextDoor sampling: {:.2}x",
+        cpu_epoch.total_ms() / nd_epoch.total_ms()
+    );
+}

@@ -1,0 +1,115 @@
+//! node2vec walks feeding a small skip-gram embedding — the DeepWalk /
+//! node2vec representation-learning pipeline of the paper's §2.1, end to
+//! end: sample walks transit-parallel, then learn vertex embeddings from
+//! walk co-occurrence and verify that community structure emerges.
+//!
+//! ```sh
+//! cargo run --release --example node2vec_embeddings
+//! ```
+
+use nextdoor::apps::Node2Vec;
+use nextdoor::core::{initial_samples_random, run_nextdoor};
+use nextdoor::gpu::rng;
+use nextdoor::gpu::{Gpu, GpuSpec};
+use nextdoor::graph::{GraphBuilder, VertexId};
+
+const DIM: usize = 16;
+const WINDOW: usize = 2;
+
+fn main() {
+    // Two dense communities of 20 vertices joined by a single bridge edge:
+    // embeddings should separate them.
+    let n = 40usize;
+    let mut b = GraphBuilder::new(n).undirected(true);
+    for c in 0..2 {
+        let base = (c * 20) as VertexId;
+        for i in 0..20u32 {
+            for j in (i + 1)..20u32 {
+                if rng::rand_f32(9, (c as u64) << 32 | (i as u64) << 16 | j as u64, 0) < 0.4 {
+                    b.push_edge(base + i, base + j);
+                }
+            }
+        }
+    }
+    b.push_edge(0, 20);
+    let graph = b.build().expect("valid community graph");
+
+    // Sample node2vec walks (p=2, q=0.5 biases walks to explore outward).
+    let init = initial_samples_random(&graph, 400, 1, 3);
+    let mut gpu = Gpu::new(GpuSpec::small());
+    let result = run_nextdoor(&mut gpu, &graph, &Node2Vec::new(12, 2.0, 0.5), &init, 17);
+    let walks = result.store.final_samples();
+    println!(
+        "sampled {} node2vec walks in {:.3} simulated ms",
+        walks.len(),
+        result.stats.total_ms
+    );
+
+    // Skip-gram with negative sampling over walk windows.
+    let mut emb: Vec<[f32; DIM]> = (0..n)
+        .map(|v| std::array::from_fn(|d| rng::rand_f32(1, v as u64, d as u64) - 0.5))
+        .collect();
+    let lr = 0.05f32;
+    let mut ctr = 0u64;
+    for _epoch in 0..30 {
+        for walk in &walks {
+            for i in 0..walk.len() {
+                for off in 1..=WINDOW {
+                    if i + off >= walk.len() {
+                        break;
+                    }
+                    let (a, b) = (walk[i] as usize, walk[i + off] as usize);
+                    sgd_pair(&mut emb, a, b, 1.0, lr);
+                    // One negative sample per positive.
+                    ctr += 1;
+                    let neg = rng::rand_range(5, ctr, 0, n as u32) as usize;
+                    sgd_pair(&mut emb, a, neg, 0.0, lr);
+                }
+            }
+        }
+    }
+
+    // Evaluate: are intra-community similarities higher than inter?
+    let (mut intra, mut inter) = (0.0f64, 0.0f64);
+    let (mut n_intra, mut n_inter) = (0u32, 0u32);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let s = dot(&emb[a], &emb[b]) as f64;
+            if (a < 20) == (b < 20) {
+                intra += s;
+                n_intra += 1;
+            } else {
+                inter += s;
+                n_inter += 1;
+            }
+        }
+    }
+    let intra = intra / n_intra as f64;
+    let inter = inter / n_inter as f64;
+    println!("mean intra-community similarity: {intra:.3}");
+    println!("mean inter-community similarity: {inter:.3}");
+    assert!(
+        intra > inter,
+        "embeddings should separate the two communities"
+    );
+    println!("communities separated in embedding space ✓");
+}
+
+fn dot(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// One positive/negative skip-gram SGD update on a vertex pair.
+fn sgd_pair(emb: &mut [[f32; DIM]], a: usize, b: usize, label: f32, lr: f32) {
+    if a == b {
+        return;
+    }
+    let score = dot(&emb[a], &emb[b]);
+    let pred = 1.0 / (1.0 + (-score).exp());
+    let g = (pred - label) * lr;
+    for d in 0..DIM {
+        let (ea, eb) = (emb[a][d], emb[b][d]);
+        emb[a][d] -= g * eb;
+        emb[b][d] -= g * ea;
+    }
+}

@@ -1,0 +1,52 @@
+//! Sampling a graph larger than device memory (paper §8.4): the graph is
+//! partitioned into sub-graphs, and each step transfers the partitions
+//! holding live transit vertices before running the usual transit-parallel
+//! kernels. Transfer time is charged, so the breakdown shows when an
+//! application is compute-bound (k-hop) versus transfer-bound (walks).
+//!
+//! ```sh
+//! cargo run --release --example out_of_core
+//! ```
+
+use nextdoor::apps::{DeepWalk, KHop};
+use nextdoor::core::large_graph::{partition_graph, run_nextdoor_out_of_core};
+use nextdoor::core::initial_samples_random;
+use nextdoor::core::SamplingApp;
+use nextdoor::gpu::{Gpu, GpuSpec};
+use nextdoor::graph::Dataset;
+
+fn main() {
+    // A Friendster-like stand-in, with a device budget of 1/4 of the graph.
+    let graph = Dataset::Friendster.generate(0.001, 3);
+    let budget = graph.size_bytes() / 4;
+    let parts = partition_graph(&graph, budget);
+    println!(
+        "graph: {} vertices / {} edges ({} MiB); device budget {} MiB -> {} partitions",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.size_bytes() >> 20,
+        budget >> 20,
+        parts.len()
+    );
+
+    let init = initial_samples_random(&graph, 4096, 1, 11);
+    let apps: Vec<Box<dyn SamplingApp>> = vec![
+        Box::new(KHop::graphsage()),
+        Box::new(DeepWalk::new(50)),
+    ];
+    for app in apps {
+        let mut gpu = Gpu::new(GpuSpec::v100());
+        let (res, ooc) =
+            run_nextdoor_out_of_core(&mut gpu, &graph, app.as_ref(), &init, 5, budget);
+        println!(
+            "{:>10}: {:.2} ms total ({:.2} ms transfers over {} sub-graph loads), \
+             {:.0} samples/s, {} samples",
+            app.name(),
+            res.stats.total_ms,
+            ooc.transfer_ms,
+            ooc.transfers,
+            ooc.samples_per_sec,
+            res.store.num_samples()
+        );
+    }
+}

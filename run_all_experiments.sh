@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper into results/.
+# Usage: ./run_all_experiments.sh [extra flags passed to every binary]
+set -e
+cargo build -q --release -p nextdoor-bench
+BIN=target/release
+$BIN/table1 --samples 1024 "$@"        | tee results/table1.txt
+$BIN/fig6   --samples 4096 "$@"        | tee results/fig6.txt
+$BIN/fig7a  --samples 8192 "$@"        | tee results/fig7a.txt
+$BIN/fig7b  --samples 4096 "$@"        | tee results/fig7b.txt
+$BIN/fig8   --samples 4096 "$@"        | tee results/fig8.txt
+$BIN/table4 --samples 8192 "$@"        | tee results/table4.txt
+$BIN/fig9   --samples 2048 "$@"        | tee results/fig9.txt
+$BIN/fig10  --samples 8192 "$@"        | tee results/fig10.txt
+$BIN/table5 --samples 512  "$@"        | tee results/table5.txt
+$BIN/large_graphs --samples 4096 "$@"  | tee results/large_graphs.txt

@@ -1,0 +1,23 @@
+//! NextDoor: transit-parallel graph sampling for graph machine learning.
+//!
+//! This is the facade crate of the reproduction of *"Accelerating Graph
+//! Sampling for Graph Machine Learning using GPUs"* (EuroSys 2021). It
+//! re-exports the workspace crates under stable paths:
+//!
+//! * [`graph`] — CSR graphs, generators, datasets ([`nextdoor_graph`]).
+//! * [`gpu`] — the SIMT GPU simulator substrate ([`nextdoor_gpu`]).
+//! * [`core`] — the sampling API and the transit-parallel engine
+//!   ([`nextdoor_core`]).
+//! * [`apps`] — the ten sampling applications ([`nextdoor_apps`]).
+//! * [`baselines`] — KnightKing, CPU samplers, frontier and message-passing
+//!   engines ([`nextdoor_baselines`]).
+//! * [`gnn`] — the GNN training substrate ([`nextdoor_gnn`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use nextdoor_apps as apps;
+pub use nextdoor_baselines as baselines;
+pub use nextdoor_core as core;
+pub use nextdoor_gnn as gnn;
+pub use nextdoor_gpu as gpu;
+pub use nextdoor_graph as graph;

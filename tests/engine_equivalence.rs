@@ -1,0 +1,95 @@
+//! Cross-engine equivalence: every engine must produce bit-identical
+//! samples for every benchmark application, because all randomness is
+//! keyed by logical coordinates rather than execution order. This is the
+//! workspace's strongest correctness check — it exercises the full
+//! transit-parallel machinery (scheduling index, all three kernel classes,
+//! collective neighbourhood building) against the sequential oracle.
+
+use nextdoor::apps;
+use nextdoor::core::{run_cpu, run_nextdoor, run_sample_parallel, run_vanilla_tp, SamplingApp};
+use nextdoor::gpu::{Gpu, GpuSpec};
+use nextdoor::graph::{cluster_vertices, Csr, Dataset, VertexId};
+
+fn graph() -> Csr {
+    Dataset::Ppi
+        .generate(0.02, 3)
+        .with_random_weights(1.0, 5.0, 9)
+}
+
+fn check_all_engines(app: &dyn SamplingApp, graph: &Csr, init: &[Vec<VertexId>]) {
+    let cpu = run_cpu(graph, app, init, 99);
+    let mut g1 = Gpu::new(GpuSpec::small());
+    let nd = run_nextdoor(&mut g1, graph, app, init, 99);
+    let mut g2 = Gpu::new(GpuSpec::small());
+    let sp = run_sample_parallel(&mut g2, graph, app, init, 99);
+    let mut g3 = Gpu::new(GpuSpec::small());
+    let tp = run_vanilla_tp(&mut g3, graph, app, init, 99);
+    let oracle = cpu.store.final_samples();
+    assert_eq!(oracle, nd.store.final_samples(), "{}: ND != CPU", app.name());
+    assert_eq!(oracle, sp.store.final_samples(), "{}: SP != CPU", app.name());
+    assert_eq!(oracle, tp.store.final_samples(), "{}: TP != CPU", app.name());
+    // Recorded application edges must agree too.
+    for s in 0..init.len() {
+        assert_eq!(
+            cpu.store.edges_of(s),
+            nd.store.edges_of(s),
+            "{}: sample {s} edges diverged",
+            app.name()
+        );
+    }
+}
+
+fn walk_init(graph: &Csr, n: usize) -> Vec<Vec<VertexId>> {
+    nextdoor::core::initial_samples_random(graph, n, 1, 5)
+}
+
+#[test]
+fn walks_are_engine_independent() {
+    let g = graph();
+    let init = walk_init(&g, 96);
+    check_all_engines(&apps::DeepWalk::new(15), &g, &init);
+    check_all_engines(&apps::Ppr::new(0.05), &g, &init);
+    check_all_engines(&apps::Node2Vec::new(15, 2.0, 0.5), &g, &init);
+}
+
+#[test]
+fn multirw_is_engine_independent() {
+    let g = graph();
+    let init = nextdoor::core::initial_samples_random(&g, 24, 16, 6);
+    check_all_engines(&apps::MultiRw::new(20), &g, &init);
+}
+
+#[test]
+fn khop_and_mvs_are_engine_independent() {
+    let g = graph();
+    check_all_engines(&apps::KHop::new(vec![10, 5]), &g, &walk_init(&g, 64));
+    let batches = nextdoor::core::initial_samples_random(&g, 16, 32, 7);
+    check_all_engines(&apps::Mvs::new(2), &g, &batches);
+}
+
+#[test]
+fn collective_apps_are_engine_independent() {
+    let g = graph();
+    check_all_engines(&apps::Layer::new(16, 48), &g, &walk_init(&g, 32));
+    let batches = nextdoor::core::initial_samples_random(&g, 12, 16, 8);
+    check_all_engines(&apps::FastGcn::new(2, 24), &g, &batches);
+    check_all_engines(&apps::Ladies::new(2, 24), &g, &batches);
+}
+
+#[test]
+fn clustergcn_is_engine_independent() {
+    let g = graph();
+    let clustering = cluster_vertices(&g, 12, 4);
+    let init = apps::cluster_gcn_samples(&g, &clustering, 2, 8, 3);
+    check_all_engines(&apps::ClusterGcn::new(32), &g, &init);
+}
+
+#[test]
+fn different_seeds_give_different_samples() {
+    let g = graph();
+    let init = walk_init(&g, 32);
+    let app = apps::DeepWalk::new(10);
+    let a = run_cpu(&g, &app, &init, 1);
+    let b = run_cpu(&g, &app, &init, 2);
+    assert_ne!(a.store.final_samples(), b.store.final_samples());
+}

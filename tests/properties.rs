@@ -1,0 +1,174 @@
+//! Property-based tests over randomly generated graphs and parameters.
+
+use proptest::prelude::*;
+
+use nextdoor::apps::{DeepWalk, KHop};
+use nextdoor::core::engine::unique::dedup_values;
+use nextdoor::core::{run_cpu, run_nextdoor, NULL_VERTEX};
+use nextdoor::gpu::algorithms::{compact, exclusive_scan, histogram, radix_sort_pairs};
+use nextdoor::gpu::{Gpu, GpuSpec};
+use nextdoor::graph::{GraphBuilder, VertexId};
+
+/// An arbitrary small graph from an edge list.
+fn arb_graph() -> impl Strategy<Value = nextdoor::graph::Csr> {
+    (2usize..64, proptest::collection::vec((0u32..64, 0u32..64), 1..256)).prop_map(
+        |(n, edges)| {
+            let mut b = GraphBuilder::new(64).undirected(true);
+            let _ = n;
+            for (s, d) in edges {
+                b.push_edge(s, d);
+            }
+            b.build().expect("endpoints in range")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gpu_scan_matches_std(data in proptest::collection::vec(0u32..1000, 0..2000)) {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let input = gpu.to_device(&data);
+        let (out, total) = exclusive_scan(&mut gpu, &input);
+        let mut acc = 0u32;
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(out.as_slice()[i], acc);
+            acc += v;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn gpu_sort_matches_std(
+        keys in proptest::collection::vec(0u32..100_000, 1..1500)
+    ) {
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let kd = gpu.to_device(&keys);
+        let vd = gpu.to_device(&vals);
+        let (sk, sv) = radix_sort_pairs(&mut gpu, &kd, &vd, 100_000);
+        let mut expect: Vec<(u32, u32)> =
+            keys.iter().cloned().zip(vals.iter().cloned()).collect();
+        expect.sort_by_key(|&(k, v)| (k, v)); // stable == sort by (key, idx)
+        let got: Vec<(u32, u32)> = sk
+            .as_slice()
+            .iter()
+            .cloned()
+            .zip(sv.as_slice().iter().cloned())
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn gpu_histogram_matches_std(
+        keys in proptest::collection::vec(0u32..64, 0..2000)
+    ) {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let kd = gpu.to_device(&keys);
+        let bins = histogram(&mut gpu, &kd, 64);
+        let mut expect = vec![0u32; 64];
+        for &k in &keys {
+            expect[k as usize] += 1;
+        }
+        prop_assert_eq!(bins.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn gpu_compact_matches_filter(
+        pairs in proptest::collection::vec((0u32..100, proptest::bool::ANY), 0..1500)
+    ) {
+        let data: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let flags: Vec<u32> = pairs.iter().map(|p| u32::from(p.1)).collect();
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let dd = gpu.to_device(&data);
+        let fd = gpu.to_device(&flags);
+        let (out, count) = compact(&mut gpu, &dd, &fd);
+        let expect: Vec<u32> = pairs.iter().filter(|p| p.1).map(|p| p.0).collect();
+        prop_assert_eq!(count, expect.len());
+        prop_assert_eq!(out.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn walks_only_traverse_edges(g in arb_graph(), seed in 0u64..1000) {
+        let init: Vec<Vec<VertexId>> = (0..8).map(|i| vec![i * 7 % 64]).collect();
+        let res = run_cpu(&g, &DeepWalk::new(6), &init, seed);
+        for s in res.store.final_samples() {
+            for w in s.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]), "non-edge {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn khop_children_descend_from_transits(g in arb_graph(), seed in 0u64..1000) {
+        let init: Vec<Vec<VertexId>> = (0..6).map(|i| vec![i * 11 % 64]).collect();
+        let res = run_cpu(&g, &KHop::new(vec![3, 2]), &init, seed);
+        if res.store.num_steps() < 2 {
+            // Every root was a dead end: nothing to check.
+            return Ok(());
+        }
+        for s in 0..6 {
+            let hop1 = &res.store.step_values(0).values[s * 3..(s + 1) * 3];
+            let hop2 = &res.store.step_values(1).values[s * 6..(s + 1) * 6];
+            for (i, &v) in hop2.iter().enumerate() {
+                if v != NULL_VERTEX {
+                    let t = hop1[i / 2];
+                    prop_assert!(t != NULL_VERTEX);
+                    prop_assert!(g.has_edge(t, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_graphs(g in arb_graph(), seed in 0u64..1000) {
+        let init: Vec<Vec<VertexId>> = (0..12).map(|i| vec![i as u32 * 5 % 64]).collect();
+        let app = KHop::new(vec![4, 2]);
+        let cpu = run_cpu(&g, &app, &init, seed);
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let nd = run_nextdoor(&mut gpu, &g, &app, &init, seed);
+        prop_assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
+    }
+
+    #[test]
+    fn dedup_is_sorted_unique_nullpadded(
+        values in proptest::collection::vec(
+            proptest::option::weighted(0.8, 0u32..50), 1..200
+        ),
+        slots in 1usize..16
+    ) {
+        let mut vals: Vec<u32> = values
+            .iter()
+            .map(|o| o.unwrap_or(NULL_VERTEX))
+            .collect();
+        let ns = vals.len() / slots;
+        if ns == 0 {
+            return Ok(());
+        }
+        vals.truncate(ns * slots);
+        let original = vals.clone();
+        dedup_values(&mut vals, slots, ns);
+        for s in 0..ns {
+            let chunk = &vals[s * slots..(s + 1) * slots];
+            let live: Vec<u32> =
+                chunk.iter().cloned().filter(|&v| v != NULL_VERTEX).collect();
+            // Sorted and unique.
+            prop_assert!(live.windows(2).all(|w| w[0] < w[1]));
+            // NULLs only at the tail.
+            let first_null = chunk.iter().position(|&v| v == NULL_VERTEX);
+            if let Some(p) = first_null {
+                prop_assert!(chunk[p..].iter().all(|&v| v == NULL_VERTEX));
+            }
+            // Same value set as the original chunk.
+            let mut expect: Vec<u32> = original[s * slots..(s + 1) * slots]
+                .iter()
+                .cloned()
+                .filter(|&v| v != NULL_VERTEX)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(live, expect);
+        }
+    }
+}
