@@ -2,8 +2,8 @@
 
 use nextdoor_core::api::NextCtx;
 use nextdoor_core::{SamplingApp, SamplingType, Steps};
-use nextdoor_graph::{Clustering, Csr, VertexId};
 use nextdoor_gpu::rng;
+use nextdoor_graph::{Clustering, Csr, VertexId};
 
 /// ClusterGCN sampling: each sample consists of the vertices of a few
 /// randomly-chosen clusters, and the sampler extracts the adjacency matrix
@@ -90,12 +90,7 @@ pub fn cluster_gcn_samples(
             let mut chosen = Vec::with_capacity(clusters_per_sample);
             let mut salt = 0u64;
             while chosen.len() < clusters_per_sample {
-                let c = rng::rand_range(
-                    seed,
-                    s as u64,
-                    salt,
-                    clustering.num_clusters() as u32,
-                );
+                let c = rng::rand_range(seed, s as u64, salt, clustering.num_clusters() as u32);
                 salt += 1;
                 if !chosen.contains(&c) {
                     chosen.push(c);
@@ -122,9 +117,9 @@ pub fn cluster_gcn_samples(
 mod tests {
     use super::*;
     use nextdoor_core::{run_cpu, run_nextdoor};
+    use nextdoor_gpu::{Gpu, GpuSpec};
     use nextdoor_graph::cluster_vertices;
     use nextdoor_graph::gen::{rmat, RmatParams};
-    use nextdoor_gpu::{Gpu, GpuSpec};
 
     #[test]
     fn samples_are_cluster_unions_padded_equal() {
@@ -148,12 +143,12 @@ mod tests {
         let g = rmat(9, 8000, RmatParams::SKEWED, 2);
         let clustering = cluster_vertices(&g, 8, 3);
         let init = cluster_gcn_samples(&g, &clustering, 2, 4, 7);
-        let res = run_cpu(&g, &ClusterGcn::new(64), &init, 5);
-        for s in 0..4 {
+        let res = run_cpu(&g, &ClusterGcn::new(64), &init, 5).unwrap();
+        for (s, sample_init) in init.iter().enumerate().take(4) {
             for &(u, v) in res.store.edges_of(s) {
                 assert!(g.has_edge(u, v));
-                assert!(init[s].contains(&u), "edge source outside the clusters");
-                assert!(init[s].contains(&v), "edge target outside the clusters");
+                assert!(sample_init.contains(&u), "edge source outside the clusters");
+                assert!(sample_init.contains(&v), "edge target outside the clusters");
             }
         }
     }
@@ -164,9 +159,9 @@ mod tests {
         let clustering = cluster_vertices(&g, 12, 1);
         let init = cluster_gcn_samples(&g, &clustering, 2, 5, 3);
         let app = ClusterGcn::new(32);
-        let cpu = run_cpu(&g, &app, &init, 6);
+        let cpu = run_cpu(&g, &app, &init, 6).unwrap();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &app, &init, 6);
+        let nd = run_nextdoor(&mut gpu, &g, &app, &init, 6).unwrap();
         assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
         for s in 0..5 {
             assert_eq!(cpu.store.edges_of(s), nd.store.edges_of(s));

@@ -156,7 +156,7 @@ mod tests {
     fn fastgcn_records_only_real_edges() {
         let g = rmat(8, 3000, RmatParams::SKEWED, 1);
         let init = batches(6, 8, 256);
-        let res = run_cpu(&g, &FastGcn::new(2, 16), &init, 3);
+        let res = run_cpu(&g, &FastGcn::new(2, 16), &init, 3).unwrap();
         let mut total_edges = 0;
         for s in 0..6 {
             for &(u, v) in res.store.edges_of(s) {
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn fastgcn_draws_fixed_batch_per_layer() {
         let g = rmat(8, 3000, RmatParams::SKEWED, 1);
-        let res = run_cpu(&g, &FastGcn::new(3, 16), &batches(2, 4, 256), 5);
+        let res = run_cpu(&g, &FastGcn::new(3, 16), &batches(2, 4, 256), 5).unwrap();
         assert_eq!(res.stats.steps_run, 3);
         for step in 0..3 {
             assert_eq!(res.store.step_values(step).slots, 16);
@@ -181,14 +181,14 @@ mod tests {
     fn ladies_candidates_come_from_combined_neighborhood() {
         let g = rmat(8, 3000, RmatParams::SKEWED, 9);
         let init = batches(4, 4, 256);
-        let res = run_cpu(&g, &Ladies::new(1, 8), &init, 7);
-        for s in 0..4 {
+        let res = run_cpu(&g, &Ladies::new(1, 8), &init, 7).unwrap();
+        for (s, batch) in init.iter().enumerate().take(4) {
             for &v in &res.store.step_values(0).values[s * 8..(s + 1) * 8] {
                 if v == nextdoor_core::NULL_VERTEX {
                     continue;
                 }
                 assert!(
-                    init[s].iter().any(|&t| g.has_edge(t, v)),
+                    batch.iter().any(|&t| g.has_edge(t, v)),
                     "vertex {v} is not in the batch's combined neighbourhood"
                 );
             }
@@ -199,8 +199,8 @@ mod tests {
     fn ladies_prefers_high_degree_vertices() {
         let g = rmat(10, 20_000, RmatParams::SKEWED, 4);
         let init = batches(64, 8, 1024);
-        let res = run_cpu(&g, &Ladies::new(1, 16), &init, 2);
-        let uniform = run_cpu(&g, &Layer16, &init, 2);
+        let res = run_cpu(&g, &Ladies::new(1, 16), &init, 2).unwrap();
+        let uniform = run_cpu(&g, &Layer16, &init, 2).unwrap();
         let mean_deg = |r: &nextdoor_core::RunResult| {
             let mut sum = 0usize;
             let mut n = 0usize;
@@ -255,11 +255,11 @@ mod tests {
             Box::new(FastGcn::new(2, 12)) as Box<dyn SamplingApp>,
             Box::new(Ladies::new(2, 12)),
         ] {
-            let cpu = run_cpu(&g, app.as_ref(), &init, 8);
+            let cpu = run_cpu(&g, app.as_ref(), &init, 8).unwrap();
             let mut g1 = Gpu::new(GpuSpec::small());
-            let nd = run_nextdoor(&mut g1, &g, app.as_ref(), &init, 8);
+            let nd = run_nextdoor(&mut g1, &g, app.as_ref(), &init, 8).unwrap();
             let mut g2 = Gpu::new(GpuSpec::small());
-            let sp = run_sample_parallel(&mut g2, &g, app.as_ref(), &init, 8);
+            let sp = run_sample_parallel(&mut g2, &g, app.as_ref(), &init, 8).unwrap();
             assert_eq!(
                 cpu.store.final_samples(),
                 nd.store.final_samples(),

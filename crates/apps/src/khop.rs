@@ -116,7 +116,7 @@ mod tests {
     fn khop_shapes_follow_fanouts() {
         let g = ring_lattice(256, 4, 0);
         let init: Vec<Vec<VertexId>> = (0..10).map(|i| vec![i as VertexId]).collect();
-        let res = run_cpu(&g, &KHop::new(vec![3, 2]), &init, 1);
+        let res = run_cpu(&g, &KHop::new(vec![3, 2]), &init, 1).unwrap();
         assert_eq!(res.store.step_values(0).slots, 3);
         assert_eq!(res.store.step_values(1).slots, 6);
         // On this graph every vertex has degree 8, so no NULLs appear.
@@ -127,9 +127,9 @@ mod tests {
     fn khop_vertices_are_neighbors_of_transits() {
         let g = rmat(8, 2000, RmatParams::SKEWED, 3);
         let init: Vec<Vec<VertexId>> = (0..16).map(|i| vec![(i * 9 % 256) as VertexId]).collect();
-        let res = run_cpu(&g, &KHop::new(vec![4, 3]), &init, 2);
-        for s in 0..16 {
-            let root = init[s][0];
+        let res = run_cpu(&g, &KHop::new(vec![4, 3]), &init, 2).unwrap();
+        for (s, sample_init) in init.iter().enumerate().take(16) {
+            let root = sample_init[0];
             let hop1 = &res.store.step_values(0).values[s * 4..(s + 1) * 4];
             for &v in hop1 {
                 if v != NULL_VERTEX {
@@ -156,7 +156,7 @@ mod tests {
             b.push_edge(0, i);
         }
         let g = b.build().unwrap();
-        let res = run_cpu(&g, &KHop::new(vec![2, 2]), &[vec![0]], 1);
+        let res = run_cpu(&g, &KHop::new(vec![2, 2]), &[vec![0]], 1).unwrap();
         let hop1 = &res.store.step_values(0).values;
         assert!(hop1.iter().all(|&v| v != NULL_VERTEX));
         let hop2 = &res.store.step_values(1).values;
@@ -170,7 +170,7 @@ mod tests {
     fn mvs_takes_one_hop_of_batch() {
         let g = ring_lattice(64, 2, 0);
         let batch: Vec<Vec<VertexId>> = vec![vec![0, 5, 9, 13]];
-        let res = run_cpu(&g, &Mvs::default(), &batch, 3);
+        let res = run_cpu(&g, &Mvs::default(), &batch, 3).unwrap();
         assert_eq!(res.stats.steps_run, 1);
         let vals = &res.store.step_values(0).values;
         assert_eq!(vals.len(), 4);
@@ -184,11 +184,11 @@ mod tests {
         let g = rmat(9, 4000, RmatParams::SKEWED, 5);
         let init: Vec<Vec<VertexId>> = (0..48).map(|i| vec![(i * 11 % 512) as VertexId]).collect();
         let app = KHop::graphsage();
-        let cpu = run_cpu(&g, &app, &init, 6);
+        let cpu = run_cpu(&g, &app, &init, 6).unwrap();
         let mut g1 = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut g1, &g, &app, &init, 6);
+        let nd = run_nextdoor(&mut g1, &g, &app, &init, 6).unwrap();
         let mut g2 = Gpu::new(GpuSpec::small());
-        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 6);
+        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 6).unwrap();
         assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
         assert_eq!(cpu.store.final_samples(), sp.store.final_samples());
     }

@@ -81,7 +81,7 @@ mod tests {
     fn samples_stop_near_max_size() {
         let g = ring_lattice(512, 8, 0);
         let init: Vec<Vec<VertexId>> = (0..6).map(|i| vec![(i * 50) as VertexId]).collect();
-        let res = run_cpu(&g, &Layer::new(20, 50), &init, 3);
+        let res = run_cpu(&g, &Layer::new(20, 50), &init, 3).unwrap();
         for s in res.store.final_samples() {
             assert!(s.len() >= 50, "sample stopped early at {}", s.len());
             assert!(s.len() < 50 + 20, "sample overshot to {}", s.len());
@@ -92,10 +92,10 @@ mod tests {
     fn sampled_vertices_come_from_combined_neighborhood() {
         let g = rmat(8, 3000, RmatParams::SKEWED, 7);
         let init: Vec<Vec<VertexId>> = vec![vec![3], vec![100]];
-        let res = run_cpu(&g, &Layer::new(4, 12), &init, 9);
-        for s in 0..2 {
+        let res = run_cpu(&g, &Layer::new(4, 12), &init, 9).unwrap();
+        for (s, sample_init) in init.iter().enumerate().take(2) {
             // Step 0 draws only from the root's neighbourhood.
-            let root = init[s][0];
+            let root = sample_init[0];
             for &v in &res.store.step_values(0).values[s * 4..(s + 1) * 4] {
                 if v != nextdoor_core::NULL_VERTEX {
                     assert!(g.has_edge(root, v));
@@ -109,11 +109,11 @@ mod tests {
         let g = rmat(8, 3000, RmatParams::SKEWED, 2);
         let init: Vec<Vec<VertexId>> = (0..12).map(|i| vec![(i * 13 % 256) as VertexId]).collect();
         let app = Layer::new(8, 24);
-        let cpu = run_cpu(&g, &app, &init, 21);
+        let cpu = run_cpu(&g, &app, &init, 21).unwrap();
         let mut g1 = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut g1, &g, &app, &init, 21);
+        let nd = run_nextdoor(&mut g1, &g, &app, &init, 21).unwrap();
         let mut g2 = Gpu::new(GpuSpec::small());
-        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 21);
+        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 21).unwrap();
         assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
         assert_eq!(cpu.store.final_samples(), sp.store.final_samples());
     }
@@ -127,9 +127,9 @@ mod tests {
         let init: Vec<Vec<VertexId>> = (0..256).map(|i| vec![(i % 16) as VertexId]).collect();
         let app = Layer::new(16, 48);
         let mut g1 = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut g1, &g, &app, &init, 5);
+        let nd = run_nextdoor(&mut g1, &g, &app, &init, 5).unwrap();
         let mut g2 = Gpu::new(GpuSpec::small());
-        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 5);
+        let sp = run_sample_parallel(&mut g2, &g, &app, &init, 5).unwrap();
         assert_eq!(nd.store.final_samples(), sp.store.final_samples());
         assert!(
             nd.stats.counters.gld_transactions < sp.stats.counters.gld_transactions,

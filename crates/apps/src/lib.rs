@@ -65,8 +65,16 @@ mod tests {
         assert_eq!(apps.len(), 10);
         let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
         for expected in [
-            "DeepWalk", "PPR", "node2vec", "MultiRW", "k-hop", "MVS", "Layer", "FastGCN",
-            "LADIES", "ClusterGCN",
+            "DeepWalk",
+            "PPR",
+            "node2vec",
+            "MultiRW",
+            "k-hop",
+            "MVS",
+            "Layer",
+            "FastGCN",
+            "LADIES",
+            "ClusterGCN",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }

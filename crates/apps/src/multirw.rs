@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn one_vertex_added_per_step() {
         let g = ring_lattice(128, 3, 0);
-        let res = run_cpu(&g, &MultiRw::new(10), &roots(8, 5, 128), 3);
+        let res = run_cpu(&g, &MultiRw::new(10), &roots(8, 5, 128), 3).unwrap();
         for s in 0..8 {
             // 5 roots + 10 walk steps.
             assert_eq!(res.store.final_samples()[s].len(), 15);
@@ -110,10 +110,10 @@ mod tests {
     fn roots_evolve() {
         let g = ring_lattice(128, 3, 0);
         let before = roots(4, 5, 128);
-        let res = run_cpu(&g, &MultiRw::new(20), &before, 5);
+        let res = run_cpu(&g, &MultiRw::new(20), &before, 5).unwrap();
         let mut changed = 0;
-        for s in 0..4 {
-            if res.store.roots_of(s) != before[s].as_slice() {
+        for (s, b) in before.iter().enumerate().take(4) {
+            if res.store.roots_of(s) != b.as_slice() {
                 changed += 1;
             }
         }
@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn every_new_vertex_neighbors_some_past_root() {
         let g = rmat(8, 1500, RmatParams::SKEWED, 3);
-        let res = run_cpu(&g, &MultiRw::new(15), &roots(6, 4, 256), 11);
+        let res = run_cpu(&g, &MultiRw::new(15), &roots(6, 4, 256), 11).unwrap();
         for s in 0..6 {
             let sample = &res.store.final_samples()[s];
             for step in 0..res.stats.steps_run {
@@ -146,9 +146,9 @@ mod tests {
     fn matches_across_engines() {
         let g = rmat(8, 2000, RmatParams::SKEWED, 5);
         let ini = roots(16, 8, 256);
-        let cpu = run_cpu(&g, &MultiRw::new(12), &ini, 4);
+        let cpu = run_cpu(&g, &MultiRw::new(12), &ini, 4).unwrap();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &MultiRw::new(12), &ini, 4);
+        let nd = run_nextdoor(&mut gpu, &g, &MultiRw::new(12), &ini, 4).unwrap();
         assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
         for s in 0..16 {
             assert_eq!(cpu.store.roots_of(s), nd.store.roots_of(s));

@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn deepwalk_walks_are_edge_paths_of_full_length() {
         let g = graph();
-        let res = run_cpu(&g, &DeepWalk::new(20), &init(40, 512), 3);
+        let res = run_cpu(&g, &DeepWalk::new(20), &init(40, 512), 3).unwrap();
         for s in res.store.final_samples() {
             for w in s.windows(2) {
                 assert!(g.has_edge(w[0], w[1]));
@@ -221,7 +221,7 @@ mod tests {
             .build()
             .unwrap();
         let init: Vec<Vec<VertexId>> = (0..4000).map(|_| vec![0]).collect();
-        let res = run_cpu(&g, &DeepWalk::new(1), &init, 5);
+        let res = run_cpu(&g, &DeepWalk::new(1), &init, 5).unwrap();
         let mut ones = 0;
         let mut twos = 0;
         for s in res.store.final_samples() {
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn ppr_lengths_follow_geometric_distribution() {
         let g = ring_lattice(256, 4, 0);
-        let res = run_cpu(&g, &Ppr::new(0.1), &init(2000, 256), 7);
+        let res = run_cpu(&g, &Ppr::new(0.1), &init(2000, 256), 7).unwrap();
         let lens: Vec<usize> = res
             .store
             .final_samples()
@@ -274,7 +274,7 @@ mod tests {
             .unwrap();
         let init: Vec<Vec<VertexId>> = (0..3000).map(|_| vec![0]).collect();
         // Step 0 moves 0 -> {1, 3}; step 1 applies the bias.
-        let biased = run_cpu(&g, &Node2Vec::new(2, 1.0, 8.0), &init, 13);
+        let biased = run_cpu(&g, &Node2Vec::new(2, 1.0, 8.0), &init, 13).unwrap();
         let mut to_3 = 0;
         let mut to_2 = 0;
         for s in biased.store.final_samples() {
@@ -301,9 +301,9 @@ mod tests {
             Box::new(Ppr::new(0.05)),
             Box::new(Node2Vec::new(12, 2.0, 0.5)),
         ] {
-            let cpu = run_cpu(&g, app.as_ref(), &ini, 9);
+            let cpu = run_cpu(&g, app.as_ref(), &ini, 9).unwrap();
             let mut gpu = Gpu::new(GpuSpec::small());
-            let nd = run_nextdoor(&mut gpu, &g, app.as_ref(), &ini, 9);
+            let nd = run_nextdoor(&mut gpu, &g, app.as_ref(), &ini, 9).unwrap();
             assert_eq!(
                 cpu.store.final_samples(),
                 nd.store.final_samples(),

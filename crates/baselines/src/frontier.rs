@@ -18,8 +18,8 @@
 
 use nextdoor_core::api::SamplingApp;
 use nextdoor_core::{run_cpu, RunResult, NULL_VERTEX};
-use nextdoor_graph::{Csr, VertexId};
 use nextdoor_gpu::{Gpu, LaunchConfig, WARP_SIZE};
+use nextdoor_graph::{Csr, VertexId};
 
 /// Runs `app` under the frontier-centric abstraction.
 ///
@@ -35,34 +35,25 @@ pub fn run_frontier(
     seed: u64,
 ) -> RunResult {
     assert!(
-        matches!(
-            app.sampling_type(),
-            nextdoor_core::SamplingType::Individual
-        ),
+        matches!(app.sampling_type(), nextdoor_core::SamplingType::Individual),
         "the frontier abstraction cannot express collective sampling"
     );
-    let mut res = run_cpu(graph, app, init, seed);
+    let mut res = run_cpu(graph, app, init, seed).expect("valid sampling inputs");
     let counters0 = *gpu.counters();
     let gg = nextdoor_core::GpuGraph::upload(gpu, graph).expect("graph fits on device");
     // Re-trace each executed step, charging the Advance expansion.
     for step in 0..res.stats.steps_run {
         let m = app.sample_size(step);
         // Frontier = the transits of this step with their sample counts.
-        let mut counts: std::collections::HashMap<VertexId, u32> =
-            std::collections::HashMap::new();
-        for s in 0..res.store.num_samples() {
-            let view_len = if step == 0 {
-                init[s].len()
+        let mut counts: std::collections::HashMap<VertexId, u32> = std::collections::HashMap::new();
+        for (s, roots) in init.iter().enumerate().take(res.store.num_samples()) {
+            let vals: &[VertexId] = if step == 0 {
+                roots
             } else {
-                res.store.step_values(step - 1).slots
+                let sv = res.store.step_values(step - 1);
+                &sv.values[s * sv.slots..(s + 1) * sv.slots]
             };
-            for t in 0..view_len {
-                let v = if step == 0 {
-                    init[s][t]
-                } else {
-                    res.store.step_values(step - 1).values
-                        [s * res.store.step_values(step - 1).slots + t]
-                };
+            for &v in vals {
                 if v != NULL_VERTEX {
                     *counts.entry(v).or_default() += 1;
                 }
@@ -81,47 +72,42 @@ pub fn run_frontier(
         if total == 0 {
             continue;
         }
-        gpu.launch(
-            "gunrock_advance",
-            LaunchConfig::grid1d(total, 256),
-            |blk| {
-                blk.for_each_warp(|w| {
-                    let gid = w.global_thread_ids();
-                    let msk = w.mask_where(|l| gid[l] < total);
-                    if msk == 0 {
-                        return;
-                    }
-                    // Each thread loads its neighbour (coalesced within a
-                    // vertex's range).
-                    let idx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
-                        let (v, _, nbr) = lane_of[gid[l].min(total - 1)];
-                        let (start, _) = graph.adjacency_range(v);
-                        start + nbr
-                    });
-                    let _ = w.ld_global(&gg.cols, &idx, msk);
-                    // Sequential loop over the transit's samples: the warp
-                    // serialises to the largest count (divergence).
-                    let mut max_c = 0u32;
-                    let mut min_c = u32::MAX;
-                    for l in 0..WARP_SIZE {
-                        if msk & (1 << l) != 0 {
-                            let (_, c, _) = lane_of[gid[l].min(total - 1)];
-                            max_c = max_c.max(c);
-                            min_c = min_c.min(c);
-                        }
-                    }
-                    if max_c != min_c {
-                        w.charge_divergence(2);
-                    }
-                    // Per sample: the sampling decision (an RNG draw and a
-                    // comparison) for each of the m draws, plus the
-                    // conditional frontier insert — all sequential.
-                    let rand_cost =
-                        (nextdoor_gpu::GpuSpec::v100().cost.rand_cycles) as u64;
-                    w.charge_compute(max_c as u64 * (m as u64 * (rand_cost + 1) + 1));
+        gpu.launch("gunrock_advance", LaunchConfig::grid1d(total, 256), |blk| {
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let msk = w.mask_where(|l| gid[l] < total);
+                if msk == 0 {
+                    return;
+                }
+                // Each thread loads its neighbour (coalesced within a
+                // vertex's range).
+                let idx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
+                    let (v, _, nbr) = lane_of[gid[l].min(total - 1)];
+                    let (start, _) = graph.adjacency_range(v);
+                    start + nbr
                 });
-            },
-        );
+                let _ = w.ld_global(&gg.cols, &idx, msk);
+                // Sequential loop over the transit's samples: the warp
+                // serialises to the largest count (divergence).
+                let mut max_c = 0u32;
+                let mut min_c = u32::MAX;
+                for l in 0..WARP_SIZE {
+                    if msk & (1 << l) != 0 {
+                        let (_, c, _) = lane_of[gid[l].min(total - 1)];
+                        max_c = max_c.max(c);
+                        min_c = min_c.min(c);
+                    }
+                }
+                if max_c != min_c {
+                    w.charge_divergence(2);
+                }
+                // Per sample: the sampling decision (an RNG draw and a
+                // comparison) for each of the m draws, plus the
+                // conditional frontier insert — all sequential.
+                let rand_cost = (nextdoor_gpu::GpuSpec::v100().cost.rand_cycles) as u64;
+                w.charge_compute(max_c as u64 * (m as u64 * (rand_cost + 1) + 1));
+            });
+        });
         // Frontier-insert pass: scattered atomic appends of new transits.
         let inserts = res
             .store
@@ -179,7 +165,7 @@ mod tests {
         let mut g1 = Gpu::new(GpuSpec::small());
         let fr = run_frontier(&mut g1, &g, &app, &init, 4);
         let mut g2 = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut g2, &g, &app, &init, 4);
+        let nd = run_nextdoor(&mut g2, &g, &app, &init, 4).unwrap();
         assert_eq!(fr.store.final_samples(), nd.store.final_samples());
         assert!(
             fr.stats.total_ms > nd.stats.total_ms,

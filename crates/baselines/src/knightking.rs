@@ -277,8 +277,26 @@ mod tests {
     fn deterministic_regardless_of_thread_count() {
         let g = ring_lattice(128, 3, 0);
         let roots: Vec<VertexId> = (0..64).collect();
-        let a = run_knightking(&g, &PprRule { termination: 0.1, cap: 100 }, &roots, 3, 1);
-        let b = run_knightking(&g, &PprRule { termination: 0.1, cap: 100 }, &roots, 3, 8);
+        let a = run_knightking(
+            &g,
+            &PprRule {
+                termination: 0.1,
+                cap: 100,
+            },
+            &roots,
+            3,
+            1,
+        );
+        let b = run_knightking(
+            &g,
+            &PprRule {
+                termination: 0.1,
+                cap: 100,
+            },
+            &roots,
+            3,
+            8,
+        );
         assert_eq!(a.walks, b.walks, "walker RNG is keyed, not thread-ordered");
     }
 
@@ -286,10 +304,22 @@ mod tests {
     fn ppr_walks_vary_in_length() {
         let g = ring_lattice(128, 3, 0);
         let roots: Vec<VertexId> = (0..500).map(|i| i % 128).collect();
-        let res = run_knightking(&g, &PprRule { termination: 0.2, cap: 200 }, &roots, 5, 4);
+        let res = run_knightking(
+            &g,
+            &PprRule {
+                termination: 0.2,
+                cap: 200,
+            },
+            &roots,
+            5,
+            4,
+        );
         let lens: Vec<usize> = res.walks.iter().map(|w| w.len() - 1).collect();
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
-        assert!((2.5..7.0).contains(&mean), "mean length {mean}, expected ~4");
+        assert!(
+            (2.5..7.0).contains(&mean),
+            "mean length {mean}, expected ~4"
+        );
     }
 
     #[test]
@@ -300,7 +330,11 @@ mod tests {
         let roots: Vec<VertexId> = (0..200).map(|i| i % 64).collect();
         let res = run_knightking(
             &g,
-            &Node2VecRule { length: 4, p: 50.0, q: 1.0 },
+            &Node2VecRule {
+                length: 4,
+                p: 50.0,
+                q: 1.0,
+            },
             &roots,
             9,
             2,

@@ -14,9 +14,9 @@
 
 use nextdoor_core::api::SamplingApp;
 use nextdoor_core::{run_cpu, RunResult, NULL_VERTEX};
-use nextdoor_graph::{Csr, VertexId};
 use nextdoor_gpu::lane::{LaneOp, LaneTrace};
 use nextdoor_gpu::{Gpu, LaunchConfig, WARP_SIZE};
+use nextdoor_graph::{Csr, VertexId};
 
 /// Runs `app` under the message-passing abstraction.
 ///
@@ -32,28 +32,23 @@ pub fn run_message_passing(
     seed: u64,
 ) -> RunResult {
     assert!(
-        matches!(
-            app.sampling_type(),
-            nextdoor_core::SamplingType::Individual
-        ),
+        matches!(app.sampling_type(), nextdoor_core::SamplingType::Individual),
         "the message-passing abstraction cannot express collective sampling"
     );
-    let mut res = run_cpu(graph, app, init, seed);
+    let mut res = run_cpu(graph, app, init, seed).expect("valid sampling inputs");
     let counters0 = *gpu.counters();
     let gg = nextdoor_core::GpuGraph::upload(gpu, graph).expect("graph fits on device");
     for step in 0..res.stats.steps_run {
         let m = app.sample_size(step);
         // Transit -> number of samples it serves this step.
-        let mut counts: std::collections::HashMap<VertexId, u32> =
-            std::collections::HashMap::new();
-        for s in 0..res.store.num_samples() {
-            let (slots, vals): (usize, &[VertexId]) = if step == 0 {
-                (init[s].len(), &init[s])
+        let mut counts: std::collections::HashMap<VertexId, u32> = std::collections::HashMap::new();
+        for (s, roots) in init.iter().enumerate().take(res.store.num_samples()) {
+            let vals: &[VertexId] = if step == 0 {
+                roots
             } else {
                 let sv = res.store.step_values(step - 1);
-                (sv.slots, &sv.values[s * sv.slots..(s + 1) * sv.slots])
+                &sv.values[s * sv.slots..(s + 1) * sv.slots]
             };
-            let _ = slots;
             for &v in vals {
                 if v != NULL_VERTEX {
                     *counts.entry(v).or_default() += 1;
@@ -103,8 +98,7 @@ pub fn run_message_passing(
                                 if deg > 0 {
                                     // The sampled neighbour's address: spread
                                     // deterministically over the adjacency.
-                                    let off =
-                                        (c as usize * 31 + j * 7) % deg;
+                                    let off = (c as usize * 31 + j * 7) % deg;
                                     traces[l].push(LaneOp::GlobalLoad {
                                         addr: cols_base + ((start + off) as u64) * 4,
                                         bytes: 4,
@@ -149,15 +143,10 @@ pub fn run_message_passing(
                         if msk == 0 {
                             return;
                         }
-                        let pos = w.atomic_add_global(
-                            &mut cursor,
-                            &[0; WARP_SIZE],
-                            [1; WARP_SIZE],
-                            msk,
-                        );
-                        let idx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
-                            (pos[l] as usize).min(deliveries - 1)
-                        });
+                        let pos =
+                            w.atomic_add_global(&mut cursor, &[0; WARP_SIZE], [1; WARP_SIZE], msk);
+                        let idx: [usize; WARP_SIZE] =
+                            std::array::from_fn(|l| (pos[l] as usize).min(deliveries - 1));
                         w.st_global(&mut queue, &idx, [0; WARP_SIZE], msk);
                     });
                 },
@@ -188,7 +177,7 @@ mod tests {
         let mut g1 = Gpu::new(GpuSpec::small());
         let mp = run_message_passing(&mut g1, &g, &app, &init, 2);
         let mut g2 = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut g2, &g, &app, &init, 2);
+        let nd = run_nextdoor(&mut g2, &g, &app, &init, 2).unwrap();
         assert_eq!(mp.store.final_samples(), nd.store.final_samples());
         assert!(
             mp.stats.total_ms > nd.stats.total_ms,

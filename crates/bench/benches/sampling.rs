@@ -17,25 +17,38 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("nextdoor", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(GpuSpec::small());
-            criterion::black_box(run_nextdoor(&mut gpu, &graph, &app, &init, 3).stats.total_ms)
+            criterion::black_box(
+                run_nextdoor(&mut gpu, &graph, &app, &init, 3)
+                    .unwrap()
+                    .stats
+                    .total_ms,
+            )
         })
     });
     group.bench_function("sample_parallel", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(GpuSpec::small());
             criterion::black_box(
-                run_sample_parallel(&mut gpu, &graph, &app, &init, 3).stats.total_ms,
+                run_sample_parallel(&mut gpu, &graph, &app, &init, 3)
+                    .unwrap()
+                    .stats
+                    .total_ms,
             )
         })
     });
     group.bench_function("vanilla_tp", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(GpuSpec::small());
-            criterion::black_box(run_vanilla_tp(&mut gpu, &graph, &app, &init, 3).stats.total_ms)
+            criterion::black_box(
+                run_vanilla_tp(&mut gpu, &graph, &app, &init, 3)
+                    .unwrap()
+                    .stats
+                    .total_ms,
+            )
         })
     });
     group.bench_function("cpu_reference", |b| {
-        b.iter(|| criterion::black_box(run_cpu(&graph, &app, &init, 3).stats.total_ms))
+        b.iter(|| criterion::black_box(run_cpu(&graph, &app, &init, 3).unwrap().stats.total_ms))
     });
     group.finish();
 
@@ -45,11 +58,16 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("nextdoor", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(GpuSpec::small());
-            criterion::black_box(run_nextdoor(&mut gpu, &graph, &app, &init, 3).stats.total_ms)
+            criterion::black_box(
+                run_nextdoor(&mut gpu, &graph, &app, &init, 3)
+                    .unwrap()
+                    .stats
+                    .total_ms,
+            )
         })
     });
     group.bench_function("cpu_reference", |b| {
-        b.iter(|| criterion::black_box(run_cpu(&graph, &app, &init, 3).stats.total_ms))
+        b.iter(|| criterion::black_box(run_cpu(&graph, &app, &init, 3).unwrap().stats.total_ms))
     });
     group.finish();
 }

@@ -18,7 +18,10 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Ablations of NextDoor's design choices (scale {})", cfg.scale);
+    println!(
+        "Ablations of NextDoor's design choices (scale {})",
+        cfg.scale
+    );
     let graph = cfg.graph(Dataset::LiveJournal);
     let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
         (Box::new(KHop::graphsage()), AppInit::Walk),
@@ -27,20 +30,29 @@ fn main() {
 
     header(
         "caching & balancing ablation (total ms)",
-        &["full", "no-cache", "no-balance", "cache gain", "balance gain"],
+        &[
+            "full",
+            "no-cache",
+            "no-balance",
+            "cache gain",
+            "balance gain",
+        ],
     );
     for (app, kind) in &apps {
         let init = cfg.init_for(&graph, *kind);
         let mut g_full = Gpu::new(cfg.gpu.clone());
-        let full = run_nextdoor(&mut g_full, &graph, app.as_ref(), &init, cfg.seed);
+        let full =
+            run_nextdoor(&mut g_full, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
         let mut spec_nocache = cfg.gpu.clone();
         // Just enough shared memory for the sort's 256-word counters, but
         // effectively nothing left for adjacency caches.
         spec_nocache.shared_mem_per_block = 1152;
         let mut g_nc = Gpu::new(spec_nocache);
-        let nocache = run_nextdoor(&mut g_nc, &graph, app.as_ref(), &init, cfg.seed);
+        let nocache =
+            run_nextdoor(&mut g_nc, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
         let mut g_tp = Gpu::new(cfg.gpu.clone());
-        let nobalance = run_vanilla_tp(&mut g_tp, &graph, app.as_ref(), &init, cfg.seed);
+        let nobalance =
+            run_vanilla_tp(&mut g_tp, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
         assert_eq!(
             full.store.final_samples(),
             nocache.store.final_samples(),
@@ -58,7 +70,10 @@ fn main() {
         );
     }
 
-    header("SM-count sweep: k-hop total ms (fixed workload)", &["2", "4", "8", "16", "32"]);
+    header(
+        "SM-count sweep: k-hop total ms (fixed workload)",
+        &["2", "4", "8", "16", "32"],
+    );
     let app = KHop::graphsage();
     let init = cfg.init_for(&graph, AppInit::Walk);
     let mut cells = Vec::new();
@@ -66,7 +81,7 @@ fn main() {
         let mut spec = cfg.gpu.clone();
         spec.num_sms = sms;
         let mut gpu = Gpu::new(spec);
-        let res = run_nextdoor(&mut gpu, &graph, &app, &init, cfg.seed);
+        let res = run_nextdoor(&mut gpu, &graph, &app, &init, cfg.seed).expect("bench run");
         cells.push(nextdoor_bench::ms(res.stats.total_ms));
     }
     row("k-hop", &cells);

@@ -9,14 +9,23 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 10: 4-GPU vs 1-GPU sampling speedup (scale {})", cfg.scale);
+    println!(
+        "Figure 10: 4-GPU vs 1-GPU sampling speedup (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: significant speedups everywhere except PPI random walks;");
     println!("k-hop scales even on PPI because transits grow exponentially per step.");
     let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
         (Box::new(nextdoor_apps::DeepWalk::new(100)), AppInit::Walk),
-        (Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)), AppInit::Walk),
+        (
+            Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)),
+            AppInit::Walk,
+        ),
         (Box::new(nextdoor_apps::KHop::graphsage()), AppInit::Walk),
-        (Box::new(nextdoor_apps::Layer::new(250, 500)), AppInit::LayerRoots),
+        (
+            Box::new(nextdoor_apps::Layer::new(250, 500)),
+            AppInit::LayerRoots,
+        ),
     ];
     header("4-GPU speedup", &["PPI", "Orkut", "Patents", "LiveJ"]);
     for (app, kind) in &apps {
@@ -24,8 +33,10 @@ fn main() {
         for dataset in Dataset::MAIN4 {
             let graph = cfg.graph(dataset);
             let init = cfg.init_for(&graph, *kind);
-            let one = run_nextdoor_multi_gpu(&cfg.gpu, 1, &graph, app.as_ref(), &init, cfg.seed);
-            let four = run_nextdoor_multi_gpu(&cfg.gpu, 4, &graph, app.as_ref(), &init, cfg.seed);
+            let one = run_nextdoor_multi_gpu(&cfg.gpu, 1, &graph, app.as_ref(), &init, cfg.seed)
+                .expect("bench run");
+            let four = run_nextdoor_multi_gpu(&cfg.gpu, 4, &graph, app.as_ref(), &init, cfg.seed)
+                .expect("bench run");
             cells.push(format!("{:.2}x", one.makespan_ms / four.makespan_ms));
         }
         row(app.name(), &cells);

@@ -10,22 +10,23 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 6: sampling vs scheduling-index time (scale {})", cfg.scale);
+    println!(
+        "Figure 6: sampling vs scheduling-index time (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: index cost is 5%-40.4% of total; highest for random walks.");
     header(
         "scheduling-index share of total NextDoor time",
         &["PPI", "Orkut", "Patents", "LiveJ"],
     );
-    let graphs: Vec<_> = Dataset::MAIN4
-        .iter()
-        .map(|&d| (d, cfg.graph(d)))
-        .collect();
+    let graphs: Vec<_> = Dataset::MAIN4.iter().map(|&d| (d, cfg.graph(d))).collect();
     for (app, kind) in benchmark_suite() {
         let mut cells = Vec::new();
         for (_, graph) in &graphs {
             let init = cfg.init_for(graph, kind);
             let mut gpu = Gpu::new(cfg.gpu.clone());
-            let res = run_nextdoor(&mut gpu, graph, app.as_ref(), &init, cfg.seed);
+            let res =
+                run_nextdoor(&mut gpu, graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             let frac = 100.0 * res.stats.scheduling_ms / res.stats.total_ms.max(1e-12);
             cells.push(format!("{frac:.1}%"));
         }

@@ -11,7 +11,10 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 7a: random-walk speedups (scale {}, {} samples)", cfg.scale, cfg.samples);
+    println!(
+        "Figure 7a: random-walk speedups (scale {}, {} samples)",
+        cfg.scale, cfg.samples
+    );
     println!("Paper reference: NextDoor is 26-50x over KnightKing and 1.09-6x over SP;");
     println!("node2vec gains least over SP (divergent rejection loop), DeepWalk/PPR most.");
     let apps: Vec<(Box<dyn SamplingApp>, Box<dyn WalkRule>)> = vec![
@@ -21,11 +24,18 @@ fn main() {
         ),
         (
             Box::new(nextdoor_apps::Ppr::new(0.01)),
-            Box::new(PprRule { termination: 0.01, cap: 800 }),
+            Box::new(PprRule {
+                termination: 0.01,
+                cap: 800,
+            }),
         ),
         (
             Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)),
-            Box::new(Node2VecRule { length: 100, p: 2.0, q: 0.5 }),
+            Box::new(Node2VecRule {
+                length: 100,
+                p: 2.0,
+                q: 0.5,
+            }),
         ),
     ];
     for dataset in Dataset::MAIN4 {
@@ -33,17 +43,32 @@ fn main() {
         let init = cfg.init_for(&graph, AppInit::Walk);
         let roots: Vec<u32> = init.iter().map(|s| s[0]).collect();
         header(
-            &format!("{dataset} ({} vertices, {} edges)", graph.num_vertices(), graph.num_edges()),
-            &["KnightKing", "SP", "TP", "NextDoor", "vs KK", "vs SP", "vs TP"],
+            &format!(
+                "{dataset} ({} vertices, {} edges)",
+                graph.num_vertices(),
+                graph.num_edges()
+            ),
+            &[
+                "KnightKing",
+                "SP",
+                "TP",
+                "NextDoor",
+                "vs KK",
+                "vs SP",
+                "vs TP",
+            ],
         );
         for (app, rule) in &apps {
             let kk = run_knightking(&graph, rule.as_ref(), &roots, cfg.seed, cfg.threads);
             let mut g1 = Gpu::new(cfg.gpu.clone());
-            let sp = run_sample_parallel(&mut g1, &graph, app.as_ref(), &init, cfg.seed);
+            let sp = run_sample_parallel(&mut g1, &graph, app.as_ref(), &init, cfg.seed)
+                .expect("bench run");
             let mut g2 = Gpu::new(cfg.gpu.clone());
-            let tp = run_vanilla_tp(&mut g2, &graph, app.as_ref(), &init, cfg.seed);
+            let tp =
+                run_vanilla_tp(&mut g2, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             let mut g3 = Gpu::new(cfg.gpu.clone());
-            let nd = run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed);
+            let nd =
+                run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             row(
                 app.name(),
                 &[

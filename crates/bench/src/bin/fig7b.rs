@@ -10,23 +10,40 @@ use nextdoor_graph::{cluster_vertices, Dataset};
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 7b: GNN-sampler speedups (scale {}, {} samples)", cfg.scale, cfg.samples);
+    println!(
+        "Figure 7b: GNN-sampler speedups (scale {}, {} samples)",
+        cfg.scale, cfg.samples
+    );
     println!("Paper reference: order-of-magnitude speedups over existing GNN samplers;");
     println!("SP also beats them, and NextDoor beats SP by 1.09-6x (layer sampling most).");
     for dataset in Dataset::MAIN4 {
         let graph = cfg.graph(dataset);
         header(
             &format!("{dataset} ({} vertices)", graph.num_vertices()),
-            &["CPU sampler", "SP", "TP", "NextDoor", "vs CPU", "vs SP", "vs TP"],
+            &[
+                "CPU sampler",
+                "SP",
+                "TP",
+                "NextDoor",
+                "vs CPU",
+                "vs SP",
+                "vs TP",
+            ],
         );
         let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
             (Box::new(nextdoor_apps::KHop::graphsage()), AppInit::Walk),
             (Box::new(nextdoor_apps::MultiRw::new(100)), AppInit::MultiRw),
-            (Box::new(nextdoor_apps::Layer::new(250, 500)), AppInit::LayerRoots),
+            (
+                Box::new(nextdoor_apps::Layer::new(250, 500)),
+                AppInit::LayerRoots,
+            ),
             (Box::new(nextdoor_apps::FastGcn::new(2, 64)), AppInit::Batch),
             (Box::new(nextdoor_apps::Ladies::new(2, 64)), AppInit::Batch),
             (Box::new(nextdoor_apps::Mvs::default()), AppInit::Batch),
-            (Box::new(nextdoor_apps::ClusterGcn::new(64)), AppInit::Cluster),
+            (
+                Box::new(nextdoor_apps::ClusterGcn::new(64)),
+                AppInit::Cluster,
+            ),
         ];
         for (app, kind) in apps {
             let init = cfg.init_for(&graph, kind);
@@ -56,18 +73,26 @@ fn main() {
                         cfg.seed ^ 0x1004,
                     );
                     cpu::clustergcn_sampler(
-                        &graph, &clustering, 4, init.len(), cfg.seed, cfg.threads,
+                        &graph,
+                        &clustering,
+                        4,
+                        init.len(),
+                        cfg.seed,
+                        cfg.threads,
                     )
                     .wall_ms
                 }
                 other => panic!("no CPU reference sampler for {other}"),
             };
             let mut g1 = Gpu::new(cfg.gpu.clone());
-            let sp = run_sample_parallel(&mut g1, &graph, app.as_ref(), &init, cfg.seed);
+            let sp = run_sample_parallel(&mut g1, &graph, app.as_ref(), &init, cfg.seed)
+                .expect("bench run");
             let mut g2 = Gpu::new(cfg.gpu.clone());
-            let tp = run_vanilla_tp(&mut g2, &graph, app.as_ref(), &init, cfg.seed);
+            let tp =
+                run_vanilla_tp(&mut g2, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             let mut g3 = Gpu::new(cfg.gpu.clone());
-            let nd = run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed);
+            let nd =
+                run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             row(
                 app.name(),
                 &[

@@ -9,26 +9,34 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 8: NextDoor's L2 read transactions relative to SP (scale {})", cfg.scale);
+    println!(
+        "Figure 8: NextDoor's L2 read transactions relative to SP (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: NextDoor performs a fraction of SP's L2 loads.");
-    header("ND / SP L2 read transactions", &["PPI", "Orkut", "Patents", "LiveJ"]);
-    let graphs: Vec<_> = Dataset::MAIN4
-        .iter()
-        .map(|&d| (d, cfg.graph(d)))
-        .collect();
+    header(
+        "ND / SP L2 read transactions",
+        &["PPI", "Orkut", "Patents", "LiveJ"],
+    );
+    let graphs: Vec<_> = Dataset::MAIN4.iter().map(|&d| (d, cfg.graph(d))).collect();
     for (app, kind) in benchmark_suite() {
         // The paper plots DeepWalk, PPR, node2vec, k-hop and Layer; the
         // remaining applications "perform a similar number of loads".
-        if !matches!(app.name(), "DeepWalk" | "PPR" | "node2vec" | "k-hop" | "Layer") {
+        if !matches!(
+            app.name(),
+            "DeepWalk" | "PPR" | "node2vec" | "k-hop" | "Layer"
+        ) {
             continue;
         }
         let mut cells = Vec::new();
         for (_, graph) in &graphs {
             let init = cfg.init_for(graph, kind);
             let mut g1 = Gpu::new(cfg.gpu.clone());
-            let nd = run_nextdoor(&mut g1, graph, app.as_ref(), &init, cfg.seed);
+            let nd =
+                run_nextdoor(&mut g1, graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             let mut g2 = Gpu::new(cfg.gpu.clone());
-            let sp = run_sample_parallel(&mut g2, graph, app.as_ref(), &init, cfg.seed);
+            let sp = run_sample_parallel(&mut g2, graph, app.as_ref(), &init, cfg.seed)
+                .expect("bench run");
             let ratio = nd.stats.counters.l2_read_transactions() as f64
                 / sp.stats.counters.l2_read_transactions().max(1) as f64;
             cells.push(format!("{ratio:.2}"));

@@ -10,13 +10,19 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 9: speedup over Gunrock and Tigr abstractions (scale {})", cfg.scale);
+    println!(
+        "Figure 9: speedup over Gunrock and Tigr abstractions (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: NextDoor wins because those abstractions expose only one");
     println!("degree of parallelism and balance load by degree, not by samples.");
     let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
         (Box::new(nextdoor_apps::KHop::graphsage()), AppInit::Walk),
         (Box::new(nextdoor_apps::DeepWalk::new(100)), AppInit::Walk),
-        (Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)), AppInit::Walk),
+        (
+            Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)),
+            AppInit::Walk,
+        ),
     ];
     for dataset in Dataset::MAIN4 {
         let graph = cfg.graph(dataset);
@@ -31,7 +37,8 @@ fn main() {
             let mut g2 = Gpu::new(cfg.gpu.clone());
             let mp = run_message_passing(&mut g2, &graph, app.as_ref(), &init, cfg.seed);
             let mut g3 = Gpu::new(cfg.gpu.clone());
-            let nd = run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed);
+            let nd =
+                run_nextdoor(&mut g3, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             row(
                 app.name(),
                 &[

@@ -13,6 +13,10 @@ use nextdoor_core::SamplingApp;
 use nextdoor_gpu::Gpu;
 use nextdoor_graph::Dataset;
 
+/// A GPU sampling application paired with the KnightKing walk rule that
+/// mirrors it (walks only; k-hop and layer have no KnightKing equivalent).
+type AppAndRule = (Box<dyn SamplingApp>, Option<Box<dyn WalkRule>>);
+
 fn main() {
     let mut cfg = BenchConfig::from_args();
     // Friendster is 20x larger than the other graphs; shrink accordingly so
@@ -30,8 +34,11 @@ fn main() {
         graph.num_vertices(),
         graph.num_edges()
     );
-    println!("Device graph budget: {} MiB (graph is {} MiB)",
-        budget >> 20, graph.size_bytes() >> 20);
+    println!(
+        "Device graph budget: {} MiB (graph is {} MiB)",
+        budget >> 20,
+        graph.size_bytes() >> 20
+    );
     println!("Paper reference: k-hop/layer are compute-bound (GPU wins);");
     println!("DeepWalk/PPR are transfer-bound (KnightKing ~2x); node2vec GPU 1.5x.");
 
@@ -39,7 +46,7 @@ fn main() {
         "throughput (samples/s)",
         &["NextDoor", "KnightKing", "ND/KK"],
     );
-    let apps: Vec<(Box<dyn SamplingApp>, Option<Box<dyn WalkRule>>)> = vec![
+    let apps: Vec<AppAndRule> = vec![
         (Box::new(nextdoor_apps::KHop::graphsage()), None),
         // Layer sampling uses a capped batch (its combined neighbourhoods
         // are hundreds of vertices per sample).
@@ -50,11 +57,18 @@ fn main() {
         ),
         (
             Box::new(nextdoor_apps::Ppr::new(0.01)),
-            Some(Box::new(PprRule { termination: 0.01, cap: 800 })),
+            Some(Box::new(PprRule {
+                termination: 0.01,
+                cap: 800,
+            })),
         ),
         (
             Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)),
-            Some(Box::new(Node2VecRule { length: 100, p: 2.0, q: 0.5 })),
+            Some(Box::new(Node2VecRule {
+                length: 100,
+                p: 2.0,
+                q: 0.5,
+            })),
         ),
     ];
     for (app, rule) in apps {
@@ -66,7 +80,8 @@ fn main() {
         let init = cfg.init_for(&graph, kind);
         let mut gpu = Gpu::new(cfg.gpu.clone());
         let (_res, ooc) =
-            run_nextdoor_out_of_core(&mut gpu, &graph, app.as_ref(), &init, cfg.seed, budget);
+            run_nextdoor_out_of_core(&mut gpu, &graph, app.as_ref(), &init, cfg.seed, budget)
+                .expect("bench run");
         let kk_tp = rule.map(|r| {
             let roots: Vec<u32> = init.iter().map(|s| s[0]).collect();
             let res = run_knightking(&graph, r.as_ref(), &roots, cfg.seed, cfg.threads);

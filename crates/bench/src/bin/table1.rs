@@ -8,7 +8,10 @@ use nextdoor_graph::{cluster_vertices, Dataset, VertexId};
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Table 1: fraction of epoch time spent sampling (scale {})", cfg.scale);
+    println!(
+        "Table 1: fraction of epoch time spent sampling (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: GraphSAGE 25%-51%, FastGCN 26%-62%, LADIES 25%-56%,");
     println!("MVS 24%-51%, ClusterGCN 26%-43%, GraphSAINT 25%-53%.");
     let datasets = [
@@ -22,7 +25,14 @@ fn main() {
         "sampling share of epoch",
         &["PPI", "Reddit", "Orkut", "Patents", "LiveJ"],
     );
-    let samplers: [&str; 6] = ["GraphSAGE", "FastGCN", "LADIES", "MVS", "ClusterGCN", "GraphSAINT"];
+    let samplers: [&str; 6] = [
+        "GraphSAGE",
+        "FastGCN",
+        "LADIES",
+        "MVS",
+        "ClusterGCN",
+        "GraphSAINT",
+    ];
     for name in samplers {
         let mut cells = Vec::new();
         for dataset in datasets {
@@ -30,8 +40,7 @@ fn main() {
             let model = GraphSageModel::new(128, 128, 16, cfg.seed);
             let mut trainer = Trainer::new(model, 64, 0.1);
             let verts: Vec<VertexId> = (0..cfg.samples.min(graph.num_vertices()) as u32).collect();
-            let clustering =
-                cluster_vertices(&graph, (graph.num_vertices() / 64).max(8), cfg.seed);
+            let clustering = cluster_vertices(&graph, (graph.num_vertices() / 64).max(8), cfg.seed);
             let mut sampler = |batch: &[VertexId]| match name {
                 "GraphSAGE" => {
                     let r = cpu::khop_sampler(&graph, batch, &[25, 10], cfg.seed, cfg.threads);
@@ -54,7 +63,12 @@ fn main() {
                 }
                 "ClusterGCN" => {
                     let r = cpu::clustergcn_sampler(
-                        &graph, &clustering, 2, batch.len(), cfg.seed, cfg.threads,
+                        &graph,
+                        &clustering,
+                        2,
+                        batch.len(),
+                        cfg.seed,
+                        cfg.threads,
                     );
                     (r.samples, r.wall_ms)
                 }

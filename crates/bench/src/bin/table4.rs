@@ -9,15 +9,27 @@ use nextdoor_graph::Dataset;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Table 4: store efficiency and multiprocessor activity (scale {})", cfg.scale);
+    println!(
+        "Table 4: store efficiency and multiprocessor activity (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: store efficiency 98.5-100% (k-hop, Layer);");
     println!("activity 100% everywhere except PPI walks (67.8-70.1%): too few samples.");
     let apps: Vec<(Box<dyn SamplingApp>, AppInit)> = vec![
-        (Box::new(nextdoor_apps::KHop::new(vec![16, 8])), AppInit::Walk),
-        (Box::new(nextdoor_apps::Layer::new(256, 512)), AppInit::LayerRoots),
+        (
+            Box::new(nextdoor_apps::KHop::new(vec![16, 8])),
+            AppInit::Walk,
+        ),
+        (
+            Box::new(nextdoor_apps::Layer::new(256, 512)),
+            AppInit::LayerRoots,
+        ),
         (Box::new(nextdoor_apps::DeepWalk::new(100)), AppInit::Walk),
         (Box::new(nextdoor_apps::Ppr::new(0.01)), AppInit::Walk),
-        (Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)), AppInit::Walk),
+        (
+            Box::new(nextdoor_apps::Node2Vec::new(100, 2.0, 0.5)),
+            AppInit::Walk,
+        ),
     ];
     header(
         "store efficiency %% / multiprocessor activity %%",
@@ -29,7 +41,8 @@ fn main() {
             let graph = cfg.graph(dataset);
             let init = cfg.init_for(&graph, kind);
             let mut gpu = Gpu::new(cfg.gpu.clone());
-            let res = run_nextdoor(&mut gpu, &graph, app.as_ref(), &init, cfg.seed);
+            let res =
+                run_nextdoor(&mut gpu, &graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             cells.push(format!(
                 "{:.0}/{:.0}",
                 res.stats.counters.gst_efficiency(),

@@ -12,7 +12,10 @@ use nextdoor_graph::{Dataset, VertexId};
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Table 5: end-to-end GNN speedup with NextDoor sampling (scale {})", cfg.scale);
+    println!(
+        "Table 5: end-to-end GNN speedup with NextDoor sampling (scale {})",
+        cfg.scale
+    );
     println!("Paper reference: GraphSAGE limited by TF tensor copies; FastGCN 1.25-4.75x,");
     println!("LADIES 1.07-2.34x, ClusterGCN 1.03-1.51x; bigger graphs gain more.");
     let datasets = [
@@ -60,16 +63,29 @@ fn main() {
                 let mut gpu = Gpu::new(cfg.gpu.clone());
                 let res = match name {
                     "GraphSAGE" => run_nextdoor(
-                        &mut gpu, &graph, &nextdoor_apps::KHop::graphsage(), &init, cfg.seed,
+                        &mut gpu,
+                        &graph,
+                        &nextdoor_apps::KHop::graphsage(),
+                        &init,
+                        cfg.seed,
                     ),
                     "FastGCN" => run_nextdoor(
-                        &mut gpu, &graph, &nextdoor_apps::FastGcn::new(2, 64), &init, cfg.seed,
+                        &mut gpu,
+                        &graph,
+                        &nextdoor_apps::FastGcn::new(2, 64),
+                        &init,
+                        cfg.seed,
                     ),
                     "LADIES" => run_nextdoor(
-                        &mut gpu, &graph, &nextdoor_apps::Ladies::new(2, 64), &init, cfg.seed,
+                        &mut gpu,
+                        &graph,
+                        &nextdoor_apps::Ladies::new(2, 64),
+                        &init,
+                        cfg.seed,
                     ),
                     other => panic!("unknown sampler {other}"),
-                };
+                }
+                .expect("bench run");
                 (res.store.final_samples(), res.stats.total_ms)
             };
             let with_nd = trainer.run_epoch(&verts, &mut nd_sampler);

@@ -65,12 +65,8 @@ impl BenchConfig {
             };
             match flag.as_str() {
                 "--scale" => cfg.scale = value("--scale").parse().expect("numeric --scale"),
-                "--samples" => {
-                    cfg.samples = value("--samples").parse().expect("integer --samples")
-                }
-                "--sms" => {
-                    cfg.gpu.num_sms = value("--sms").parse().expect("integer --sms")
-                }
+                "--samples" => cfg.samples = value("--samples").parse().expect("integer --samples"),
+                "--sms" => cfg.gpu.num_sms = value("--sms").parse().expect("integer --sms"),
                 "--seed" => cfg.seed = value("--seed").parse().expect("integer --seed"),
                 "--help" | "-h" => {
                     eprintln!(
@@ -136,12 +132,9 @@ impl BenchConfig {
     pub fn init_for(&self, graph: &Csr, kind: AppInit) -> Vec<Vec<VertexId>> {
         match kind {
             AppInit::Walk => self.walk_init(graph),
-            AppInit::LayerRoots => initial_samples_random(
-                graph,
-                (self.samples / 4).max(64),
-                1,
-                self.seed ^ 0x1001,
-            ),
+            AppInit::LayerRoots => {
+                initial_samples_random(graph, (self.samples / 4).max(64), 1, self.seed ^ 0x1001)
+            }
             AppInit::MultiRw => self.multirw_init(graph),
             AppInit::Batch => self.batch_init(graph),
             AppInit::Cluster => {
@@ -170,11 +163,17 @@ pub fn benchmark_suite() -> Vec<(Box<dyn nextdoor_core::SamplingApp>, AppInit)> 
     vec![
         (Box::new(apps::DeepWalk::new(100)) as _, AppInit::Walk),
         (Box::new(apps::Ppr::new(0.01)) as _, AppInit::Walk),
-        (Box::new(apps::Node2Vec::new(100, 2.0, 0.5)) as _, AppInit::Walk),
+        (
+            Box::new(apps::Node2Vec::new(100, 2.0, 0.5)) as _,
+            AppInit::Walk,
+        ),
         (Box::new(apps::MultiRw::new(100)) as _, AppInit::MultiRw),
         (Box::new(apps::KHop::graphsage()) as _, AppInit::Walk),
         (Box::new(apps::Mvs::default()) as _, AppInit::Batch),
-        (Box::new(apps::Layer::new(250, 500)) as _, AppInit::LayerRoots),
+        (
+            Box::new(apps::Layer::new(250, 500)) as _,
+            AppInit::LayerRoots,
+        ),
         (Box::new(apps::FastGcn::new(2, 64)) as _, AppInit::Batch),
         (Box::new(apps::Ladies::new(2, 64)) as _, AppInit::Batch),
         (Box::new(apps::ClusterGcn::new(64)) as _, AppInit::Cluster),

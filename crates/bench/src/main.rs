@@ -6,12 +6,20 @@ use std::collections::HashMap;
 
 struct Walk(usize);
 impl SamplingApp for Walk {
-    fn name(&self) -> &'static str { "walk" }
-    fn steps(&self) -> Steps { Steps::Fixed(self.0) }
-    fn sample_size(&self, _: usize) -> usize { 1 }
+    fn name(&self) -> &'static str {
+        "walk"
+    }
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.0)
+    }
+    fn sample_size(&self, _: usize) -> usize {
+        1
+    }
     fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
         let d = ctx.num_edges();
-        if d == 0 { return None; }
+        if d == 0 {
+            return None;
+        }
         let i = ctx.rand_range(d);
         Some(ctx.src_edge(i))
     }
@@ -22,7 +30,7 @@ fn main() {
     let init: Vec<Vec<u32>> = (0..512).map(|i| vec![(i * 2) as u32]).collect();
     let mut gpu = Gpu::new(GpuSpec::small());
     let _ = run_nextdoor(&mut gpu, &g, &Walk(10), &init, 4);
-    let mut by: HashMap<String,(u64,u64,f64)> = HashMap::new();
+    let mut by: HashMap<String, (u64, u64, f64)> = HashMap::new();
     for k in gpu.kernel_log() {
         let e = by.entry(k.name.clone()).or_default();
         e.0 += k.counters.gld_transactions;
@@ -30,7 +38,13 @@ fn main() {
         e.2 += k.cycles;
     }
     let mut v: Vec<_> = by.into_iter().collect();
-    v.sort_by_key(|x| std::cmp::Reverse(x.1.0));
-    for (n,(tx,cnt,cyc)) in v { println!("{n:24} gld_tx={tx:8} launches={cnt:4} cycles={cyc:12.0}"); }
-    println!("total gld={} cycles={}", gpu.counters().gld_transactions, gpu.counters().cycles);
+    v.sort_by_key(|x| std::cmp::Reverse(x.1 .0));
+    for (n, (tx, cnt, cyc)) in v {
+        println!("{n:24} gld_tx={tx:8} launches={cnt:4} cycles={cyc:12.0}");
+    }
+    println!(
+        "total gld={} cycles={}",
+        gpu.counters().gld_transactions,
+        gpu.counters().cycles
+    );
 }

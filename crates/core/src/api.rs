@@ -225,7 +225,10 @@ impl<'a> NextCtx<'a> {
                 self.record_edge_access(i, addr);
                 self.graph.neighbor(t, i)
             }
-            EdgeSource::Combined { vertices, base_addr } => {
+            EdgeSource::Combined {
+                vertices,
+                base_addr,
+            } => {
                 let v = vertices[i];
                 let addr = *base_addr + (i as u64) * 4;
                 // Combined neighbourhoods live in global memory (§6.2).
@@ -543,10 +546,7 @@ mod tests {
         assert!(!ctx.has_edge(1, 3));
         drop(ctx);
         assert!(trace.len() >= 5, "accesses recorded: {}", trace.len());
-        assert!(trace
-            .ops()
-            .iter()
-            .any(|o| matches!(o, LaneOp::SharedLoad)));
+        assert!(trace.ops().iter().any(|o| matches!(o, LaneOp::SharedLoad)));
     }
 
     #[test]

@@ -127,15 +127,13 @@ pub(crate) fn build_combined_transit_parallel(
                         let pair_id = index.sorted_pair_ids[seg.start + p];
                         let (sample, _tidx) = ex.decode_pair(pair_id);
                         let (dst_base, _) = ranges[sample];
-                        let dst_off =
-                            combined_offset_of(ex, &sample_transits[sample], seg.transit);
+                        let dst_off = combined_offset_of(ex, &sample_transits[sample], seg.transit);
                         for c in 0..deg.div_ceil(WARP_SIZE) {
                             let base = c * WARP_SIZE;
                             let len = WARP_SIZE.min(deg - base);
                             let msk = mask_first_n(len);
-                            let sidx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
-                                (base + l).min(cache_n.max(1) - 1)
-                            });
+                            let sidx: [usize; WARP_SIZE] =
+                                std::array::from_fn(|l| (base + l).min(cache_n.max(1) - 1));
                             let v = w.ld_shared(&arr, &sidx, msk);
                             let didx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
                                 dst_base + dst_off + (base + l).min(deg - 1)
@@ -234,59 +232,53 @@ pub(crate) fn run_collective_next_kernel(
     let values = &mut out.values;
     let edges = &mut out.edges;
     let step_buf = &mut out.step_buf;
-    gpu.launch(
-        "collective_next",
-        LaunchConfig::grid1d(total, 256),
-        |blk| {
-            blk.for_each_warp(|w| {
-                let gid = w.global_thread_ids();
-                let valid = w.mask_where(|l| {
-                    gid[l] < total && !combined.sample_transits[gid[l] / m].is_empty()
-                });
-                if valid == 0 {
-                    return;
+    gpu.launch("collective_next", LaunchConfig::grid1d(total, 256), |blk| {
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let valid = w
+                .mask_where(|l| gid[l] < total && !combined.sample_transits[gid[l] / m].is_empty());
+            if valid == 0 {
+                return;
+            }
+            let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
+            let mut vals = [NULL_VERTEX; WARP_SIZE];
+            let mut idxs = [0usize; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if valid & (1 << l) == 0 {
+                    continue;
                 }
-                let mut traces: [LaneTrace; WARP_SIZE] =
-                    std::array::from_fn(|_| LaneTrace::new());
-                let mut vals = [NULL_VERTEX; WARP_SIZE];
-                let mut idxs = [0usize; WARP_SIZE];
-                for l in 0..WARP_SIZE {
-                    if valid & (1 << l) == 0 {
-                        continue;
-                    }
-                    let sample = gid[l] / m;
-                    let j = gid[l] % m;
-                    let (start, len) = combined.ranges[sample];
-                    let view = ex.store.view(sample, ex.plan.step);
-                    let mut ctx = NextCtx {
-                        step: ex.plan.step,
-                        sample_id: sample,
-                        slot: j,
-                        graph: ex.graph,
-                        source: EdgeSource::Combined {
-                            vertices: &combined.vertices[start..start + len],
-                            base_addr: combined.device.addr_of(start),
-                        },
-                        transits: &combined.sample_transits[sample],
-                        view: &view,
-                        rng: RngStream::new(ex.seed, sample, ex.plan.step, j),
-                        cost: crate::api::EdgeCost::Global,
-                        cached_len: 0,
-                        trace: Some(&mut traces[l]),
-                        graph_cols_base: ex.gg.cols_base(),
-                        new_edges: Vec::new(),
-                    };
-                    let v = ex.app.next(&mut ctx).unwrap_or(NULL_VERTEX);
-                    let es = ctx.take_new_edges();
-                    drop(ctx);
-                    vals[l] = v;
-                    idxs[l] = sample * ex.plan.slots + j;
-                    values[idxs[l]] = v;
-                    edges[sample].extend(es);
-                }
-                w.replay(&traces, valid);
-                w.st_global(step_buf, &idxs, vals, valid);
-            });
-        },
-    );
+                let sample = gid[l] / m;
+                let j = gid[l] % m;
+                let (start, len) = combined.ranges[sample];
+                let view = ex.store.view(sample, ex.plan.step);
+                let mut ctx = NextCtx {
+                    step: ex.plan.step,
+                    sample_id: sample,
+                    slot: j,
+                    graph: ex.graph,
+                    source: EdgeSource::Combined {
+                        vertices: &combined.vertices[start..start + len],
+                        base_addr: combined.device.addr_of(start),
+                    },
+                    transits: &combined.sample_transits[sample],
+                    view: &view,
+                    rng: RngStream::new(ex.seed, sample, ex.plan.step, j),
+                    cost: crate::api::EdgeCost::Global,
+                    cached_len: 0,
+                    trace: Some(&mut traces[l]),
+                    graph_cols_base: ex.gg.cols_base(),
+                    new_edges: Vec::new(),
+                };
+                let v = ex.app.next(&mut ctx).unwrap_or(NULL_VERTEX);
+                let es = ctx.take_new_edges();
+                drop(ctx);
+                vals[l] = v;
+                idxs[l] = sample * ex.plan.slots + j;
+                values[idxs[l]] = v;
+                edges[sample].extend(es);
+            }
+            w.replay(&traces, valid);
+            w.st_global(step_buf, &idxs, vals, valid);
+        });
+    });
 }

@@ -8,24 +8,26 @@ use std::time::Instant;
 
 use crate::api::{EdgeCost, SamplingApp, SamplingType, NULL_VERTEX};
 use crate::engine::{
-    build_combined, finish_step, plan_step, run_next_collective, run_next_individual,
-    step_budget, unique, EngineStats, RunResult,
+    build_combined, finish_step, plan_step, run_next_collective, run_next_individual, step_budget,
+    unique, EngineStats, RunResult,
 };
+use crate::error::{validate_run, NextDoorError};
 use crate::store::SampleStore;
 use nextdoor_graph::{Csr, VertexId};
 
 /// Runs `app` to completion on the host, single-threaded.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `init` is empty or its samples have unequal lengths.
-pub fn run_cpu(graph: &Csr, app: &dyn SamplingApp, init: &[Vec<VertexId>], seed: u64) -> RunResult {
-    assert!(!init.is_empty(), "need at least one initial sample");
-    let init_len = init[0].len();
-    assert!(
-        init.iter().all(|s| s.len() == init_len),
-        "initial samples must have equal sizes"
-    );
+/// Returns [`NextDoorError`] if `init` is empty, its samples have unequal
+/// lengths, a root vertex is out of range, or `app` declares zero steps.
+pub fn run_cpu(
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    seed: u64,
+) -> Result<RunResult, NextDoorError> {
+    validate_run(graph, app, init)?;
     let mut store = SampleStore::new(init.to_vec());
     let t0 = Instant::now();
     let mut steps_run = 0;
@@ -104,7 +106,7 @@ pub fn run_cpu(graph: &Csr, app: &dyn SamplingApp, init: &[Vec<VertexId>], seed:
         }
     }
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
-    RunResult {
+    Ok(RunResult {
         store,
         stats: EngineStats {
             total_ms,
@@ -113,7 +115,8 @@ pub fn run_cpu(graph: &Csr, app: &dyn SamplingApp, init: &[Vec<VertexId>], seed:
             counters: Default::default(),
             steps_run,
         },
-    }
+        report: Default::default(),
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +149,7 @@ mod tests {
     #[test]
     fn walk_produces_valid_paths() {
         let g = ring_lattice(32, 2, 0);
-        let res = run_cpu(&g, &Walk(10), &[vec![0], vec![7], vec![13]], 42);
+        let res = run_cpu(&g, &Walk(10), &[vec![0], vec![7], vec![13]], 42).unwrap();
         assert_eq!(res.stats.steps_run, 10);
         let samples = res.store.final_samples();
         assert_eq!(samples.len(), 3);
@@ -166,10 +169,10 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let g = ring_lattice(64, 3, 0);
-        let a = run_cpu(&g, &Walk(5), &[vec![1], vec![2]], 9);
-        let b = run_cpu(&g, &Walk(5), &[vec![1], vec![2]], 9);
+        let a = run_cpu(&g, &Walk(5), &[vec![1], vec![2]], 9).unwrap();
+        let b = run_cpu(&g, &Walk(5), &[vec![1], vec![2]], 9).unwrap();
         assert_eq!(a.store.final_samples(), b.store.final_samples());
-        let c = run_cpu(&g, &Walk(5), &[vec![1], vec![2]], 10);
+        let c = run_cpu(&g, &Walk(5), &[vec![1], vec![2]], 10).unwrap();
         assert_ne!(a.store.final_samples(), c.store.final_samples());
     }
 
@@ -201,16 +204,19 @@ mod tests {
     #[test]
     fn khop_fanout_shapes() {
         let g = ring_lattice(32, 2, 0);
-        let res = run_cpu(&g, &TwoHop, &[vec![0]], 1);
+        let res = run_cpu(&g, &TwoHop, &[vec![0]], 1).unwrap();
         assert_eq!(res.store.step_values(0).slots, 3);
         assert_eq!(res.store.step_values(1).slots, 6);
         assert_eq!(res.store.final_samples()[0].len(), 1 + 3 + 6);
     }
 
     #[test]
-    #[should_panic(expected = "equal sizes")]
     fn unequal_initial_sizes_rejected() {
         let g = ring_lattice(8, 1, 0);
-        let _ = run_cpu(&g, &Walk(1), &[vec![0], vec![1, 2]], 0);
+        let res = run_cpu(&g, &Walk(1), &[vec![0], vec![1, 2]], 0);
+        assert!(matches!(
+            res.err(),
+            Some(NextDoorError::UnequalInitSizes { sample: 1, .. })
+        ));
     }
 }

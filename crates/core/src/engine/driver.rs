@@ -2,10 +2,26 @@
 //!
 //! The engines differ only in how each step's `next` invocations are
 //! scheduled onto the GPU; everything else — transit planning, collective
-//! neighbourhood semantics, uniqueness, termination — is common and lives
-//! here, so that the engines are directly comparable (and provably produce
-//! identical samples). The out-of-GPU-memory mode (§8.4) reuses
-//! [`exec_step`] with its own outer loop.
+//! neighbourhood semantics, uniqueness, termination, fault recovery — is
+//! common and lives in [`run_step_loop`], so that the engines are directly
+//! comparable (and provably produce identical samples). The out-of-GPU-memory
+//! mode (§8.4) reuses the same loop with a residency descriptor that charges
+//! per-step sub-graph transfers.
+//!
+//! # Fault recovery
+//!
+//! Device faults (injected via [`nextdoor_gpu::FaultPlan`] or real) surface
+//! through two channels: fallible allocations return `Err(OutOfMemory)`, and
+//! kernel launches record [`nextdoor_gpu::FaultEvent`]s drained with
+//! `take_faults()`. The step loop drains events at step granularity: a step
+//! whose execution observed any fault discards its outputs and re-executes —
+//! sound because the sampling RNG is counter-based, keyed by
+//! `(seed, sample, step, slot)`, so a re-run is bit-identical. A step still
+//! faulting after [`MAX_STEP_RETRIES`] retries fails the run with
+//! [`NextDoorError::KernelFault`]; device loss is never retried locally and
+//! surfaces as [`NextDoorError::DeviceLost`] for the multi-GPU layer to
+//! fail over. An upload that does not fit degrades the NextDoor engine to
+//! the out-of-core engine instead of failing.
 
 use crate::api::{SamplingApp, SamplingType, NULL_VERTEX};
 use crate::engine::collective::{
@@ -17,11 +33,19 @@ use crate::engine::kernels::{
     run_subwarp_kernel, run_transit_block_kernel, BlockWork, StepExec, StepOut,
 };
 use crate::engine::scheduling::{build_scheduling_index, partition_kernel_classes};
-use crate::engine::{finish_step, plan_step, step_budget, unique, EngineStats, RunResult, StepPlan};
+use crate::engine::{
+    finish_step, plan_step, step_budget, unique, EngineStats, RunResult, StepPlan,
+};
+use crate::error::{FaultReport, NextDoorError};
 use crate::gpu_graph::GpuGraph;
+use crate::large_graph::GraphPartitions;
 use crate::store::SampleStore;
-use nextdoor_gpu::{DeviceBuffer, Gpu};
+use nextdoor_gpu::{DeviceBuffer, Gpu, OutOfMemory};
 use nextdoor_graph::{Csr, VertexId};
+
+/// How many times a faulted step is re-executed before the run fails with
+/// [`NextDoorError::KernelFault`].
+pub(crate) const MAX_STEP_RETRIES: usize = 3;
 
 /// Which parallelisation strategy to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,57 +137,168 @@ pub(crate) fn exec_step(
     sched_cycles
 }
 
-/// Runs `app` to completion with the chosen engine on `gpu`.
-pub(crate) fn run_gpu_engine(
+/// Classifies a fallible device allocation: `Ok(Some(_))` succeeded,
+/// `Ok(None)` hit an injected fault (absorbed into `report`; retry the
+/// operation), `Err(_)` is genuine memory exhaustion or device loss.
+fn absorb_alloc_fault<T>(
+    gpu: &mut Gpu,
+    report: &mut FaultReport,
+    res: Result<T, OutOfMemory>,
+) -> Result<Option<T>, NextDoorError> {
+    match res {
+        Ok(v) => Ok(Some(v)),
+        Err(oom) => {
+            let events = gpu.take_faults();
+            if events.is_empty() {
+                // No fault event means the device is genuinely full.
+                return Err(oom.into());
+            }
+            report.absorb(&events);
+            if gpu.device_lost() {
+                return Err(NextDoorError::DeviceLost { device: 0 });
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Everything [`run_step_loop`] produces besides what the caller derives
+/// from the GPU counters.
+pub(crate) struct StepLoopOut {
+    pub store: SampleStore,
+    pub sched_cycles: f64,
+    pub transfer_cycles: f64,
+    pub transfers: usize,
+    pub steps_run: usize,
+    pub report: FaultReport,
+}
+
+/// The engine-independent, fault-tolerant step loop.
+///
+/// With `residency` set, the graph is assumed host-staged and each step
+/// first transfers the sub-graphs holding live transits (out-of-core mode;
+/// the caller must have enabled transfer charging). Transfers are charged
+/// once per step: a retried attempt reuses the already-resident sub-graphs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_step_loop(
     gpu: &mut Gpu,
     graph: &Csr,
+    gg: &GpuGraph,
     app: &dyn SamplingApp,
     init: &[Vec<VertexId>],
     seed: u64,
     kind: GpuEngineKind,
-) -> RunResult {
-    assert!(!init.is_empty(), "need at least one initial sample");
-    let init_len = init[0].len();
-    assert!(
-        init.iter().all(|s| s.len() == init_len),
-        "initial samples must have equal sizes"
-    );
-    let gg = GpuGraph::upload(gpu, graph).expect("graph must fit in device memory");
+    residency: Option<&GraphPartitions>,
+) -> Result<StepLoopOut, NextDoorError> {
+    if gpu.device_lost() {
+        return Err(NextDoorError::DeviceLost { device: 0 });
+    }
+    let mut report = FaultReport::default();
     let mut store = SampleStore::new(init.to_vec());
-    let counters0 = *gpu.counters();
     let mut sched_cycles = 0.0;
-    let mut steps_run = 0;
+    let mut transfer_cycles = 0.0;
+    let mut transfers = 0usize;
+    let mut steps_run = 0usize;
     let init_flat: Vec<u32> = init.iter().flatten().copied().collect();
-    let mut prev_buf = gpu.to_device(&init_flat);
+    let mut prev_buf = {
+        let mut retries = 0usize;
+        loop {
+            let res = gpu.try_to_device(&init_flat);
+            match absorb_alloc_fault(gpu, &mut report, res)? {
+                Some(b) => break b,
+                None => {
+                    if retries >= MAX_STEP_RETRIES {
+                        return Err(NextDoorError::KernelFault { step: 0, retries });
+                    }
+                    retries += 1;
+                    report.step_retries += 1;
+                }
+            }
+        }
+    };
     for step in 0..step_budget(app) {
         let plan = plan_step(app, &store, step, seed);
         if plan.live == 0 {
             break;
         }
+        if let Some(parts) = residency {
+            // Which sub-graphs hold this step's transits?
+            let mut needed: Vec<bool> = vec![false; parts.len()];
+            for &t in &plan.transits {
+                if t != NULL_VERTEX {
+                    needed[parts.partition_of(t)] = true;
+                }
+            }
+            let c0 = gpu.counters().cycles;
+            for (p, used) in needed.iter().enumerate() {
+                if *used {
+                    gpu.charge_htod(parts.bytes_of(p));
+                    transfers += 1;
+                }
+            }
+            transfer_cycles += gpu.counters().cycles - c0;
+        }
         let ns = store.num_samples();
-        let mut transit_buf = gpu.alloc::<u32>(ns * plan.tps);
-        charge_step_transits(gpu, &prev_buf, &mut transit_buf);
-        transit_buf.as_mut_slice().copy_from_slice(&plan.transits);
-        let mut out = StepOut::new(gpu, ns, plan.slots);
-        {
-            let ex = StepExec {
-                graph,
-                gg: &gg,
-                app,
-                store: &store,
-                plan: &plan,
-                seed,
+        let mut retries = 0usize;
+        let (values, edges, step_buf) = loop {
+            // A faulted attempt falls through to the retry bookkeeping at
+            // the bottom; allocation faults restart the attempt directly.
+            let res = gpu.try_alloc::<u32>(ns * plan.tps);
+            let Some(mut transit_buf) = absorb_alloc_fault(gpu, &mut report, res)? else {
+                if retries >= MAX_STEP_RETRIES {
+                    return Err(NextDoorError::KernelFault { step, retries });
+                }
+                retries += 1;
+                report.step_retries += 1;
+                continue;
             };
-            sched_cycles += exec_step(gpu, &ex, kind, &transit_buf, &mut out);
-        }
-        let StepOut {
-            mut values,
-            edges,
-            step_buf,
-        } = out;
-        if app.unique(step) {
-            unique::dedup_values_gpu(gpu, &mut values, plan.slots, ns);
-        }
+            charge_step_transits(gpu, &prev_buf, &mut transit_buf, &plan.transits);
+            let res = StepOut::try_new(gpu, ns, plan.slots);
+            let Some(mut out) = absorb_alloc_fault(gpu, &mut report, res)? else {
+                if retries >= MAX_STEP_RETRIES {
+                    return Err(NextDoorError::KernelFault { step, retries });
+                }
+                retries += 1;
+                report.step_retries += 1;
+                continue;
+            };
+            {
+                let ex = StepExec {
+                    graph,
+                    gg,
+                    app,
+                    store: &store,
+                    plan: &plan,
+                    seed,
+                };
+                sched_cycles += exec_step(gpu, &ex, kind, &transit_buf, &mut out);
+            }
+            let StepOut {
+                mut values,
+                edges,
+                step_buf,
+            } = out;
+            if app.unique(step) {
+                unique::dedup_values_gpu(gpu, &mut values, plan.slots, ns);
+            }
+            let events = gpu.take_faults();
+            if events.is_empty() {
+                break (values, edges, step_buf);
+            }
+            // The attempt observed at least one fault: its outputs cannot
+            // be trusted. Discard them and re-execute — the RNG is keyed by
+            // (seed, sample, step, slot), so a clean re-run reproduces the
+            // exact values a fault-free run would have produced.
+            report.absorb(&events);
+            if gpu.device_lost() {
+                return Err(NextDoorError::DeviceLost { device: 0 });
+            }
+            if retries >= MAX_STEP_RETRIES {
+                return Err(NextDoorError::KernelFault { step, retries });
+            }
+            retries += 1;
+            report.step_retries += 1;
+        };
         let live_this_step = values.iter().any(|&v| v != NULL_VERTEX);
         finish_step(app, &mut store, &plan, values, edges);
         steps_run += 1;
@@ -172,18 +307,73 @@ pub(crate) fn run_gpu_engine(
             break;
         }
     }
-    let counters = gpu.counters().diff(&counters0);
-    let spec = gpu.spec();
-    let total_ms = spec.cycles_to_ms(counters.cycles);
-    let scheduling_ms = spec.cycles_to_ms(sched_cycles);
-    RunResult {
+    Ok(StepLoopOut {
         store,
-        stats: EngineStats {
-            total_ms,
-            sampling_ms: total_ms - scheduling_ms,
-            scheduling_ms,
-            counters,
-            steps_run,
-        },
+        sched_cycles,
+        transfer_cycles,
+        transfers,
+        steps_run,
+        report,
+    })
+}
+
+/// Runs `app` to completion with the chosen engine on `gpu`.
+///
+/// Validates inputs up front, recovers from transient faults by retrying
+/// steps, and — for the NextDoor engine only — degrades to the out-of-core
+/// engine when the graph upload does not fit in device memory. The samples
+/// of a degraded run are byte-identical to an in-core run's.
+pub(crate) fn run_gpu_engine(
+    gpu: &mut Gpu,
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    seed: u64,
+    kind: GpuEngineKind,
+) -> Result<RunResult, NextDoorError> {
+    crate::error::validate_run(graph, app, init)?;
+    if gpu.device_lost() {
+        return Err(NextDoorError::DeviceLost { device: 0 });
+    }
+    let counters0 = *gpu.counters();
+    match GpuGraph::upload(gpu, graph) {
+        Ok(gg) => {
+            let out = run_step_loop(gpu, graph, &gg, app, init, seed, kind, None)?;
+            let counters = gpu.counters().diff(&counters0);
+            let spec = gpu.spec();
+            let total_ms = spec.cycles_to_ms(counters.cycles);
+            let scheduling_ms = spec.cycles_to_ms(out.sched_cycles);
+            Ok(RunResult {
+                store: out.store,
+                stats: EngineStats {
+                    total_ms,
+                    sampling_ms: total_ms - scheduling_ms,
+                    scheduling_ms,
+                    counters,
+                    steps_run: out.steps_run,
+                },
+                report: out.report,
+            })
+        }
+        Err(oom) => {
+            let mut report = FaultReport::default();
+            report.absorb(&gpu.take_faults());
+            if gpu.device_lost() {
+                return Err(NextDoorError::DeviceLost { device: 0 });
+            }
+            if kind != GpuEngineKind::NextDoor {
+                // The SP/TP baselines have no degraded mode.
+                return Err(oom.into());
+            }
+            // Degrade to the out-of-core engine: stage the graph host-side
+            // and keep half the device for graph residency, the rest for
+            // sample buffers. Samples are unchanged; only time differs.
+            report.degraded_to_out_of_core = true;
+            let budget = (gpu.mem_capacity() / 2).max(1);
+            let (mut res, _ooc) =
+                crate::large_graph::out_of_core_run(gpu, graph, app, init, seed, budget)?;
+            res.report.merge(&report);
+            Ok(res)
+        }
     }
 }

@@ -13,7 +13,7 @@ use crate::gpu_graph::GpuGraph;
 use crate::store::SampleStore;
 use nextdoor_gpu::lane::LaneTrace;
 use nextdoor_gpu::warp::mask_first_n;
-use nextdoor_gpu::{DeviceBuffer, Gpu, LaunchConfig, WARP_SIZE};
+use nextdoor_gpu::{DeviceBuffer, Gpu, LaunchConfig, OutOfMemory, WARP_SIZE};
 use nextdoor_graph::{Csr, VertexId};
 
 /// Everything a sampling kernel needs to know about the current step.
@@ -55,45 +55,48 @@ pub(crate) struct StepOut {
 }
 
 impl StepOut {
-    pub fn new(gpu: &Gpu, num_samples: usize, slots: usize) -> Self {
-        StepOut {
+    pub fn try_new(gpu: &Gpu, num_samples: usize, slots: usize) -> Result<Self, OutOfMemory> {
+        Ok(StepOut {
             values: vec![NULL_VERTEX; num_samples * slots],
             edges: vec![Vec::new(); num_samples],
-            step_buf: gpu.alloc(num_samples * slots),
-        }
+            step_buf: gpu.try_alloc(num_samples * slots)?,
+        })
     }
 }
 
-/// Charges the `stepTransits` kernel: one thread per `(sample, transit_idx)`
-/// reads the previous step's vertex and writes the transit array. Values are
-/// computed host-side in [`crate::engine::plan_step`]; this accounts the
-/// traffic.
+/// Runs the `stepTransits` kernel: one thread per `(sample, transit_idx)`
+/// reads the previous step's vertex and writes the transit array.
+///
+/// `transits` (the step plan's host-computed transit values) is the single
+/// authoritative source of the transit array: `step_transit()` may remap
+/// vertices host-side, so the device read of `prev_buf` only accounts the
+/// memory traffic of the real kernel while the stored values come from the
+/// plan. Callers must not overwrite `transit_buf` afterwards.
 pub(crate) fn charge_step_transits(
     gpu: &mut Gpu,
     prev_buf: &DeviceBuffer<u32>,
     transit_buf: &mut DeviceBuffer<u32>,
+    transits: &[VertexId],
 ) {
     let n = transit_buf.len();
+    debug_assert_eq!(n, transits.len(), "transit buffer must match the plan");
     if n == 0 {
         return;
     }
     let prev_len = prev_buf.len().max(1);
-    gpu.launch(
-        "step_transits",
-        LaunchConfig::grid1d(n, 256),
-        |blk| {
-            blk.for_each_warp(|w| {
-                let gid = w.global_thread_ids();
-                let m = w.mask_where(|l| gid[l] < n);
-                if m == 0 {
-                    return;
-                }
-                let safe = gid.map(|g| g.min(n - 1));
-                let v = w.ld_global(prev_buf, &safe.map(|g| g % prev_len), m);
-                w.st_global(transit_buf, &safe, v, m);
-            });
-        },
-    );
+    gpu.launch("step_transits", LaunchConfig::grid1d(n, 256), |blk| {
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let m = w.mask_where(|l| gid[l] < n);
+            if m == 0 {
+                return;
+            }
+            let safe = gid.map(|g| g.min(n - 1));
+            let _ = w.ld_global(prev_buf, &safe.map(|g| g % prev_len), m);
+            let v: [u32; WARP_SIZE] = std::array::from_fn(|l| transits[safe[l]]);
+            w.st_global(transit_buf, &safe, v, m);
+        });
+    });
 }
 
 /// Registers each thread dedicates to neighbour caching in the sub-warp
@@ -388,7 +391,7 @@ pub(crate) fn run_transit_block_kernel(
                         break;
                     }
                     let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
-                    for l in 0..WARP_SIZE {
+                    for (l, slot) in work.iter_mut().enumerate() {
                         let off = lane_base + l;
                         if off >= lanes_needed {
                             break;
@@ -398,7 +401,7 @@ pub(crate) fn run_transit_block_kernel(
                         let pair_pos = seg.start + bw.pair_start + local_pair;
                         let pair_id = index.sorted_pair_ids[pair_pos];
                         let (sample, tidx) = ex.decode_pair(pair_id);
-                        work[l] = Some(LaneWork {
+                        *slot = Some(LaneWork {
                             sample,
                             tidx,
                             j,

@@ -42,6 +42,10 @@ pub struct RunResult {
     pub store: SampleStore,
     /// Timing and counter statistics.
     pub stats: EngineStats,
+    /// Faults the run observed and survived (see
+    /// [`FaultReport`](crate::error::FaultReport)); clean for an
+    /// undisturbed run.
+    pub report: crate::error::FaultReport,
 }
 
 /// Timing breakdown and simulator counters for one run.
@@ -324,10 +328,32 @@ mod tests {
         let store = SampleStore::new(vec![vec![0]]);
         let plan = plan_step(&UniformWalk, &store, 0, 42);
         let (v1, _) = run_next_individual(
-            &UniformWalk, &g, &store, &plan, 0, 0, 0, 7, EdgeCost::Global, 0, 0, None,
+            &UniformWalk,
+            &g,
+            &store,
+            &plan,
+            0,
+            0,
+            0,
+            7,
+            EdgeCost::Global,
+            0,
+            0,
+            None,
         );
         let (v2, _) = run_next_individual(
-            &UniformWalk, &g, &store, &plan, 0, 0, 0, 7, EdgeCost::Shared, 999, 0, None,
+            &UniformWalk,
+            &g,
+            &store,
+            &plan,
+            0,
+            0,
+            0,
+            7,
+            EdgeCost::Shared,
+            999,
+            0,
+            None,
         );
         assert_eq!(v1, v2, "cost class must not affect the sampled value");
         assert!(g.neighbors(0).contains(&v1));
@@ -350,9 +376,6 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 5);
         assert!(a.iter().all(|s| s.len() == 3));
-        assert!(a
-            .iter()
-            .flatten()
-            .all(|&v| (v as usize) < g.num_vertices()));
+        assert!(a.iter().flatten().all(|&v| (v as usize) < g.num_vertices()));
     }
 }

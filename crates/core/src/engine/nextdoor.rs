@@ -4,6 +4,7 @@
 use crate::api::SamplingApp;
 use crate::engine::driver::{run_gpu_engine, GpuEngineKind};
 use crate::engine::RunResult;
+use crate::error::NextDoorError;
 use nextdoor_gpu::Gpu;
 use nextdoor_graph::{Csr, VertexId};
 
@@ -11,18 +12,24 @@ use nextdoor_graph::{Csr, VertexId};
 /// sort + scan), Table 2's three kernel classes, shared-memory/register
 /// caching of transit adjacencies, and coalesced sub-warp writes.
 ///
-/// # Panics
+/// When the graph upload does not fit in device memory, the run degrades
+/// transparently to the out-of-core engine of [`crate::large_graph`] and
+/// produces byte-identical samples (the result's `report` records the
+/// degradation). Transiently-faulted steps are retried.
 ///
-/// Panics if `init` is empty, its samples have unequal sizes, or the graph
-/// does not fit in the device memory of `gpu` (use
-/// [`crate::large_graph`] for out-of-memory graphs).
+/// # Errors
+///
+/// Returns [`NextDoorError`] on invalid inputs (empty or unequal-sized
+/// initial samples, out-of-range roots, zero steps), genuine device-memory
+/// exhaustion, device loss, or a step that keeps faulting past its retry
+/// budget.
 pub fn run_nextdoor(
     gpu: &mut Gpu,
     graph: &Csr,
     app: &dyn SamplingApp,
     init: &[Vec<VertexId>],
     seed: u64,
-) -> RunResult {
+) -> Result<RunResult, NextDoorError> {
     run_gpu_engine(gpu, graph, app, init, seed, GpuEngineKind::NextDoor)
 }
 
@@ -85,8 +92,8 @@ mod tests {
         let g = rmat(8, 2000, RmatParams::SKEWED, 3);
         let init: Vec<Vec<u32>> = (0..64).map(|i| vec![i * 3 % 256]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &Walk(8), &init, 11);
-        let cpu = run_cpu(&g, &Walk(8), &init, 11);
+        let nd = run_nextdoor(&mut gpu, &g, &Walk(8), &init, 11).unwrap();
+        let cpu = run_cpu(&g, &Walk(8), &init, 11).unwrap();
         assert_eq!(nd.store.final_samples(), cpu.store.final_samples());
     }
 
@@ -95,8 +102,8 @@ mod tests {
         let g = rmat(9, 4000, RmatParams::SKEWED, 5);
         let init: Vec<Vec<u32>> = (0..128).map(|i| vec![i as u32 * 4 % 512]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &TwoHop, &init, 77);
-        let cpu = run_cpu(&g, &TwoHop, &init, 77);
+        let nd = run_nextdoor(&mut gpu, &g, &TwoHop, &init, 77).unwrap();
+        let cpu = run_cpu(&g, &TwoHop, &init, 77).unwrap();
         assert_eq!(nd.store.final_samples(), cpu.store.final_samples());
         assert_eq!(nd.stats.steps_run, 2);
     }
@@ -106,7 +113,7 @@ mod tests {
         let g = ring_lattice(512, 4, 0);
         let init: Vec<Vec<u32>> = (0..256).map(|i| vec![i as u32]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &Walk(4), &init, 1);
+        let nd = run_nextdoor(&mut gpu, &g, &Walk(4), &init, 1).unwrap();
         assert!(nd.stats.scheduling_ms > 0.0);
         assert!(nd.stats.sampling_ms > 0.0);
         assert!(nd.stats.scheduling_ms < nd.stats.total_ms);
@@ -118,7 +125,7 @@ mod tests {
         let g = ring_lattice(1024, 8, 0);
         let init: Vec<Vec<u32>> = (0..512).map(|i| vec![i as u32 * 2]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &TwoHop, &init, 5);
+        let nd = run_nextdoor(&mut gpu, &g, &TwoHop, &init, 5).unwrap();
         let eff = nd.stats.counters.gst_efficiency();
         assert!(eff > 80.0, "store efficiency {eff} too low");
     }
@@ -128,7 +135,7 @@ mod tests {
         let g = rmat(8, 1500, RmatParams::SKEWED, 9);
         let init: Vec<Vec<u32>> = (0..32).map(|i| vec![i * 7 % 256]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &Walk(6), &init, 2);
+        let nd = run_nextdoor(&mut gpu, &g, &Walk(6), &init, 2).unwrap();
         for s in nd.store.final_samples() {
             for w in s.windows(2) {
                 assert!(g.has_edge(w[0], w[1]) || g.degree(w[0]) == 0);

@@ -60,31 +60,26 @@ pub fn build_scheduling_index(
     let vals_host: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
     let keys = gpu.to_device(&keys_host);
     let vals = gpu.to_device(&vals_host);
-    let (sorted_keys, sorted_vals) =
-        radix_sort_pairs(gpu, &keys, &vals, (num_vertices - 1) as u32);
+    let (sorted_keys, sorted_vals) = radix_sort_pairs(gpu, &keys, &vals, (num_vertices - 1) as u32);
     // Segment-boundary flags: position i starts a new transit group.
     let n = pairs.len();
     let mut flags = gpu.alloc::<u32>(n);
     let iota: Vec<u32> = (0..n as u32).collect();
     let iota_dev = gpu.to_device(&iota);
-    gpu.launch(
-        "segment_flags",
-        LaunchConfig::grid1d(n, 256),
-        |blk| {
-            blk.for_each_warp(|w| {
-                let gid = w.global_thread_ids();
-                let m = w.mask_where(|l| gid[l] < n);
-                if m == 0 {
-                    return;
-                }
-                let safe = gid.map(|g| g.min(n - 1));
-                let cur = w.ld_global(&sorted_keys, &safe, m);
-                let prev = w.ld_global(&sorted_keys, &safe.map(|g| g.saturating_sub(1)), m);
-                let f = w.lanes_from_fn(m, |l| u32::from(safe[l] == 0 || cur[l] != prev[l]));
-                w.st_global(&mut flags, &safe, f, m);
-            });
-        },
-    );
+    gpu.launch("segment_flags", LaunchConfig::grid1d(n, 256), |blk| {
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let m = w.mask_where(|l| gid[l] < n);
+            if m == 0 {
+                return;
+            }
+            let safe = gid.map(|g| g.min(n - 1));
+            let cur = w.ld_global(&sorted_keys, &safe, m);
+            let prev = w.ld_global(&sorted_keys, &safe.map(|g| g.saturating_sub(1)), m);
+            let f = w.lanes_from_fn(m, |l| u32::from(safe[l] == 0 || cur[l] != prev[l]));
+            w.st_global(&mut flags, &safe, f, m);
+        });
+    });
     let (starts_dev, _num_segments) = compact(gpu, &iota_dev, &flags);
     let starts = starts_dev.as_slice();
     let sk = sorted_keys.as_slice();
@@ -127,32 +122,28 @@ pub fn partition_kernel_classes(
     let counts: Vec<u32> = index.segments.iter().map(|s| s.count as u32).collect();
     let counts_dev = gpu.to_device(&counts);
     let mut class_dev = gpu.alloc::<u32>(n);
-    gpu.launch(
-        "partition_transits",
-        LaunchConfig::grid1d(n, 256),
-        |blk| {
-            blk.for_each_warp(|w| {
-                let gid = w.global_thread_ids();
-                let msk = w.mask_where(|l| gid[l] < n);
-                if msk == 0 {
-                    return;
+    gpu.launch("partition_transits", LaunchConfig::grid1d(n, 256), |blk| {
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let msk = w.mask_where(|l| gid[l] < n);
+            if msk == 0 {
+                return;
+            }
+            let safe = gid.map(|g| g.min(n - 1));
+            let c = w.ld_global(&counts_dev, &safe, msk);
+            let cls = w.map(c, msk, |c| {
+                let threads = c as usize * m;
+                if threads <= WARP_SIZE {
+                    0
+                } else if threads <= max_block_threads {
+                    1
+                } else {
+                    2
                 }
-                let safe = gid.map(|g| g.min(n - 1));
-                let c = w.ld_global(&counts_dev, &safe, msk);
-                let cls = w.map(c, msk, |c| {
-                    let threads = c as usize * m;
-                    if threads <= WARP_SIZE {
-                        0
-                    } else if threads <= max_block_threads {
-                        1
-                    } else {
-                        2
-                    }
-                });
-                w.st_global(&mut class_dev, &safe, cls, msk);
             });
-        },
-    );
+            w.st_global(&mut class_dev, &safe, cls, msk);
+        });
+    });
     let (positions, _) = exclusive_scan(gpu, &class_dev);
     let _ = positions; // Scan pass charged; host materialises the lists.
     for (i, seg) in index.segments.iter().enumerate() {

@@ -9,22 +9,25 @@
 use crate::api::SamplingApp;
 use crate::engine::driver::{run_gpu_engine, GpuEngineKind};
 use crate::engine::RunResult;
+use crate::error::NextDoorError;
 use nextdoor_gpu::Gpu;
 use nextdoor_graph::{Csr, VertexId};
 
 /// Runs `app` with the optimised sample-parallel strategy.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as
-/// [`crate::engine::nextdoor::run_nextdoor`].
+/// Errors under the same conditions as
+/// [`crate::engine::nextdoor::run_nextdoor`], except that the baseline has
+/// no out-of-core degraded mode: an upload that does not fit surfaces as
+/// [`NextDoorError::OutOfMemory`].
 pub fn run_sample_parallel(
     gpu: &mut Gpu,
     graph: &Csr,
     app: &dyn SamplingApp,
     init: &[Vec<VertexId>],
     seed: u64,
-) -> RunResult {
+) -> Result<RunResult, NextDoorError> {
     run_gpu_engine(gpu, graph, app, init, seed, GpuEngineKind::SampleParallel)
 }
 
@@ -63,8 +66,8 @@ mod tests {
         let g = rmat(8, 2000, RmatParams::SKEWED, 3);
         let init: Vec<Vec<u32>> = (0..64).map(|i| vec![i * 3 % 256]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let sp = run_sample_parallel(&mut gpu, &g, &Walk(8), &init, 11);
-        let cpu = run_cpu(&g, &Walk(8), &init, 11);
+        let sp = run_sample_parallel(&mut gpu, &g, &Walk(8), &init, 11).unwrap();
+        let cpu = run_cpu(&g, &Walk(8), &init, 11).unwrap();
         assert_eq!(sp.store.final_samples(), cpu.store.final_samples());
         assert_eq!(sp.stats.scheduling_ms, 0.0, "SP builds no scheduling index");
     }
@@ -108,9 +111,9 @@ mod tests {
         let g = rmat(10, 10_000, RmatParams::SKEWED, 7).with_random_weights(1.0, 5.0, 3);
         let init: Vec<Vec<u32>> = (0..2048).map(|i| vec![(i % 1024) as u32]).collect();
         let mut gpu_sp = Gpu::new(GpuSpec::small());
-        let sp = run_sample_parallel(&mut gpu_sp, &g, &WeightedWalk(10), &init, 4);
+        let sp = run_sample_parallel(&mut gpu_sp, &g, &WeightedWalk(10), &init, 4).unwrap();
         let mut gpu_nd = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu_nd, &g, &WeightedWalk(10), &init, 4);
+        let nd = run_nextdoor(&mut gpu_nd, &g, &WeightedWalk(10), &init, 4).unwrap();
         assert_eq!(sp.store.final_samples(), nd.store.final_samples());
         let sp_reads = sp.stats.counters.l2_read_transactions() as f64;
         let nd_sampling_reads = nd.stats.counters.l2_read_transactions() as f64;

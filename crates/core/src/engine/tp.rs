@@ -8,22 +8,23 @@
 use crate::api::SamplingApp;
 use crate::engine::driver::{run_gpu_engine, GpuEngineKind};
 use crate::engine::RunResult;
+use crate::error::NextDoorError;
 use nextdoor_gpu::Gpu;
 use nextdoor_graph::{Csr, VertexId};
 
 /// Runs `app` with vanilla transit-parallelism.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as
-/// [`crate::engine::nextdoor::run_nextdoor`].
+/// Errors under the same conditions as
+/// [`crate::engine::sp::run_sample_parallel`] (no degraded mode).
 pub fn run_vanilla_tp(
     gpu: &mut Gpu,
     graph: &Csr,
     app: &dyn SamplingApp,
     init: &[Vec<VertexId>],
     seed: u64,
-) -> RunResult {
+) -> Result<RunResult, NextDoorError> {
     run_gpu_engine(gpu, graph, app, init, seed, GpuEngineKind::VanillaTp)
 }
 
@@ -66,8 +67,8 @@ mod tests {
         let g = rmat(9, 3000, RmatParams::SKEWED, 13);
         let init: Vec<Vec<u32>> = (0..96).map(|i| vec![(i * 5 % 512) as u32]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let tp = run_vanilla_tp(&mut gpu, &g, &TwoHop, &init, 21);
-        let cpu = run_cpu(&g, &TwoHop, &init, 21);
+        let tp = run_vanilla_tp(&mut gpu, &g, &TwoHop, &init, 21).unwrap();
+        let cpu = run_cpu(&g, &TwoHop, &init, 21).unwrap();
         assert_eq!(tp.store.final_samples(), cpu.store.final_samples());
         assert!(tp.stats.scheduling_ms > 0.0, "TP pays for map inversion");
     }
@@ -80,9 +81,9 @@ mod tests {
         // Many samples rooted at the same few vertices concentrate load.
         let init: Vec<Vec<u32>> = (0..1024).map(|i| vec![(i % 16) as u32]).collect();
         let mut gpu_tp = Gpu::new(GpuSpec::small());
-        let tp = run_vanilla_tp(&mut gpu_tp, &g, &TwoHop, &init, 8);
+        let tp = run_vanilla_tp(&mut gpu_tp, &g, &TwoHop, &init, 8).unwrap();
         let mut gpu_nd = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu_nd, &g, &TwoHop, &init, 8);
+        let nd = run_nextdoor(&mut gpu_nd, &g, &TwoHop, &init, 8).unwrap();
         assert_eq!(tp.store.final_samples(), nd.store.final_samples());
         assert!(
             nd.stats.sampling_ms < tp.stats.sampling_ms,

@@ -38,12 +38,7 @@ pub fn dedup_values(values: &mut [VertexId], slots: usize, num_samples: usize) {
 /// GPU variant: performs [`dedup_values`] while charging the in-block
 /// bitonic sort and the compaction scan, one thread block per sample (the
 /// paper assigns one sample to one block when it fits in shared memory).
-pub fn dedup_values_gpu(
-    gpu: &mut Gpu,
-    values: &mut [VertexId],
-    slots: usize,
-    num_samples: usize,
-) {
+pub fn dedup_values_gpu(gpu: &mut Gpu, values: &mut [VertexId], slots: usize, num_samples: usize) {
     let padded = slots.next_power_of_two();
     let block_dim = padded.clamp(WARP_SIZE, 1024);
     let shared_fits = padded * 4 <= gpu.spec().shared_mem_per_block;

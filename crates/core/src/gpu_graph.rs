@@ -52,6 +52,39 @@ impl GpuGraph {
         })
     }
 
+    /// Stages `g` in host (pinned) memory instead of device memory: the
+    /// buffers stay kernel-addressable for traffic accounting but are
+    /// neither counted against device capacity nor subject to fault
+    /// injection. The out-of-core engine uses this and models residency
+    /// through explicit per-step sub-graph transfer charges.
+    pub fn upload_staged(gpu: &mut Gpu, g: &Csr) -> Self {
+        let offsets: Vec<u32> = g.row_offsets().iter().map(|&o| o as u32).collect();
+        let degrees: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v) as u32)
+            .collect();
+        let max_weights: Vec<f32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.max_edge_weight(v))
+            .collect();
+        GpuGraph {
+            row_offsets: gpu.host_stage(&offsets),
+            cols: gpu.host_stage(g.col_indices()),
+            weights: match g.is_weighted() {
+                true => {
+                    let mut all = Vec::with_capacity(g.num_edges());
+                    for v in 0..g.num_vertices() as VertexId {
+                        if let Some(ws) = g.edge_weights(v) {
+                            all.extend_from_slice(ws);
+                        }
+                    }
+                    Some(gpu.host_stage(&all))
+                }
+                false => None,
+            },
+            degrees: gpu.host_stage(&degrees),
+            max_weights: gpu.host_stage(&max_weights),
+        }
+    }
+
     /// Virtual base address of the column-index array.
     pub fn cols_base(&self) -> u64 {
         self.cols.addr_of(0)
@@ -113,5 +146,20 @@ mod tests {
             .build()
             .unwrap();
         assert!(GpuGraph::upload(&mut gpu, &g).is_err());
+    }
+
+    #[test]
+    fn staged_upload_bypasses_device_capacity() {
+        let mut spec = GpuSpec::small();
+        spec.device_memory = 64; // far too small for a real upload
+        let mut gpu = Gpu::new(spec);
+        let g = GraphBuilder::new(100)
+            .edges((0..99).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        let gg = GpuGraph::upload_staged(&mut gpu, &g);
+        assert_eq!(gpu.mem_used(), 0, "staged buffers are host memory");
+        assert_eq!(gg.row_offsets.as_slice().len(), 101);
+        assert_eq!(gg.cols.as_slice().len(), 99);
     }
 }

@@ -11,13 +11,17 @@
 //! sampling are computation-bound (many `next` calls per transferred byte),
 //! while cheap random walks are transfer-bound — NextDoor loses to a CPU
 //! system on DeepWalk/PPR but wins on compute-heavy node2vec.
+//!
+//! This engine is also the degraded mode the in-core NextDoor engine falls
+//! back to when the graph upload does not fit in device memory (see
+//! [`crate::engine::driver::run_gpu_engine`]); it produces byte-identical
+//! samples because both modes share [`run_step_loop`].
 
-use crate::api::{SamplingApp, NULL_VERTEX};
-use crate::engine::driver::{exec_step, GpuEngineKind};
-use crate::engine::kernels::{charge_step_transits, StepExec, StepOut};
-use crate::engine::{finish_step, plan_step, step_budget, unique, EngineStats, RunResult};
+use crate::api::SamplingApp;
+use crate::engine::driver::{run_step_loop, GpuEngineKind};
+use crate::engine::{EngineStats, RunResult};
+use crate::error::{validate_run, NextDoorError};
 use crate::gpu_graph::GpuGraph;
-use crate::store::SampleStore;
 use nextdoor_gpu::Gpu;
 use nextdoor_graph::{Csr, VertexId};
 
@@ -55,20 +59,24 @@ impl GraphPartitions {
 /// Splits `graph` into contiguous vertex ranges whose CSR slices each fit
 /// in `budget_bytes`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any single vertex's adjacency exceeds the budget.
-pub fn partition_graph(graph: &Csr, budget_bytes: usize) -> GraphPartitions {
+/// Returns [`NextDoorError::PartitionBudgetTooSmall`] if any single vertex's
+/// adjacency alone exceeds the budget.
+pub fn partition_graph(graph: &Csr, budget_bytes: usize) -> Result<GraphPartitions, NextDoorError> {
     let mut ends = Vec::new();
     let mut bytes = Vec::new();
     let mut cur_bytes = 0usize;
     let per_vertex = 2 * std::mem::size_of::<u32>(); // offset + degree entries
     for v in 0..graph.num_vertices() as VertexId {
         let vb = per_vertex + graph.degree(v) * std::mem::size_of::<u32>();
-        assert!(
-            vb <= budget_bytes,
-            "vertex {v} alone exceeds the device budget"
-        );
+        if vb > budget_bytes {
+            return Err(NextDoorError::PartitionBudgetTooSmall {
+                vertex: v,
+                bytes: vb,
+                budget: budget_bytes,
+            });
+        }
         if cur_bytes + vb > budget_bytes {
             ends.push(v);
             bytes.push(cur_bytes);
@@ -80,7 +88,7 @@ pub fn partition_graph(graph: &Csr, budget_bytes: usize) -> GraphPartitions {
         ends.push(graph.num_vertices() as VertexId);
         bytes.push(cur_bytes);
     }
-    GraphPartitions { ends, bytes }
+    Ok(GraphPartitions { ends, bytes })
 }
 
 /// Statistics specific to an out-of-core run.
@@ -98,12 +106,77 @@ pub struct OutOfCoreStats {
     pub samples_per_sec: f64,
 }
 
+/// The out-of-core engine body, shared by the public entry point and the
+/// in-core engine's degraded mode. Assumes inputs are already validated.
+pub(crate) fn out_of_core_run(
+    gpu: &mut Gpu,
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    seed: u64,
+    budget_bytes: usize,
+) -> Result<(RunResult, OutOfCoreStats), NextDoorError> {
+    let parts = partition_graph(graph, budget_bytes)?;
+    // The full graph lives in host (pinned) memory; residency on the device
+    // is modelled by the per-step sub-graph transfer charges below, so the
+    // staged buffers are neither capacity-counted nor fault-injected.
+    let gg = GpuGraph::upload_staged(gpu, graph);
+    gpu.set_charge_transfers(true);
+    let counters0 = *gpu.counters();
+    let loop_res = run_step_loop(
+        gpu,
+        graph,
+        &gg,
+        app,
+        init,
+        seed,
+        GpuEngineKind::NextDoor,
+        Some(&parts),
+    );
+    gpu.set_charge_transfers(false);
+    let out = loop_res?;
+    let counters = gpu.counters().diff(&counters0);
+    let spec = gpu.spec();
+    let total_ms = spec.cycles_to_ms(counters.cycles);
+    let scheduling_ms = spec.cycles_to_ms(out.sched_cycles);
+    let transfer_ms = spec.cycles_to_ms(out.transfer_cycles);
+    let num_samples = out.store.num_samples();
+    let stats = EngineStats {
+        total_ms,
+        sampling_ms: total_ms - scheduling_ms - transfer_ms,
+        scheduling_ms,
+        counters,
+        steps_run: out.steps_run,
+    };
+    let ooc = OutOfCoreStats {
+        engine: stats.clone(),
+        transfer_ms,
+        transfers: out.transfers,
+        partitions: parts.len(),
+        samples_per_sec: num_samples as f64 / (total_ms / 1e3).max(1e-12),
+    };
+    Ok((
+        RunResult {
+            store: out.store,
+            stats,
+            report: out.report,
+        },
+        ooc,
+    ))
+}
+
 /// Runs `app` transit-parallel on a graph that does not fit in device
 /// memory, transferring the needed sub-graphs each step.
 ///
 /// `budget_bytes` is the device memory available for graph data. Unlike the
 /// in-memory engines, host↔device transfer time is charged — this is the
 /// experiment where the paper includes it.
+///
+/// # Errors
+///
+/// Returns [`NextDoorError`] on invalid inputs, a partition budget smaller
+/// than a single adjacency list, genuine device-memory exhaustion, device
+/// loss, or a step that keeps faulting past its retry budget.
 pub fn run_nextdoor_out_of_core(
     gpu: &mut Gpu,
     graph: &Csr,
@@ -111,96 +184,9 @@ pub fn run_nextdoor_out_of_core(
     init: &[Vec<VertexId>],
     seed: u64,
     budget_bytes: usize,
-) -> (RunResult, OutOfCoreStats) {
-    assert!(!init.is_empty(), "need at least one initial sample");
-    let parts = partition_graph(graph, budget_bytes);
-    let gg = GpuGraph::upload(gpu, graph).expect(
-        "simulator note: the full graph is staged host-side; residency is modelled via \
-         per-step sub-graph transfers",
-    );
-    gpu.set_charge_transfers(true);
-    let mut store = SampleStore::new(init.to_vec());
-    let counters0 = *gpu.counters();
-    let mut sched_cycles = 0.0;
-    let mut transfer_cycles = 0.0;
-    let mut transfers = 0usize;
-    let mut steps_run = 0;
-    let init_flat: Vec<u32> = init.iter().flatten().copied().collect();
-    let mut prev_buf = gpu.to_device(&init_flat);
-    for step in 0..step_budget(app) {
-        let plan = plan_step(app, &store, step, seed);
-        if plan.live == 0 {
-            break;
-        }
-        // Which sub-graphs hold this step's transits?
-        let mut needed: Vec<bool> = vec![false; parts.len()];
-        for &t in &plan.transits {
-            if t != NULL_VERTEX {
-                needed[parts.partition_of(t)] = true;
-            }
-        }
-        let c0 = gpu.counters().cycles;
-        for (p, used) in needed.iter().enumerate() {
-            if *used {
-                gpu.charge_htod(parts.bytes_of(p));
-                transfers += 1;
-            }
-        }
-        transfer_cycles += gpu.counters().cycles - c0;
-        let ns = store.num_samples();
-        let mut transit_buf = gpu.alloc::<u32>(ns * plan.tps);
-        charge_step_transits(gpu, &prev_buf, &mut transit_buf);
-        transit_buf.as_mut_slice().copy_from_slice(&plan.transits);
-        let mut out = StepOut::new(gpu, ns, plan.slots);
-        {
-            let ex = StepExec {
-                graph,
-                gg: &gg,
-                app,
-                store: &store,
-                plan: &plan,
-                seed,
-            };
-            sched_cycles += exec_step(gpu, &ex, GpuEngineKind::NextDoor, &transit_buf, &mut out);
-        }
-        let StepOut {
-            mut values,
-            edges,
-            step_buf,
-        } = out;
-        if app.unique(step) {
-            unique::dedup_values_gpu(gpu, &mut values, plan.slots, ns);
-        }
-        let live = values.iter().any(|&v| v != NULL_VERTEX);
-        finish_step(app, &mut store, &plan, values, edges);
-        steps_run += 1;
-        prev_buf = step_buf;
-        if !live {
-            break;
-        }
-    }
-    gpu.set_charge_transfers(false);
-    let counters = gpu.counters().diff(&counters0);
-    let spec = gpu.spec();
-    let total_ms = spec.cycles_to_ms(counters.cycles);
-    let scheduling_ms = spec.cycles_to_ms(sched_cycles);
-    let transfer_ms = spec.cycles_to_ms(transfer_cycles);
-    let num_samples = store.num_samples();
-    let stats = EngineStats {
-        total_ms,
-        sampling_ms: total_ms - scheduling_ms - transfer_ms,
-        scheduling_ms,
-        counters,
-        steps_run,
-    };
-    let ooc = OutOfCoreStats {
-        engine: stats.clone(),
-        transfer_ms,
-        transfers,
-        partitions: parts.len(),
-        samples_per_sec: num_samples as f64 / (total_ms / 1e3).max(1e-12),
-    };
-    (RunResult { store, stats }, ooc)
+) -> Result<(RunResult, OutOfCoreStats), NextDoorError> {
+    validate_run(graph, app, init)?;
+    out_of_core_run(gpu, graph, app, init, seed, budget_bytes)
 }
 
 #[cfg(test)]
@@ -235,7 +221,7 @@ mod tests {
     #[test]
     fn partitions_cover_and_locate_vertices() {
         let g = rmat(9, 5000, RmatParams::SKEWED, 1);
-        let parts = partition_graph(&g, g.size_bytes() / 4);
+        let parts = partition_graph(&g, g.size_bytes() / 4).unwrap();
         assert!(parts.len() >= 3, "budget forces several partitions");
         for v in 0..g.num_vertices() as u32 {
             let p = parts.partition_of(v);
@@ -247,14 +233,24 @@ mod tests {
     }
 
     #[test]
+    fn tiny_budget_is_a_typed_error() {
+        let g = rmat(9, 5000, RmatParams::SKEWED, 1);
+        assert!(matches!(
+            partition_graph(&g, 4),
+            Err(NextDoorError::PartitionBudgetTooSmall { budget: 4, .. })
+        ));
+    }
+
+    #[test]
     fn out_of_core_matches_cpu_and_charges_transfers() {
         let g = rmat(9, 4000, RmatParams::SKEWED, 2);
         let init: Vec<Vec<u32>> = (0..64).map(|i| vec![(i * 7 % 512) as u32]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
         let (res, ooc) =
-            run_nextdoor_out_of_core(&mut gpu, &g, &Walk(6), &init, 5, g.size_bytes() / 4);
-        let cpu = run_cpu(&g, &Walk(6), &init, 5);
+            run_nextdoor_out_of_core(&mut gpu, &g, &Walk(6), &init, 5, g.size_bytes() / 4).unwrap();
+        let cpu = run_cpu(&g, &Walk(6), &init, 5).unwrap();
         assert_eq!(res.store.final_samples(), cpu.store.final_samples());
+        assert!(res.report.is_clean());
         assert!(ooc.partitions >= 3);
         assert!(ooc.transfers > 0);
         assert!(ooc.transfer_ms > 0.0);
@@ -267,10 +263,11 @@ mod tests {
         let init: Vec<Vec<u32>> = (0..64).map(|i| vec![(i * 3 % 512) as u32]).collect();
         let mut gpu1 = Gpu::new(GpuSpec::small());
         let (_, big) =
-            run_nextdoor_out_of_core(&mut gpu1, &g, &Walk(4), &init, 5, g.size_bytes());
+            run_nextdoor_out_of_core(&mut gpu1, &g, &Walk(4), &init, 5, g.size_bytes()).unwrap();
         let mut gpu2 = Gpu::new(GpuSpec::small());
         let (_, small) =
-            run_nextdoor_out_of_core(&mut gpu2, &g, &Walk(4), &init, 5, g.size_bytes() / 8);
+            run_nextdoor_out_of_core(&mut gpu2, &g, &Walk(4), &init, 5, g.size_bytes() / 8)
+                .unwrap();
         assert!(small.partitions > big.partitions);
         assert!(small.transfers > big.transfers);
     }

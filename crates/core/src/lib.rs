@@ -17,6 +17,15 @@
 //! All engines produce bit-identical samples for the same inputs; they
 //! differ (and are measured) only in how they schedule work on the GPU.
 //!
+//! Every `run_*` entry point returns `Result<_, `[`NextDoorError`]`>` and
+//! never panics on user input: inputs are validated up front, device-memory
+//! exhaustion degrades the NextDoor engine to the out-of-core engine,
+//! transiently-faulted steps are retried (the counter-based RNG makes
+//! re-runs bit-identical), and multi-GPU runs fail a lost device's shard
+//! over to a survivor. The [`FaultReport`] on every result records what the
+//! run survived; faults can be scripted deterministically with
+//! [`nextdoor_gpu::FaultPlan`].
+//!
 //! # Examples
 //!
 //! ```
@@ -41,12 +50,17 @@
 //! let graph = rmat(8, 1000, RmatParams::SKEWED, 1);
 //! let init = initial_samples_random(&graph, 32, 1, 7);
 //! let mut gpu = Gpu::new(GpuSpec::small());
-//! let result = run_nextdoor(&mut gpu, &graph, &UniformWalk, &init, 42);
+//! let result = run_nextdoor(&mut gpu, &graph, &UniformWalk, &init, 42)
+//!     .expect("inputs are valid and the graph fits");
 //! assert_eq!(result.store.num_samples(), 32);
+//! assert!(result.report.is_clean());
 //! ```
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod api;
 pub mod engine;
+pub mod error;
 pub mod gpu_graph;
 pub mod large_graph;
 pub mod multi_gpu;
@@ -58,5 +72,6 @@ pub use engine::nextdoor::run_nextdoor;
 pub use engine::sp::run_sample_parallel;
 pub use engine::tp::run_vanilla_tp;
 pub use engine::{initial_samples_random, EngineStats, RunResult};
+pub use error::{validate_run, FaultReport, NextDoorError};
 pub use gpu_graph::GpuGraph;
 pub use store::SampleStore;

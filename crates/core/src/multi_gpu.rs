@@ -1,34 +1,46 @@
-//! Multi-GPU sampling (paper §6.4, Figure 10).
+//! Multi-GPU sampling (paper §6.4, Figure 10) with device-loss failover.
 //!
 //! Graph sampling is embarrassingly parallel across samples, so NextDoor's
-//! multi-GPU mode simply partitions the samples equally among the devices,
-//! runs load balancing, scheduling and the sampling kernels on each device
-//! independently, and collects the outputs. The replicated graph and the
-//! per-device sample partition are exactly what the paper describes; the
-//! multi-GPU wall time is the slowest device's time.
+//! multi-GPU mode simply partitions the samples into contiguous shards —
+//! one per device — runs load balancing, scheduling and the sampling
+//! kernels on each device independently, and collects the outputs. The
+//! replicated graph and the per-device sample partition are exactly what
+//! the paper describes; the multi-GPU wall time is the slowest device's
+//! accumulated time.
+//!
+//! Shard seeds are keyed by the *shard* index, not the physical device, so
+//! when a device is lost its shard can be re-run on any survivor and
+//! produce byte-identical samples. Failover re-runs the whole shard: steps
+//! completed on the lost device are unrecoverable (its memory is gone), and
+//! the counter-based RNG makes the re-run deterministic.
 
 use crate::api::SamplingApp;
 use crate::engine::nextdoor::run_nextdoor;
 use crate::engine::{EngineStats, RunResult};
-use nextdoor_gpu::{Gpu, GpuSpec};
+use crate::error::{validate_run, FaultReport, NextDoorError};
+use nextdoor_gpu::{FaultPlan, Gpu, GpuSpec};
 use nextdoor_graph::{Csr, VertexId};
 
 /// Result of a multi-GPU sampling run.
 pub struct MultiGpuResult {
-    /// One result per device, in device order (each holds that device's
-    /// sample partition).
+    /// One result per sample shard, in shard order (concatenating the
+    /// stores reconstructs the full sample set). Without failover, shard
+    /// `i` ran on device `i`.
     pub per_gpu: Vec<RunResult>,
-    /// Wall time of the run: the slowest device's total time.
+    /// Wall time of the run: the slowest device's accumulated total time.
     pub makespan_ms: f64,
+    /// Aggregated fault report: per-shard faults plus device losses and
+    /// failovers handled by this layer.
+    pub report: FaultReport,
 }
 
 impl MultiGpuResult {
-    /// Per-device statistics.
+    /// Per-shard statistics.
     pub fn stats(&self) -> Vec<&EngineStats> {
         self.per_gpu.iter().map(|r| &r.stats).collect()
     }
 
-    /// Total samples across all devices.
+    /// Total samples across all shards.
     pub fn total_samples(&self) -> usize {
         self.per_gpu.iter().map(|r| r.store.num_samples()).sum()
     }
@@ -37,14 +49,17 @@ impl MultiGpuResult {
 /// Runs `app` across `num_gpus` simulated devices of identical `spec`,
 /// partitioning `init` contiguously.
 ///
-/// Each device receives its own seed stream (`seed ^ device`), so the union
+/// Each shard receives its own seed stream (`seed ^ shard`), so the union
 /// of outputs is a valid sample set but not bit-identical to a single-GPU
 /// run — the paper's scheme has the same property, since each GPU draws
 /// from its own generator.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `num_gpus` is zero or exceeds the number of initial samples.
+/// Returns [`NextDoorError`] if `num_gpus` is zero or exceeds the number of
+/// initial samples, on invalid initial samples, or when a shard fails for a
+/// reason failover cannot mask (including [`NextDoorError::AllDevicesLost`]
+/// once no survivor remains).
 pub fn run_nextdoor_multi_gpu(
     spec: &GpuSpec,
     num_gpus: usize,
@@ -52,30 +67,103 @@ pub fn run_nextdoor_multi_gpu(
     app: &dyn SamplingApp,
     init: &[Vec<VertexId>],
     seed: u64,
-) -> MultiGpuResult {
-    assert!(num_gpus > 0, "need at least one GPU");
-    assert!(
-        num_gpus <= init.len(),
-        "more GPUs than samples to distribute"
-    );
+) -> Result<MultiGpuResult, NextDoorError> {
+    run_nextdoor_multi_gpu_with_faults(spec, num_gpus, graph, app, init, seed, &[])
+}
+
+/// [`run_nextdoor_multi_gpu`] with a per-device [`FaultPlan`]
+/// (`fault_plans[d]` scripts device `d`; missing entries mean no faults).
+///
+/// This is the fault-injection entry point: scripted device losses exercise
+/// the failover path, and per-device allocation or launch faults flow into
+/// the aggregated [`FaultReport`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_nextdoor_multi_gpu`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_nextdoor_multi_gpu_with_faults(
+    spec: &GpuSpec,
+    num_gpus: usize,
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    seed: u64,
+    fault_plans: &[FaultPlan],
+) -> Result<MultiGpuResult, NextDoorError> {
+    if num_gpus == 0 {
+        return Err(NextDoorError::NoGpus);
+    }
+    if num_gpus > init.len() {
+        return Err(NextDoorError::TooManyGpus {
+            gpus: num_gpus,
+            samples: init.len(),
+        });
+    }
+    validate_run(graph, app, init)?;
+    let mut gpus: Vec<Gpu> = (0..num_gpus)
+        .map(|d| {
+            let mut gpu = Gpu::new(spec.clone());
+            if let Some(plan) = fault_plans.get(d) {
+                if !plan.is_empty() {
+                    gpu.inject_faults(plan.clone());
+                }
+            }
+            gpu
+        })
+        .collect();
+    let mut alive = vec![true; num_gpus];
+    let mut device_ms = vec![0.0f64; num_gpus];
+    let mut report = FaultReport::default();
     let per = init.len().div_ceil(num_gpus);
     let mut per_gpu = Vec::with_capacity(num_gpus);
-    let mut makespan_ms = 0.0f64;
-    for g in 0..num_gpus {
-        let lo = g * per;
-        let hi = ((g + 1) * per).min(init.len());
+    for shard in 0..num_gpus {
+        let lo = shard * per;
+        let hi = ((shard + 1) * per).min(init.len());
         if lo >= hi {
             break;
         }
-        let mut gpu = Gpu::new(spec.clone());
-        let res = run_nextdoor(&mut gpu, graph, app, &init[lo..hi], seed ^ g as u64);
-        makespan_ms = makespan_ms.max(res.stats.total_ms);
-        per_gpu.push(res);
+        let shard_seed = seed ^ shard as u64;
+        // Prefer the shard's own device; if it is already gone (or dies
+        // mid-shard), re-run on the least-loaded survivor. The shard seed
+        // is device-independent, so the survivor reproduces exactly the
+        // samples the lost device would have produced.
+        let pick_survivor = |alive: &[bool], device_ms: &[f64]| {
+            (0..num_gpus)
+                .filter(|&d| alive[d])
+                .min_by(|&a, &b| device_ms[a].total_cmp(&device_ms[b]).then(a.cmp(&b)))
+        };
+        let mut dev = if alive[shard] {
+            shard
+        } else {
+            pick_survivor(&alive, &device_ms).ok_or(NextDoorError::AllDevicesLost)?
+        };
+        loop {
+            match run_nextdoor(&mut gpus[dev], graph, app, &init[lo..hi], shard_seed) {
+                Ok(res) => {
+                    device_ms[dev] += res.stats.total_ms;
+                    report.merge(&res.report);
+                    per_gpu.push(res);
+                    break;
+                }
+                Err(NextDoorError::DeviceLost { .. }) => {
+                    alive[dev] = false;
+                    report.devices_lost += 1;
+                    let next =
+                        pick_survivor(&alive, &device_ms).ok_or(NextDoorError::AllDevicesLost)?;
+                    report.failovers += 1;
+                    dev = next;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
-    MultiGpuResult {
+    let makespan_ms = device_ms.iter().cloned().fold(0.0f64, f64::max);
+    Ok(MultiGpuResult {
         per_gpu,
         makespan_ms,
-    }
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -110,10 +198,11 @@ mod tests {
         let g = rmat(8, 2000, RmatParams::SKEWED, 1);
         let init: Vec<Vec<u32>> = (0..100).map(|i| vec![i as u32 % 256]).collect();
         let spec = GpuSpec::small();
-        let res = run_nextdoor_multi_gpu(&spec, 4, &g, &Walk(4), &init, 5);
+        let res = run_nextdoor_multi_gpu(&spec, 4, &g, &Walk(4), &init, 5).unwrap();
         assert_eq!(res.per_gpu.len(), 4);
         assert_eq!(res.total_samples(), 100);
         assert!(res.makespan_ms > 0.0);
+        assert!(res.report.is_clean());
         for r in &res.per_gpu {
             assert!(r.stats.total_ms <= res.makespan_ms + 1e-12);
         }
@@ -131,8 +220,8 @@ mod tests {
         let mut spec = GpuSpec::small();
         spec.num_sms = 4;
         spec.cost.launch_overhead = 100.0;
-        let single = run_nextdoor_multi_gpu(&spec, 1, &g, &Walk(6), &init, 3);
-        let quad = run_nextdoor_multi_gpu(&spec, 4, &g, &Walk(6), &init, 3);
+        let single = run_nextdoor_multi_gpu(&spec, 1, &g, &Walk(6), &init, 3).unwrap();
+        let quad = run_nextdoor_multi_gpu(&spec, 4, &g, &Walk(6), &init, 3).unwrap();
         let speedup = single.makespan_ms / quad.makespan_ms;
         assert!(
             speedup > 2.0,
@@ -141,9 +230,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more GPUs than samples")]
     fn too_many_gpus_rejected() {
         let g = rmat(6, 100, RmatParams::SKEWED, 1);
-        let _ = run_nextdoor_multi_gpu(&GpuSpec::small(), 8, &g, &Walk(1), &[vec![0]], 0);
+        let res = run_nextdoor_multi_gpu(&GpuSpec::small(), 8, &g, &Walk(1), &[vec![0]], 0);
+        assert_eq!(
+            res.err().map(|e| e.to_string()).unwrap_or_default(),
+            "more GPUs (8) than samples (1) to distribute"
+        );
+        let res = run_nextdoor_multi_gpu(&GpuSpec::small(), 0, &g, &Walk(1), &[vec![0]], 0);
+        assert!(matches!(res, Err(NextDoorError::NoGpus)));
+    }
+
+    #[test]
+    fn lost_device_fails_over_with_identical_samples() {
+        let g = rmat(8, 2000, RmatParams::SKEWED, 1);
+        let init: Vec<Vec<u32>> = (0..60).map(|i| vec![i as u32 % 256]).collect();
+        let spec = GpuSpec::small();
+        let clean = run_nextdoor_multi_gpu(&spec, 3, &g, &Walk(4), &init, 9).unwrap();
+        // Device 1 dies early in its shard; the shard must re-run elsewhere.
+        let plans = vec![
+            FaultPlan::new(),
+            FaultPlan::new().lose_device_at_launch(2),
+            FaultPlan::new(),
+        ];
+        let faulty =
+            run_nextdoor_multi_gpu_with_faults(&spec, 3, &g, &Walk(4), &init, 9, &plans).unwrap();
+        assert_eq!(faulty.report.devices_lost, 1);
+        assert_eq!(faulty.report.failovers, 1);
+        assert_eq!(faulty.per_gpu.len(), 3);
+        for (c, f) in clean.per_gpu.iter().zip(&faulty.per_gpu) {
+            assert_eq!(c.store.final_samples(), f.store.final_samples());
+        }
+    }
+
+    #[test]
+    fn losing_every_device_is_a_typed_error() {
+        let g = rmat(8, 2000, RmatParams::SKEWED, 1);
+        let init: Vec<Vec<u32>> = (0..20).map(|i| vec![i as u32 % 256]).collect();
+        let plans = vec![
+            FaultPlan::new().lose_device_at_launch(0),
+            FaultPlan::new().lose_device_at_launch(0),
+        ];
+        let res = run_nextdoor_multi_gpu_with_faults(
+            &GpuSpec::small(),
+            2,
+            &g,
+            &Walk(3),
+            &init,
+            1,
+            &plans,
+        );
+        assert!(matches!(res, Err(NextDoorError::AllDevicesLost)));
     }
 }

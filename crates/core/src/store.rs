@@ -163,9 +163,7 @@ impl SampleView for StoreView<'_> {
         }
         if back == self.current_step + 1 {
             // Past the first step: the initial vertices.
-            return self
-                .store
-                .init[self.sample]
+            return self.store.init[self.sample]
                 .get(pos)
                 .copied()
                 .unwrap_or(NULL_VERTEX);

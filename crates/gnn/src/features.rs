@@ -89,8 +89,8 @@ mod tests {
     fn mean_aggregate_averages() {
         let m = mean_aggregate(&[vec![1, 1]], 4, 3);
         let f = vertex_features(1, 4, 3);
-        for c in 0..4 {
-            assert!((m.get(0, c) - f[c]).abs() < 1e-6);
+        for (c, &fc) in f.iter().enumerate() {
+            assert!((m.get(0, c) - fc).abs() < 1e-6);
         }
         let empty = mean_aggregate(&[vec![]], 4, 3);
         assert_eq!(empty.row(0), &[0.0; 4]);

@@ -101,8 +101,7 @@ impl Trainer {
             breakdown.sampling_ms += sampling_ms;
             let t0 = Instant::now();
             let outcome = self.model.train_step(batch, &samples, self.lr);
-            breakdown.training_ms +=
-                t0.elapsed().as_secs_f64() * 1e3 / GPU_TRAIN_SPEEDUP;
+            breakdown.training_ms += t0.elapsed().as_secs_f64() * 1e3 / GPU_TRAIN_SPEEDUP;
             loss_sum += outcome.loss;
             breakdown.batches += 1;
         }

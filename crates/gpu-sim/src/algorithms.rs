@@ -58,7 +58,9 @@ fn scan_blocks_kernel(
     let n = input.len();
     let cfg = LaunchConfig::grid1d(n, SCAN_BLOCK);
     gpu.launch("scan_blocks", cfg, |blk| {
-        let warp_sums = blk.shared_alloc(SCAN_BLOCK / WARP_SIZE).expect("aggregates fit");
+        let warp_sums = blk
+            .shared_alloc(SCAN_BLOCK / WARP_SIZE)
+            .expect("aggregates fit");
         let base = blk.block_idx * SCAN_BLOCK;
         let chunk_len = SCAN_BLOCK.min(n.saturating_sub(base));
         if chunk_len == 0 {
@@ -68,8 +70,8 @@ fn scan_blocks_kernel(
         // the warp ops below charge exactly the shuffle-scan traffic.
         let mut excl = vec![0u32; chunk_len];
         let mut acc = 0u32;
-        for i in 0..chunk_len {
-            excl[i] = acc;
+        for (i, e) in excl.iter_mut().enumerate() {
+            *e = acc;
             acc = acc.wrapping_add(input.as_slice()[base + i]);
         }
         let total = acc;
@@ -96,9 +98,7 @@ fn scan_blocks_kernel(
             let _ = w.ld_shared(&warp_sums, &[wi.saturating_sub(1); WARP_SIZE], 1);
             w.charge_compute(1);
             // Write the exclusive results.
-            let vals = w.lanes_from_fn(valid, |l| {
-                excl.get(tid[l]).copied().unwrap_or(0)
-            });
+            let vals = w.lanes_from_fn(valid, |l| excl.get(tid[l]).copied().unwrap_or(0));
             w.st_global(out, &safe, vals, valid);
             if wi == 0 {
                 let bidx = w.block_idx;
@@ -245,9 +245,8 @@ fn radix_pass(
                     if off >= tile_len {
                         break;
                     }
-                    let idx: [usize; WARP_SIZE] = std::array::from_fn(|l| {
-                        (tile_base + off + l).min(n - 1)
-                    });
+                    let idx: [usize; WARP_SIZE] =
+                        std::array::from_fn(|l| (tile_base + off + l).min(n - 1));
                     let m = w.mask_where(|l| off + l < tile_len);
                     let k = w.ld_global(keys, &idx, m);
                     let digit: [usize; WARP_SIZE] =
@@ -289,9 +288,9 @@ fn radix_pass(
             // Stable local ranks for this tile.
             let mut local_count = [0u32; RADIX];
             let mut dest = vec![0usize; tile_len];
-            for i in 0..tile_len {
+            for (i, slot) in dest.iter_mut().enumerate() {
                 let d = ((keys.as_slice()[tile_base + i] >> shift) & 0xFF) as usize;
-                dest[i] = d; // digit for now; base added below
+                *slot = d; // digit for now; base added below
                 local_count[d] += 1;
             }
             // Gather the tile's 256 digit bases (one pass of 8 warp loads;
@@ -299,8 +298,7 @@ fn radix_pass(
             let mut bases = [0u32; RADIX];
             blk.for_each_warp(|w| {
                 let tid = w.thread_ids_in_block();
-                let idx: [usize; WARP_SIZE] =
-                    std::array::from_fn(|l| tid[l] * num_blocks + block);
+                let idx: [usize; WARP_SIZE] = std::array::from_fn(|l| tid[l] * num_blocks + block);
                 let b = w.ld_global(&scanned, &idx, u32::MAX);
                 for l in 0..WARP_SIZE {
                     bases[tid[l]] = b[l];
@@ -308,9 +306,9 @@ fn radix_pass(
             });
             // Resolve destinations with stable ranks.
             let mut running = [0u32; RADIX];
-            for i in 0..tile_len {
-                let d = dest[i];
-                dest[i] = (bases[d] + running[d]) as usize;
+            for slot in &mut dest {
+                let d = *slot;
+                *slot = (bases[d] + running[d]) as usize;
                 running[d] += 1;
             }
             // Order of emission: by digit (the staged order), so that the
@@ -327,25 +325,18 @@ fn radix_pass(
                     let m = w.mask_where(|l| off + l < tile_len);
                     // Coalesced source reads + the shared staging round
                     // trip (write to shared in digit order, read back).
-                    let src: [usize; WARP_SIZE] = std::array::from_fn(|l| {
-                        (tile_base + off + l).min(n - 1)
-                    });
+                    let src: [usize; WARP_SIZE] =
+                        std::array::from_fn(|l| (tile_base + off + l).min(n - 1));
                     let k = w.ld_global(keys, &src, m);
                     let v = w.ld_global(vals, &src, m);
                     let _ = (k, v);
                     w.charge_compute(2);
                     // Emit in staged order: lanes cover order[off..off+32].
-                    let emit: [usize; WARP_SIZE] = std::array::from_fn(|l| {
-                        order[(off + l).min(tile_len - 1)]
-                    });
-                    let d_idx: [usize; WARP_SIZE] =
-                        std::array::from_fn(|l| dest[emit[l]]);
-                    let kv = w.lanes_from_fn(m, |l| {
-                        keys.as_slice()[tile_base + emit[l]]
-                    });
-                    let vv = w.lanes_from_fn(m, |l| {
-                        vals.as_slice()[tile_base + emit[l]]
-                    });
+                    let emit: [usize; WARP_SIZE] =
+                        std::array::from_fn(|l| order[(off + l).min(tile_len - 1)]);
+                    let d_idx: [usize; WARP_SIZE] = std::array::from_fn(|l| dest[emit[l]]);
+                    let kv = w.lanes_from_fn(m, |l| keys.as_slice()[tile_base + emit[l]]);
+                    let vv = w.lanes_from_fn(m, |l| vals.as_slice()[tile_base + emit[l]]);
                     w.st_global(&mut out_k, &d_idx, kv, m);
                     w.st_global(&mut out_v, &d_idx, vv, m);
                 }
@@ -369,25 +360,29 @@ pub fn compact(
     }
     let (positions, total) = exclusive_scan(gpu, flags);
     let mut out = gpu.alloc::<u32>(total as usize);
-    gpu.launch("compact_scatter", LaunchConfig::grid1d(n, SCAN_BLOCK), |blk| {
-        blk.for_each_warp(|w| {
-            let gid = w.global_thread_ids();
-            let valid = w.mask_where(|l| gid[l] < n);
-            if valid == 0 {
-                return;
-            }
-            let safe = gid.map(|g| g.min(n - 1));
-            let f = w.ld_global(flags, &safe, valid);
-            let keep = w.mask_where(|l| valid & (1 << l) != 0 && f[l] != 0);
-            if keep == 0 {
-                return;
-            }
-            let v = w.ld_global(data, &safe, keep);
-            let pos = w.ld_global(&positions, &safe, keep);
-            let dest: [usize; WARP_SIZE] = std::array::from_fn(|l| pos[l] as usize);
-            w.st_global(&mut out, &dest, v, keep);
-        });
-    });
+    gpu.launch(
+        "compact_scatter",
+        LaunchConfig::grid1d(n, SCAN_BLOCK),
+        |blk| {
+            blk.for_each_warp(|w| {
+                let gid = w.global_thread_ids();
+                let valid = w.mask_where(|l| gid[l] < n);
+                if valid == 0 {
+                    return;
+                }
+                let safe = gid.map(|g| g.min(n - 1));
+                let f = w.ld_global(flags, &safe, valid);
+                let keep = w.mask_where(|l| valid & (1 << l) != 0 && f[l] != 0);
+                if keep == 0 {
+                    return;
+                }
+                let v = w.ld_global(data, &safe, keep);
+                let pos = w.ld_global(&positions, &safe, keep);
+                let dest: [usize; WARP_SIZE] = std::array::from_fn(|l| pos[l] as usize);
+                w.st_global(&mut out, &dest, v, keep);
+            });
+        },
+    );
     (out, total as usize)
 }
 
@@ -430,11 +425,8 @@ pub fn bitonic_sort_shared(blk: &mut BlockCtx<'_>, arr: SharedArray, n: usize) {
             let warps = pairs.div_ceil(WARP_SIZE);
             for wi in 0..warps {
                 blk.with_warp(wi % blk.num_warps(), &mut |w| {
-                    let lane_pair: [usize; WARP_SIZE] =
-                        std::array::from_fn(|l| wi * WARP_SIZE + l);
-                    let mask = mask_first_n(
-                        pairs.saturating_sub(wi * WARP_SIZE).min(WARP_SIZE),
-                    );
+                    let lane_pair: [usize; WARP_SIZE] = std::array::from_fn(|l| wi * WARP_SIZE + l);
+                    let mask = mask_first_n(pairs.saturating_sub(wi * WARP_SIZE).min(WARP_SIZE));
                     if mask == 0 {
                         return;
                     }
@@ -551,8 +543,7 @@ mod tests {
         let keys_d = g.to_device(&data);
         let vals_d = g.to_device(&vals);
         let (sk, sv) = radix_sort_pairs(&mut g, &keys_d, &vals_d, 100_000);
-        let mut expect: Vec<(u32, u32)> =
-            data.iter().cloned().zip(vals.iter().cloned()).collect();
+        let mut expect: Vec<(u32, u32)> = data.iter().cloned().zip(vals.iter().cloned()).collect();
         expect.sort_by_key(|&(k, v)| (k, v));
         let got: Vec<(u32, u32)> = sk
             .as_slice()
@@ -606,31 +597,40 @@ mod tests {
     fn bitonic_sorts_shared_array() {
         let mut g = gpu();
         let mut out = g.alloc::<u32>(100);
-        let data: Vec<u32> = (0..100).map(|i| crate::rng::rand_range(3, i, 1, 1000)).collect();
+        let data: Vec<u32> = (0..100)
+            .map(|i| crate::rng::rand_range(3, i, 1, 1000))
+            .collect();
         let data_d = g.to_device(&data);
-        g.launch("sort_block", LaunchConfig { grid_dim: 1, block_dim: 128 }, |blk| {
-            let arr = blk.shared_alloc(128).unwrap();
-            blk.for_each_warp(|w| {
-                let tid = w.thread_ids_in_block();
-                let m = w.mask_where(|l| tid[l] < 100);
-                if m == 0 {
-                    return;
-                }
-                let v = w.ld_global(&data_d, &tid.map(|t| t.min(99)), m);
-                w.st_shared(&arr, &tid.map(|t| t.min(99)), v, m);
-            });
-            blk.syncthreads();
-            bitonic_sort_shared(blk, arr, 100);
-            blk.for_each_warp(|w| {
-                let tid = w.thread_ids_in_block();
-                let m = w.mask_where(|l| tid[l] < 100);
-                if m == 0 {
-                    return;
-                }
-                let v = w.ld_shared(&arr, &tid.map(|t| t.min(99)), m);
-                w.st_global(&mut out, &tid.map(|t| t.min(99)), v, m);
-            });
-        });
+        g.launch(
+            "sort_block",
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 128,
+            },
+            |blk| {
+                let arr = blk.shared_alloc(128).unwrap();
+                blk.for_each_warp(|w| {
+                    let tid = w.thread_ids_in_block();
+                    let m = w.mask_where(|l| tid[l] < 100);
+                    if m == 0 {
+                        return;
+                    }
+                    let v = w.ld_global(&data_d, &tid.map(|t| t.min(99)), m);
+                    w.st_shared(&arr, &tid.map(|t| t.min(99)), v, m);
+                });
+                blk.syncthreads();
+                bitonic_sort_shared(blk, arr, 100);
+                blk.for_each_warp(|w| {
+                    let tid = w.thread_ids_in_block();
+                    let m = w.mask_where(|l| tid[l] < 100);
+                    if m == 0 {
+                        return;
+                    }
+                    let v = w.ld_shared(&arr, &tid.map(|t| t.min(99)), m);
+                    w.st_global(&mut out, &tid.map(|t| t.min(99)), v, m);
+                });
+            },
+        );
         let mut expect = data.clone();
         expect.sort_unstable();
         assert_eq!(out.as_slice(), expect.as_slice());
@@ -676,7 +676,12 @@ pub fn reduce_sum(gpu: &mut Gpu, input: &DeviceBuffer<u32>) -> u64 {
                 let _ = w.ld_shared(&scratch, &[0; WARP_SIZE], 1);
                 w.charge_compute(3);
                 let bidx = w.block_idx;
-                w.st_global(&mut sums, &[bidx; WARP_SIZE], [(total & 0xFFFF_FFFF) as u32; WARP_SIZE], 1);
+                w.st_global(
+                    &mut sums,
+                    &[bidx; WARP_SIZE],
+                    [(total & 0xFFFF_FFFF) as u32; WARP_SIZE],
+                    1,
+                );
             }
         });
     });

@@ -68,10 +68,7 @@ impl<'a> BlockCtx<'a> {
             self.shared.resize(self.shared_used, 0);
         }
         self.stats.shared_words_used = self.stats.shared_words_used.max(self.shared_used);
-        Some(SharedArray {
-            offset,
-            len: words,
-        })
+        Some(SharedArray { offset, len: words })
     }
 
     /// Remaining shared-memory words available to this block.

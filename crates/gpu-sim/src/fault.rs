@@ -1,0 +1,187 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real GPU sampling systems must survive device-memory exhaustion, ECC
+//! events, kernel watchdog kills and whole-device loss. Because this
+//! simulator is fully deterministic, those conditions can be *scripted*: a
+//! [`FaultPlan`] names the exact allocation and launch indices at which
+//! faults fire, so a failure observed once replays identically forever —
+//! which is what makes recovery paths testable.
+//!
+//! # Semantics
+//!
+//! The device keeps two monotonic counters: one incremented by every buffer
+//! allocation ([`crate::Gpu::alloc`], [`crate::Gpu::try_alloc`],
+//! [`crate::Gpu::to_device`], [`crate::Gpu::try_to_device`]) and one by
+//! every kernel launch. A plan keys faults off those counters:
+//!
+//! * **Allocation OOM** (`fail_alloc`): on the fallible paths (`try_alloc`,
+//!   `try_to_device`) the call returns a genuine
+//!   [`OutOfMemory`](crate::OutOfMemory) error. On the infallible paths
+//!   (`alloc`, `to_device`) the fault is *correctable* — the allocation
+//!   succeeds, and the event is recorded for the runtime to observe via
+//!   [`crate::Gpu::take_faults`], mirroring how ECC-corrected errors are
+//!   reported out-of-band on real hardware. Either way the event is logged.
+//! * **Transient memory fault** (`transient_at_launch`): the launch executes
+//!   normally (keeping the simulator's internal data flow intact) but its
+//!   results must be considered corrupted; the event is recorded and the
+//!   runtime is expected to discard and retry the affected step.
+//! * **Watchdog timeout** (`watchdog_cycles`): any launch whose simulated
+//!   cycle cost exceeds the budget is flagged as killed by the kernel
+//!   watchdog. Recorded like a transient fault.
+//! * **Device loss** (`lose_device_at_launch`): from the named launch
+//!   onwards the device is permanently lost ([`crate::Gpu::device_lost`]
+//!   returns `true`); a single [`FaultKind::DeviceLost`] event marks the
+//!   transition. Launches still execute functionally — the simulator never
+//!   produces garbage — but a correct runtime must treat every result from
+//!   a lost device as void.
+//!
+//! Fault events accumulate on the device until drained with
+//! [`crate::Gpu::take_faults`]; a fault-aware runtime drains them at step
+//! boundaries and retries, degrades or fails over accordingly.
+
+/// A script of faults to inject, keyed off the device's deterministic
+/// allocation and launch counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// 0-based allocation indices that fail with out-of-memory.
+    pub alloc_oom: Vec<u64>,
+    /// 0-based launch indices that suffer a transient memory fault.
+    pub transient_launches: Vec<u64>,
+    /// Cycle budget above which a launch is flagged as killed by the kernel
+    /// watchdog.
+    pub watchdog_cycles: Option<f64>,
+    /// Launch index at which the whole device is lost.
+    pub device_lost_at_launch: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts an out-of-memory failure at allocation `index`.
+    pub fn fail_alloc(mut self, index: u64) -> Self {
+        self.alloc_oom.push(index);
+        self
+    }
+
+    /// Scripts a transient memory fault at launch `index`.
+    pub fn transient_at_launch(mut self, index: u64) -> Self {
+        self.transient_launches.push(index);
+        self
+    }
+
+    /// Sets the kernel watchdog budget in simulated cycles.
+    pub fn watchdog_cycles(mut self, budget: f64) -> Self {
+        self.watchdog_cycles = Some(budget);
+        self
+    }
+
+    /// Scripts whole-device loss at launch `index`.
+    pub fn lose_device_at_launch(mut self, index: u64) -> Self {
+        self.device_lost_at_launch = Some(index);
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.alloc_oom.is_empty()
+            && self.transient_launches.is_empty()
+            && self.watchdog_cycles.is_none()
+            && self.device_lost_at_launch.is_none()
+    }
+}
+
+/// The category of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A scripted allocation failure.
+    AllocOom,
+    /// A transient memory fault during a launch.
+    TransientMemory,
+    /// A launch exceeded the watchdog's cycle budget.
+    WatchdogTimeout,
+    /// The device was lost.
+    DeviceLost,
+}
+
+/// One injected fault, recorded on the device until drained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// What happened.
+    pub kind: FaultKind,
+    /// The allocation index ([`FaultKind::AllocOom`]) or launch index
+    /// (everything else) at which the fault fired.
+    pub index: u64,
+    /// Kernel name, for launch-scoped faults.
+    pub kernel: Option<String>,
+}
+
+impl FaultEvent {
+    pub(crate) fn alloc(index: u64) -> Self {
+        FaultEvent {
+            kind: FaultKind::AllocOom,
+            index,
+            kernel: None,
+        }
+    }
+
+    pub(crate) fn launch(kind: FaultKind, index: u64, kernel: &str) -> Self {
+        FaultEvent {
+            kind,
+            index,
+            kernel: Some(kernel.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FaultKind::AllocOom => write!(f, "allocation #{} failed (injected OOM)", self.index),
+            FaultKind::TransientMemory => write!(
+                f,
+                "transient memory fault in launch #{} ({})",
+                self.index,
+                self.kernel.as_deref().unwrap_or("?")
+            ),
+            FaultKind::WatchdogTimeout => write!(
+                f,
+                "watchdog killed launch #{} ({})",
+                self.index,
+                self.kernel.as_deref().unwrap_or("?")
+            ),
+            FaultKind::DeviceLost => write!(f, "device lost at launch #{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::new()
+            .fail_alloc(3)
+            .fail_alloc(9)
+            .transient_at_launch(1)
+            .watchdog_cycles(1e6)
+            .lose_device_at_launch(7);
+        assert_eq!(p.alloc_oom, vec![3, 9]);
+        assert_eq!(p.transient_launches, vec![1]);
+        assert_eq!(p.watchdog_cycles, Some(1e6));
+        assert_eq!(p.device_lost_at_launch, Some(7));
+        assert!(!p.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn events_display() {
+        let e = FaultEvent::launch(FaultKind::WatchdogTimeout, 4, "scan");
+        assert!(e.to_string().contains("watchdog"));
+        assert!(e.to_string().contains("scan"));
+        assert!(FaultEvent::alloc(2).to_string().contains("allocation #2"));
+    }
+}

@@ -97,11 +97,7 @@ impl LaneTrace {
 
 /// Replays 32 lane traces in lock-step against `warp`, charging coalesced
 /// memory transactions, compute cycles and divergence.
-pub(crate) fn replay_traces(
-    warp: &mut WarpCtx<'_>,
-    traces: &[LaneTrace; WARP_SIZE],
-    mask: u32,
-) {
+pub(crate) fn replay_traces(warp: &mut WarpCtx<'_>, traces: &[LaneTrace; WARP_SIZE], mask: u32) {
     let max_len = (0..WARP_SIZE)
         .filter(|l| mask & (1 << l) != 0)
         .map(|l| traces[l].len())
@@ -137,21 +133,17 @@ pub(crate) fn replay_traces(
                     let mut sectors = SectorSet::new();
                     let mut active = 0u64;
                     let mut bytes_req = 0u64;
-                    for l in 0..WARP_SIZE {
-                        if mask & (1 << l) == 0 || pos >= traces[l].len() {
+                    for (l, trace) in traces.iter().enumerate() {
+                        if mask & (1 << l) == 0 || pos >= trace.len() {
                             continue;
                         }
-                        match traces[l].ops[pos] {
-                            LaneOp::GlobalLoad { addr, bytes }
-                                if kind == 0 =>
-                            {
+                        match trace.ops[pos] {
+                            LaneOp::GlobalLoad { addr, bytes } if kind == 0 => {
                                 sectors.insert_range(addr, bytes as u64);
                                 bytes_req += bytes as u64;
                                 active += 1;
                             }
-                            LaneOp::GlobalStore { addr, bytes }
-                                if kind == 1 =>
-                            {
+                            LaneOp::GlobalStore { addr, bytes } if kind == 1 => {
                                 sectors.insert_range(addr, bytes as u64);
                                 bytes_req += bytes as u64;
                                 active += 1;
@@ -192,9 +184,9 @@ pub(crate) fn replay_traces(
                     // Compute group: SIMT executes the widest lane's count.
                     let mut max_n = 0u16;
                     let mut draws = 0u64;
-                    for l in 0..WARP_SIZE {
-                        if mask & (1 << l) != 0 && pos < traces[l].len() {
-                            if let LaneOp::Compute(n) = traces[l].ops[pos] {
+                    for (l, trace) in traces.iter().enumerate() {
+                        if mask & (1 << l) != 0 && pos < trace.len() {
+                            if let LaneOp::Compute(n) = trace.ops[pos] {
                                 max_n = max_n.max(n);
                                 draws += 1;
                             }
@@ -205,11 +197,12 @@ pub(crate) fn replay_traces(
                 }
                 6 => {
                     let mut draws = 0u64;
-                    for l in 0..WARP_SIZE {
-                        if mask & (1 << l) != 0 && pos < traces[l].len() {
-                            if matches!(traces[l].ops[pos], LaneOp::Rand) {
-                                draws += 1;
-                            }
+                    for (l, trace) in traces.iter().enumerate() {
+                        if mask & (1 << l) != 0
+                            && pos < trace.len()
+                            && matches!(trace.ops[pos], LaneOp::Rand)
+                        {
+                            draws += 1;
                         }
                     }
                     warp.stats.counters.rand_draws += draws;

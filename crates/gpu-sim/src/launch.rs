@@ -1,9 +1,11 @@
 //! The simulated GPU device: memory allocation and kernel launches.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::block::BlockCtx;
 use crate::counters::{Counters, KernelStats};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::mem::{DeviceBuffer, MemTracker, OutOfMemory};
 use crate::sched;
 use crate::spec::GpuSpec;
@@ -53,6 +55,11 @@ pub struct Gpu {
     counters: Counters,
     kernel_log: Vec<KernelStats>,
     charge_transfers: bool,
+    fault_plan: Option<FaultPlan>,
+    alloc_seq: Cell<u64>,
+    launch_seq: u64,
+    faults: RefCell<Vec<FaultEvent>>,
+    lost: Cell<bool>,
 }
 
 impl Gpu {
@@ -65,6 +72,11 @@ impl Gpu {
             counters: Counters::default(),
             kernel_log: Vec::new(),
             charge_transfers: false,
+            fault_plan: None,
+            alloc_seq: Cell::new(0),
+            launch_seq: 0,
+            faults: RefCell::new(Vec::new()),
+            lost: Cell::new(false),
         }
     }
 
@@ -73,39 +85,106 @@ impl Gpu {
         &self.spec
     }
 
+    /// Installs a [`FaultPlan`]; faults fire at the scripted allocation and
+    /// launch indices (see [`crate::fault`] for the exact semantics).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Drains the fault events recorded since the last call.
+    pub fn take_faults(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.faults.borrow_mut())
+    }
+
+    /// Whether the device has been lost (a scripted
+    /// [`FaultKind::DeviceLost`] fault fired).
+    pub fn device_lost(&self) -> bool {
+        self.lost.get()
+    }
+
+    /// Advances the allocation counter; returns the index if this
+    /// allocation is scripted to fail.
+    fn alloc_fault(&self) -> Option<u64> {
+        let idx = self.alloc_seq.get();
+        self.alloc_seq.set(idx + 1);
+        let plan = self.fault_plan.as_ref()?;
+        plan.alloc_oom.contains(&idx).then_some(idx)
+    }
+
     /// Allocates a zero-initialised device buffer.
+    ///
+    /// An injected allocation fault on this path is *correctable*: the
+    /// event is recorded for [`Gpu::take_faults`] and the allocation
+    /// proceeds (see [`crate::fault`]).
     ///
     /// # Panics
     ///
-    /// Panics when device memory is exhausted; use [`Gpu::try_alloc`] for
-    /// the fallible path (the out-of-memory experiment needs it).
+    /// Panics when device memory is genuinely exhausted; use
+    /// [`Gpu::try_alloc`] for the fallible path (the out-of-memory
+    /// experiment needs it).
     pub fn alloc<T: Copy + Default>(&self, len: usize) -> DeviceBuffer<T> {
-        self.try_alloc(len).expect("device memory exhausted")
+        if let Some(idx) = self.alloc_fault() {
+            self.faults.borrow_mut().push(FaultEvent::alloc(idx));
+        }
+        DeviceBuffer::new(len, self.tracker.clone()).expect("device memory exhausted")
     }
 
     /// Allocates a zero-initialised device buffer, reporting exhaustion.
+    /// Injected allocation faults surface here as `Err(OutOfMemory)`.
     pub fn try_alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        if let Some(idx) = self.alloc_fault() {
+            self.faults.borrow_mut().push(FaultEvent::alloc(idx));
+            return Err(OutOfMemory {
+                requested: len * std::mem::size_of::<T>(),
+                available: self.tracker.capacity() - self.tracker.used(),
+            });
+        }
         DeviceBuffer::new(len, self.tracker.clone())
     }
 
     /// Copies a host slice to a fresh device buffer, charging the PCIe
     /// transfer when transfer charging is enabled.
     ///
+    /// An injected allocation fault on this path is *correctable*, as for
+    /// [`Gpu::alloc`].
+    ///
     /// # Panics
     ///
-    /// Panics when device memory is exhausted.
+    /// Panics when device memory is genuinely exhausted.
     pub fn to_device<T: Copy + Default>(&mut self, src: &[T]) -> DeviceBuffer<T> {
-        self.try_to_device(src).expect("device memory exhausted")
+        if let Some(idx) = self.alloc_fault() {
+            self.faults.borrow_mut().push(FaultEvent::alloc(idx));
+        }
+        let buf =
+            DeviceBuffer::from_slice(src, self.tracker.clone()).expect("device memory exhausted");
+        self.charge_htod(buf.size_bytes());
+        buf
     }
 
-    /// Fallible variant of [`Gpu::to_device`].
+    /// Fallible variant of [`Gpu::to_device`]. Injected allocation faults
+    /// surface here as `Err(OutOfMemory)`.
     pub fn try_to_device<T: Copy + Default>(
         &mut self,
         src: &[T],
     ) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        if let Some(idx) = self.alloc_fault() {
+            self.faults.borrow_mut().push(FaultEvent::alloc(idx));
+            return Err(OutOfMemory {
+                requested: std::mem::size_of_val(src),
+                available: self.tracker.capacity() - self.tracker.used(),
+            });
+        }
         let buf = DeviceBuffer::from_slice(src, self.tracker.clone())?;
         self.charge_htod(buf.size_bytes());
         Ok(buf)
+    }
+
+    /// Copies a host slice into host-staged (pinned) memory: addressable by
+    /// kernels but not counted against device capacity and never subject to
+    /// fault injection. The out-of-core engine stages the full graph this
+    /// way and models residency via explicit per-step transfers.
+    pub fn host_stage<T: Copy + Default>(&mut self, src: &[T]) -> DeviceBuffer<T> {
+        DeviceBuffer::staged(src, self.tracker.clone())
     }
 
     /// Enables or disables charging of host↔device transfer time. The paper
@@ -150,6 +229,25 @@ impl Gpu {
         cfg: LaunchConfig,
         mut kernel: impl FnMut(&mut BlockCtx<'_>),
     ) -> KernelStats {
+        let launch_idx = self.launch_seq;
+        self.launch_seq += 1;
+        if let Some(plan) = &self.fault_plan {
+            if plan.device_lost_at_launch == Some(launch_idx) && !self.lost.get() {
+                self.lost.set(true);
+                self.faults.borrow_mut().push(FaultEvent::launch(
+                    FaultKind::DeviceLost,
+                    launch_idx,
+                    name,
+                ));
+            }
+            if plan.transient_launches.contains(&launch_idx) {
+                self.faults.borrow_mut().push(FaultEvent::launch(
+                    FaultKind::TransientMemory,
+                    launch_idx,
+                    name,
+                ));
+            }
+        }
         let mut launch_counters = Counters::default();
         let mut block_times = Vec::with_capacity(cfg.grid_dim);
         let mut max_shared_words = 0usize;
@@ -181,6 +279,15 @@ impl Gpu {
         }
         let sch = sched::schedule(self.spec.num_sms, 1, &block_times);
         let cycles = sch.makespan + cost.launch_overhead;
+        if let Some(budget) = self.fault_plan.as_ref().and_then(|p| p.watchdog_cycles) {
+            if cycles > budget {
+                self.faults.borrow_mut().push(FaultEvent::launch(
+                    FaultKind::WatchdogTimeout,
+                    launch_idx,
+                    name,
+                ));
+            }
+        }
         launch_counters.launches = 1;
         launch_counters.cycles = cycles;
         launch_counters.sm_busy_cycles = sch.busy;
@@ -203,11 +310,11 @@ impl Gpu {
         let warps_per_block = block_dim.div_ceil(WARP_SIZE).max(1);
         let by_warps = self.spec.max_warps_per_sm / warps_per_block;
         let by_blocks = self.spec.max_blocks_per_sm;
-        let by_shared = if shared_bytes == 0 {
-            usize::MAX
-        } else {
-            self.spec.shared_mem_per_block / shared_bytes
-        };
+        let by_shared = self
+            .spec
+            .shared_mem_per_block
+            .checked_div(shared_bytes)
+            .unwrap_or(usize::MAX);
         by_warps.min(by_blocks).min(by_shared).max(1)
     }
 
@@ -294,10 +401,17 @@ mod tests {
     #[test]
     fn imbalanced_blocks_lower_activity() {
         let mut gpu = Gpu::new(GpuSpec::small());
-        let stats = gpu.launch("skew", LaunchConfig { grid_dim: 8, block_dim: 32 }, |blk| {
-            let heavy = if blk.block_idx == 0 { 10_000 } else { 10 };
-            blk.for_each_warp(|w| w.charge_compute(heavy));
-        });
+        let stats = gpu.launch(
+            "skew",
+            LaunchConfig {
+                grid_dim: 8,
+                block_dim: 32,
+            },
+            |blk| {
+                let heavy = if blk.block_idx == 0 { 10_000 } else { 10 };
+                blk.for_each_warp(|w| w.charge_compute(heavy));
+            },
+        );
         let act = stats.counters.multiprocessor_activity();
         assert!(act < 40.0, "activity {act} should reflect the straggler");
     }
@@ -305,7 +419,14 @@ mod tests {
     #[test]
     fn empty_launch_costs_only_overhead() {
         let mut gpu = Gpu::new(GpuSpec::small());
-        let stats = gpu.launch("noop", LaunchConfig { grid_dim: 0, block_dim: 32 }, |_| {});
+        let stats = gpu.launch(
+            "noop",
+            LaunchConfig {
+                grid_dim: 0,
+                block_dim: 32,
+            },
+            |_| {},
+        );
         assert!((stats.cycles - gpu.spec().cost.launch_overhead).abs() < 1e-9);
     }
 
@@ -333,12 +454,94 @@ mod tests {
     }
 
     #[test]
+    fn injected_alloc_faults_err_on_fallible_and_correct_on_infallible() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut gpu = Gpu::new(GpuSpec::small());
+        gpu.inject_faults(FaultPlan::new().fail_alloc(0).fail_alloc(1));
+        // Allocation #0 hits the fallible path: a real error.
+        assert!(gpu.try_alloc::<u32>(8).is_err());
+        // Allocation #1 hits the infallible path: correctable, succeeds.
+        let buf = gpu.alloc::<u32>(8);
+        assert_eq!(buf.len(), 8);
+        // Allocation #2 is not scripted.
+        assert!(gpu.try_alloc::<u32>(8).is_ok());
+        let events = gpu.take_faults();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.kind == FaultKind::AllocOom));
+        assert!(gpu.take_faults().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn launch_faults_are_recorded_and_device_loss_sticks() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut gpu = Gpu::new(GpuSpec::small());
+        gpu.inject_faults(
+            FaultPlan::new()
+                .transient_at_launch(0)
+                .lose_device_at_launch(2)
+                .watchdog_cycles(0.0),
+        );
+        let run = |gpu: &mut Gpu| {
+            gpu.launch(
+                "noop",
+                LaunchConfig {
+                    grid_dim: 1,
+                    block_dim: 32,
+                },
+                |blk| {
+                    blk.for_each_warp(|w| w.charge_compute(10));
+                },
+            );
+        };
+        run(&mut gpu); // #0: transient + watchdog (budget 0)
+        assert!(!gpu.device_lost());
+        run(&mut gpu); // #1: watchdog only
+        run(&mut gpu); // #2: device lost + watchdog
+        assert!(gpu.device_lost());
+        let events = gpu.take_faults();
+        let count = |k: FaultKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(FaultKind::TransientMemory), 1);
+        assert_eq!(count(FaultKind::WatchdogTimeout), 3);
+        assert_eq!(count(FaultKind::DeviceLost), 1, "loss recorded once");
+        run(&mut gpu); // kernels still execute on a lost device
+        assert!(gpu.device_lost());
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        use crate::fault::FaultPlan;
+        let mut a = Gpu::new(GpuSpec::small());
+        let mut b = Gpu::new(GpuSpec::small());
+        b.inject_faults(FaultPlan::new());
+        for gpu in [&mut a, &mut b] {
+            let src = gpu.to_device(&(0u32..64).collect::<Vec<_>>());
+            let mut dst = gpu.alloc::<u32>(64);
+            gpu.launch("copy", LaunchConfig::grid1d(64, 32), |blk| {
+                blk.for_each_warp(|w| {
+                    let idx = w.global_thread_ids();
+                    let v = w.ld_global(&src, &idx, FULL_MASK);
+                    w.st_global(&mut dst, &idx, v, FULL_MASK);
+                });
+            });
+        }
+        assert_eq!(a.counters().cycles, b.counters().cycles);
+        assert!(b.take_faults().is_empty());
+    }
+
+    #[test]
     fn reset_clears_counters_not_memory() {
         let mut gpu = Gpu::new(GpuSpec::small());
         let buf = gpu.to_device(&[1u32, 2, 3]);
-        gpu.launch("noop", LaunchConfig { grid_dim: 1, block_dim: 32 }, |blk| {
-            blk.for_each_warp(|w| w.charge_compute(1));
-        });
+        gpu.launch(
+            "noop",
+            LaunchConfig {
+                grid_dim: 1,
+                block_dim: 32,
+            },
+            |blk| {
+                blk.for_each_warp(|w| w.charge_compute(1));
+            },
+        );
         gpu.reset_counters();
         assert_eq!(gpu.counters().cycles, 0.0);
         assert_eq!(gpu.kernel_log().len(), 0);

@@ -57,6 +57,7 @@
 pub mod algorithms;
 pub mod block;
 pub mod counters;
+pub mod fault;
 pub mod lane;
 pub mod launch;
 pub mod mem;
@@ -67,6 +68,7 @@ pub mod warp;
 
 pub use block::BlockCtx;
 pub use counters::{Counters, KernelStats};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use lane::{LaneOp, LaneTrace};
 pub use launch::{Gpu, LaunchConfig};
 pub use mem::{DeviceBuffer, OutOfMemory};

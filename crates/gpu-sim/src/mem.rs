@@ -65,11 +65,22 @@ impl MemTracker {
             });
         }
         self.used.set(self.used.get() + bytes);
+        Ok(self.bump(bytes))
+    }
+
+    /// Assigns an address range without counting it against device capacity.
+    /// Used for host-staged buffers (pinned host memory mapped into the
+    /// device address space), which the out-of-core engine relies on.
+    fn reserve_unchecked(&self, bytes: usize) -> u64 {
+        self.bump(bytes)
+    }
+
+    fn bump(&self, bytes: usize) -> u64 {
         let base = self.next_addr.get();
         // 256-byte alignment, matching cudaMalloc.
         let aligned = (base + 255) & !255;
         self.next_addr.set(aligned + bytes as u64);
-        Ok(aligned)
+        aligned
     }
 
     fn release(&self, bytes: usize) {
@@ -90,6 +101,9 @@ pub struct DeviceBuffer<T: Copy> {
     base: u64,
     data: Vec<T>,
     tracker: Rc<MemTracker>,
+    /// Whether the bytes count against device capacity (false for
+    /// host-staged buffers).
+    counted: bool,
 }
 
 impl<T: Copy + Default> DeviceBuffer<T> {
@@ -100,6 +114,7 @@ impl<T: Copy + Default> DeviceBuffer<T> {
             base,
             data: vec![T::default(); len],
             tracker,
+            counted: true,
         })
     }
 
@@ -110,7 +125,21 @@ impl<T: Copy + Default> DeviceBuffer<T> {
             base,
             data: src.to_vec(),
             tracker,
+            counted: true,
         })
+    }
+
+    /// A buffer in host-staged (pinned) memory: addressable by kernels but
+    /// not counted against device capacity.
+    pub(crate) fn staged(src: &[T], tracker: Rc<MemTracker>) -> Self {
+        let bytes = std::mem::size_of_val(src);
+        let base = tracker.reserve_unchecked(bytes);
+        DeviceBuffer {
+            base,
+            data: src.to_vec(),
+            tracker,
+            counted: false,
+        }
     }
 }
 
@@ -163,7 +192,9 @@ impl<T: Copy> DeviceBuffer<T> {
 
 impl<T: Copy> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        self.tracker.release(self.size_bytes());
+        if self.counted {
+            self.tracker.release(self.size_bytes());
+        }
     }
 }
 
@@ -213,5 +244,21 @@ mod tests {
         let t = tracker();
         let b = DeviceBuffer::from_slice(&[1u32, 2, 3], t).unwrap();
         assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn staged_buffers_bypass_capacity_accounting() {
+        let t = MemTracker::new(64);
+        let big = vec![0u8; 4096];
+        let b = DeviceBuffer::staged(&big, t.clone());
+        assert_eq!(t.used(), 0, "staged bytes are not device-resident");
+        assert!(b.addr_of(0) > 0);
+        let c = DeviceBuffer::<u8>::new(32, t.clone()).unwrap();
+        assert!(
+            c.addr_of(0) >= b.addr_of(4096),
+            "address ranges stay disjoint"
+        );
+        drop(b);
+        assert_eq!(t.used(), 32, "dropping a staged buffer releases nothing");
     }
 }

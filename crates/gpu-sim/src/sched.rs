@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn concurrency_divides_load_but_not_below_largest() {
         let s = schedule(1, 4, &[10.0, 10.0, 10.0, 10.0]);
-        assert!((s.makespan - 10.0).abs() < 1e-9, "4 blocks run concurrently");
+        assert!(
+            (s.makespan - 10.0).abs() < 1e-9,
+            "4 blocks run concurrently"
+        );
         let s = schedule(1, 4, &[40.0, 1.0, 1.0, 1.0]);
         assert!((s.makespan - 40.0).abs() < 1e-9, "floor at largest block");
     }

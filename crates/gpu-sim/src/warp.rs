@@ -143,9 +143,9 @@ impl<'a> WarpCtx<'a> {
     ) -> [T; WARP_SIZE] {
         self.charge_compute(1);
         let mut out = [T::default(); WARP_SIZE];
-        for l in 0..WARP_SIZE {
+        for (l, slot) in out.iter_mut().enumerate() {
             if mask & (1 << l) != 0 {
-                out[l] = f(l);
+                *slot = f(l);
             }
         }
         out

@@ -138,9 +138,8 @@ impl GraphBuilder {
         }
 
         // Materialise (src, dst, w) triples, adding reverses if undirected.
-        let mut triples: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(
-            self.edges.len() * if self.undirected { 2 } else { 1 },
-        );
+        let mut triples: Vec<(VertexId, VertexId, f32)> =
+            Vec::with_capacity(self.edges.len() * if self.undirected { 2 } else { 1 });
         for (i, &(s, d)) in self.edges.iter().enumerate() {
             if self.drop_self_loops && s == d {
                 continue;
@@ -151,7 +150,7 @@ impl GraphBuilder {
                 triples.push((d, s, w));
             }
         }
-        triples.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triples.sort_unstable_by_key(|t| (t.0, t.1));
         if self.dedup {
             triples.dedup_by_key(|t| (t.0, t.1));
         }
@@ -175,7 +174,12 @@ mod tests {
 
     #[test]
     fn directed_build() {
-        let g = GraphBuilder::new(3).edge(0, 1).edge(0, 2).edge(2, 1).build().unwrap();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(2, 1)
+            .build()
+            .unwrap();
         assert_eq!(g.neighbors(0), &[1, 2]);
         assert_eq!(g.neighbors(1), &[] as &[VertexId]);
         assert_eq!(g.neighbors(2), &[1]);

@@ -47,10 +47,10 @@ pub fn cluster_vertices(g: &Csr, num_clusters: usize, seed: u64) -> Clustering {
     assert!(num_clusters <= n, "more clusters than vertices");
     let mut assignment = vec![0u32; n];
     let mut members = vec![Vec::new(); num_clusters];
-    for v in 0..n {
+    for (v, slot) in assignment.iter_mut().enumerate() {
         let c = (splitmix64(seed ^ (v as u64).wrapping_mul(0xA24BAED4963EE407)) as usize
             % num_clusters) as u32;
-        assignment[v] = c;
+        *slot = c;
         members[c as usize].push(v as VertexId);
     }
     // Guarantee non-empty clusters: steal one vertex for each empty cluster
@@ -85,7 +85,7 @@ mod tests {
         let g = ring_lattice(200, 2, 0);
         let c = cluster_vertices(&g, 8, 42);
         assert_eq!(c.num_clusters(), 8);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for cl in 0..8u32 {
             for &v in c.members(cl) {
                 assert!(!seen[v as usize], "vertex {v} in two clusters");
@@ -118,7 +118,10 @@ mod tests {
         let c = cluster_vertices(&g, 10, 7);
         for cl in 0..10u32 {
             let frac = c.members(cl).len() as f64 / 10_000.0;
-            assert!((0.05..0.2).contains(&frac), "cluster {cl} has fraction {frac}");
+            assert!(
+                (0.05..0.2).contains(&frac),
+                "cluster {cl} has fraction {frac}"
+            );
         }
     }
 

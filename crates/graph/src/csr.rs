@@ -363,11 +363,7 @@ mod tests {
 
     #[test]
     fn max_weight_and_prefix_sums() {
-        let g = Csr::from_parts(
-            vec![0, 3],
-            vec![0, 0, 0],
-            Some(vec![2.0, 5.0, 3.0]),
-        );
+        let g = Csr::from_parts(vec![0, 3], vec![0, 0, 0], Some(vec![2.0, 5.0, 3.0]));
         assert_eq!(g.max_edge_weight(0), 5.0);
         assert_eq!(g.weight_prefix_sums(0), vec![2.0, 7.0, 10.0]);
     }

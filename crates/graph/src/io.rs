@@ -7,9 +7,16 @@
 use crate::builder::{BuildError, GraphBuilder};
 use crate::csr::{Csr, VertexId};
 
-/// Errors raised while parsing an edge list.
+/// Errors raised while reading or parsing an edge list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IoError {
+    /// The file could not be read at all.
+    Read {
+        /// The path that failed.
+        path: String,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
     /// A line did not have 2 (or 3, when weighted) whitespace-separated fields.
     Malformed {
         /// 1-based line number.
@@ -31,6 +38,9 @@ pub enum IoError {
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            IoError::Read { path, message } => {
+                write!(f, "reading {path:?} failed: {message}")
+            }
             IoError::Malformed { line, content } => {
                 write!(f, "line {line}: malformed edge line {content:?}")
             }
@@ -107,12 +117,37 @@ pub fn parse_edge_list(text: &str, undirected: bool, min_vertices: usize) -> Res
     let mut b = GraphBuilder::new(n).undirected(undirected);
     for (s, d, w) in edges {
         if all_weighted {
-            b.push_weighted_edge(s, d, w.expect("checked all_weighted"));
+            // `all_weighted` guarantees the weight is present; the fallback
+            // keeps this arm panic-free regardless.
+            b.push_weighted_edge(s, d, w.unwrap_or(1.0));
         } else {
             b.push_edge(s, d);
         }
     }
     Ok(b.build()?)
+}
+
+/// Reads and parses a SNAP-style edge-list file.
+///
+/// A file that cannot be opened yields [`IoError::Read`]; a malformed line
+/// yields the same line-numbered errors as [`parse_edge_list`], so callers
+/// can report exactly where a downloaded dataset is broken instead of
+/// panicking mid-load.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on any read or parse failure.
+pub fn load_edge_list(
+    path: impl AsRef<std::path::Path>,
+    undirected: bool,
+    min_vertices: usize,
+) -> Result<Csr, IoError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| IoError::Read {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    parse_edge_list(&text, undirected, min_vertices)
 }
 
 /// Serialises a graph as a SNAP-style edge list (one `src dst [w]` per line).
@@ -203,6 +238,42 @@ mod tests {
         let g = parse_edge_list("0 1 1.5\n1 0 2.25\n", false, 0).unwrap();
         let g2 = parse_edge_list(&write_edge_list(&g), false, 0).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn load_reads_and_parses_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("nextdoor_io_test_ok.txt");
+        std::fs::write(&path, "# snap header\n0 1\n1 2\n").unwrap();
+        let g = load_edge_list(&path, false, 0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_read_error() {
+        let err = load_edge_list("/nonexistent/nextdoor.txt", false, 0).unwrap_err();
+        match &err {
+            IoError::Read { path, .. } => assert!(path.contains("nextdoor.txt")),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("failed"));
+    }
+
+    #[test]
+    fn malformed_file_reports_line_number() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("nextdoor_io_test_bad.txt");
+        std::fs::write(&path, "0 1\nnot an edge at all\n").unwrap();
+        let err = load_edge_list(&path, false, 0).unwrap_err();
+        assert_eq!(
+            err,
+            IoError::Malformed {
+                line: 2,
+                content: "not an edge at all".to_string()
+            }
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use cluster::{cluster_vertices, Clustering};
 pub use csr::{Csr, VertexId};
 pub use datasets::{Dataset, DatasetSpec};
 pub use gen::{barabasi_albert, erdos_renyi, ring_lattice, rmat, RmatParams};
-pub use io::{parse_edge_list, write_edge_list, IoError};
+pub use io::{load_edge_list, parse_edge_list, write_edge_list, IoError};
 pub use stats::DegreeStats;

@@ -65,7 +65,11 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     let mut buckets = Vec::new();
     for v in 0..g.num_vertices() as VertexId {
         let d = g.degree(v);
-        let b = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros() - 1) as usize };
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros() - 1) as usize
+        };
         if b >= buckets.len() {
             buckets.resize(b + 1, 0);
         }

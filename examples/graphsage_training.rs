@@ -45,7 +45,7 @@ fn main() {
     let mut nd_sampler = |batch: &[VertexId]| {
         let init: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
         let mut gpu = Gpu::new(GpuSpec::v100());
-        let res = run_nextdoor(&mut gpu, &graph, &app, &init, 7);
+        let res = run_nextdoor(&mut gpu, &graph, &app, &init, 7).expect("valid inputs");
         (res.store.final_samples(), res.stats.total_ms)
     };
     let mut last = None;

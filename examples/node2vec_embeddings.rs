@@ -37,7 +37,8 @@ fn main() {
     // Sample node2vec walks (p=2, q=0.5 biases walks to explore outward).
     let init = initial_samples_random(&graph, 400, 1, 3);
     let mut gpu = Gpu::new(GpuSpec::small());
-    let result = run_nextdoor(&mut gpu, &graph, &Node2Vec::new(12, 2.0, 0.5), &init, 17);
+    let result = run_nextdoor(&mut gpu, &graph, &Node2Vec::new(12, 2.0, 0.5), &init, 17)
+        .expect("valid inputs, graph fits");
     let walks = result.store.final_samples();
     println!(
         "sampled {} node2vec walks in {:.3} simulated ms",
@@ -100,6 +101,9 @@ fn dot(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
 }
 
 /// One positive/negative skip-gram SGD update on a vertex pair.
+// The loop below indexes two rows of `emb` at once; indexed form is clearer
+// than a split_at_mut dance.
+#[allow(clippy::needless_range_loop)]
 fn sgd_pair(emb: &mut [[f32; DIM]], a: usize, b: usize, label: f32, lr: f32) {
     if a == b {
         return;

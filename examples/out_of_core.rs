@@ -9,8 +9,8 @@
 //! ```
 
 use nextdoor::apps::{DeepWalk, KHop};
-use nextdoor::core::large_graph::{partition_graph, run_nextdoor_out_of_core};
 use nextdoor::core::initial_samples_random;
+use nextdoor::core::large_graph::{partition_graph, run_nextdoor_out_of_core};
 use nextdoor::core::SamplingApp;
 use nextdoor::gpu::{Gpu, GpuSpec};
 use nextdoor::graph::Dataset;
@@ -19,7 +19,7 @@ fn main() {
     // A Friendster-like stand-in, with a device budget of 1/4 of the graph.
     let graph = Dataset::Friendster.generate(0.001, 3);
     let budget = graph.size_bytes() / 4;
-    let parts = partition_graph(&graph, budget);
+    let parts = partition_graph(&graph, budget).expect("budget fits the largest vertex");
     println!(
         "graph: {} vertices / {} edges ({} MiB); device budget {} MiB -> {} partitions",
         graph.num_vertices(),
@@ -30,14 +30,12 @@ fn main() {
     );
 
     let init = initial_samples_random(&graph, 4096, 1, 11);
-    let apps: Vec<Box<dyn SamplingApp>> = vec![
-        Box::new(KHop::graphsage()),
-        Box::new(DeepWalk::new(50)),
-    ];
+    let apps: Vec<Box<dyn SamplingApp>> =
+        vec![Box::new(KHop::graphsage()), Box::new(DeepWalk::new(50))];
     for app in apps {
         let mut gpu = Gpu::new(GpuSpec::v100());
-        let (res, ooc) =
-            run_nextdoor_out_of_core(&mut gpu, &graph, app.as_ref(), &init, 5, budget);
+        let (res, ooc) = run_nextdoor_out_of_core(&mut gpu, &graph, app.as_ref(), &init, 5, budget)
+            .expect("valid inputs");
         println!(
             "{:>10}: {:.2} ms total ({:.2} ms transfers over {} sub-graph loads), \
              {:.0} samples/s, {} samples",

@@ -56,7 +56,8 @@ fn main() {
 
     // Run transit-parallel on a simulated V100.
     let mut gpu = Gpu::new(GpuSpec::v100());
-    let result = run_nextdoor(&mut gpu, &graph, &app, &init, 123);
+    let result =
+        run_nextdoor(&mut gpu, &graph, &app, &init, 123).expect("valid inputs, graph fits");
     let samples = result.store.final_samples();
     println!(
         "sampled {} walks; first walk: {:?}",
@@ -75,7 +76,7 @@ fn main() {
     );
 
     // Engines are interchangeable and produce identical samples.
-    let reference = run_cpu(&graph, &app, &init, 123);
+    let reference = run_cpu(&graph, &app, &init, 123).expect("valid inputs");
     assert_eq!(samples, reference.store.final_samples());
     println!("CPU reference produced identical samples ✓");
 }

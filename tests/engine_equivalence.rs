@@ -17,17 +17,32 @@ fn graph() -> Csr {
 }
 
 fn check_all_engines(app: &dyn SamplingApp, graph: &Csr, init: &[Vec<VertexId>]) {
-    let cpu = run_cpu(graph, app, init, 99);
+    let cpu = run_cpu(graph, app, init, 99).unwrap();
     let mut g1 = Gpu::new(GpuSpec::small());
-    let nd = run_nextdoor(&mut g1, graph, app, init, 99);
+    let nd = run_nextdoor(&mut g1, graph, app, init, 99).unwrap();
     let mut g2 = Gpu::new(GpuSpec::small());
-    let sp = run_sample_parallel(&mut g2, graph, app, init, 99);
+    let sp = run_sample_parallel(&mut g2, graph, app, init, 99).unwrap();
     let mut g3 = Gpu::new(GpuSpec::small());
-    let tp = run_vanilla_tp(&mut g3, graph, app, init, 99);
+    let tp = run_vanilla_tp(&mut g3, graph, app, init, 99).unwrap();
     let oracle = cpu.store.final_samples();
-    assert_eq!(oracle, nd.store.final_samples(), "{}: ND != CPU", app.name());
-    assert_eq!(oracle, sp.store.final_samples(), "{}: SP != CPU", app.name());
-    assert_eq!(oracle, tp.store.final_samples(), "{}: TP != CPU", app.name());
+    assert_eq!(
+        oracle,
+        nd.store.final_samples(),
+        "{}: ND != CPU",
+        app.name()
+    );
+    assert_eq!(
+        oracle,
+        sp.store.final_samples(),
+        "{}: SP != CPU",
+        app.name()
+    );
+    assert_eq!(
+        oracle,
+        tp.store.final_samples(),
+        "{}: TP != CPU",
+        app.name()
+    );
     // Recorded application edges must agree too.
     for s in 0..init.len() {
         assert_eq!(
@@ -89,7 +104,7 @@ fn different_seeds_give_different_samples() {
     let g = graph();
     let init = walk_init(&g, 32);
     let app = apps::DeepWalk::new(10);
-    let a = run_cpu(&g, &app, &init, 1);
-    let b = run_cpu(&g, &app, &init, 2);
+    let a = run_cpu(&g, &app, &init, 1).unwrap();
+    let b = run_cpu(&g, &app, &init, 2).unwrap();
     assert_ne!(a.store.final_samples(), b.store.final_samples());
 }

@@ -30,9 +30,9 @@ fn khop_sampling_counter_ordering() {
     let init = dense_roots(&g);
     let app = KHop::new(vec![25, 10]);
     let mut g1 = Gpu::new(GpuSpec::small());
-    let nd = run_nextdoor(&mut g1, &g, &app, &init, 5);
+    let nd = run_nextdoor(&mut g1, &g, &app, &init, 5).unwrap();
     let mut g2 = Gpu::new(GpuSpec::small());
-    let sp = run_sample_parallel(&mut g2, &g, &app, &init, 5);
+    let sp = run_sample_parallel(&mut g2, &g, &app, &init, 5).unwrap();
     // §8.2.1: NextDoor performs fewer L2 read transactions than SP.
     assert!(
         nd.stats.counters.l2_read_transactions() < sp.stats.counters.l2_read_transactions(),
@@ -42,10 +42,10 @@ fn khop_sampling_counter_ordering() {
     );
     // §6.1: transit grouping eliminates warp divergence in the core
     // algorithm; SP's mixed-transit warps diverge more per next() call.
-    let nd_div = nd.stats.counters.divergent_branches as f64
-        / nd.stats.counters.rand_draws.max(1) as f64;
-    let sp_div = sp.stats.counters.divergent_branches as f64
-        / sp.stats.counters.rand_draws.max(1) as f64;
+    let nd_div =
+        nd.stats.counters.divergent_branches as f64 / nd.stats.counters.rand_draws.max(1) as f64;
+    let sp_div =
+        sp.stats.counters.divergent_branches as f64 / sp.stats.counters.rand_draws.max(1) as f64;
     assert!(
         nd_div <= sp_div * 1.05,
         "per-draw divergence: ND {nd_div:.3} vs SP {sp_div:.3}"
@@ -65,9 +65,9 @@ fn tp_has_worse_load_balance_than_nextdoor() {
     let init = dense_roots(&g);
     let app = DeepWalk::new(30);
     let mut g1 = Gpu::new(GpuSpec::small());
-    let nd = run_nextdoor(&mut g1, &g, &app, &init, 9);
+    let nd = run_nextdoor(&mut g1, &g, &app, &init, 9).unwrap();
     let mut g2 = Gpu::new(GpuSpec::small());
-    let tp = run_vanilla_tp(&mut g2, &g, &app, &init, 9);
+    let tp = run_vanilla_tp(&mut g2, &g, &app, &init, 9).unwrap();
     assert!(
         nd.stats.sampling_ms < tp.stats.sampling_ms,
         "3-class kernels {} ms !< one-block-per-transit {} ms",
@@ -86,9 +86,9 @@ fn collective_build_is_cheaper_transit_parallel() {
     let init: Vec<Vec<VertexId>> = (0..512).map(|i| vec![(i % 32) as u32]).collect();
     let app = Layer::new(32, 96);
     let mut g1 = Gpu::new(GpuSpec::small());
-    let nd = run_nextdoor(&mut g1, &g, &app, &init, 13);
+    let nd = run_nextdoor(&mut g1, &g, &app, &init, 13).unwrap();
     let mut g2 = Gpu::new(GpuSpec::small());
-    let sp = run_sample_parallel(&mut g2, &g, &app, &init, 13);
+    let sp = run_sample_parallel(&mut g2, &g, &app, &init, 13).unwrap();
     assert_eq!(nd.store.final_samples(), sp.store.final_samples());
     assert!(
         nd.stats.counters.gld_transactions < sp.stats.counters.gld_transactions,
@@ -106,9 +106,9 @@ fn walk_sampling_phase_beats_sp_even_when_totals_do_not() {
     let init = dense_roots(&g);
     let app = DeepWalk::new(30);
     let mut g1 = Gpu::new(GpuSpec::small());
-    let nd = run_nextdoor(&mut g1, &g, &app, &init, 21);
+    let nd = run_nextdoor(&mut g1, &g, &app, &init, 21).unwrap();
     let mut g2 = Gpu::new(GpuSpec::small());
-    let sp = run_sample_parallel(&mut g2, &g, &app, &init, 21);
+    let sp = run_sample_parallel(&mut g2, &g, &app, &init, 21).unwrap();
     assert!(
         nd.stats.sampling_ms < sp.stats.sampling_ms,
         "ND sampling {} ms !< SP sampling {} ms",
@@ -123,7 +123,7 @@ fn store_efficiency_is_high_for_fanout_apps() {
     let g = graph();
     let init = roots(&g, 2048);
     let mut gpu = Gpu::new(GpuSpec::small());
-    let nd = run_nextdoor(&mut gpu, &g, &KHop::new(vec![16, 8]), &init, 3);
+    let nd = run_nextdoor(&mut gpu, &g, &KHop::new(vec![16, 8]), &init, 3).unwrap();
     let eff = nd.stats.counters.gst_efficiency();
     assert!(eff > 70.0, "k-hop store efficiency {eff:.1}% too low");
     assert!(eff <= 100.0 + 1e-9);

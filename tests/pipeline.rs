@@ -37,7 +37,7 @@ fn gnn_trains_with_both_samplers_and_learns() {
     let mut nd_sampler = |batch: &[VertexId]| {
         let init: Vec<Vec<VertexId>> = batch.iter().map(|&v| vec![v]).collect();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let res = run_nextdoor(&mut gpu, &graph, &app, &init, 7);
+        let res = run_nextdoor(&mut gpu, &graph, &app, &init, 7).unwrap();
         (res.store.final_samples(), res.stats.total_ms)
     };
     let first = trainer.run_epoch(&verts, &mut nd_sampler);
@@ -52,7 +52,8 @@ fn gnn_trains_with_both_samplers_and_learns() {
 fn multi_gpu_covers_all_samples_and_validates() {
     let graph = Dataset::Ppi.generate(0.02, 2);
     let init = initial_samples_random(&graph, 200, 1, 3);
-    let res = run_nextdoor_multi_gpu(&GpuSpec::small(), 4, &graph, &DeepWalk::new(8), &init, 9);
+    let res =
+        run_nextdoor_multi_gpu(&GpuSpec::small(), 4, &graph, &DeepWalk::new(8), &init, 9).unwrap();
     assert_eq!(res.total_samples(), 200);
     for per_gpu in &res.per_gpu {
         for s in per_gpu.store.final_samples() {
@@ -70,14 +71,14 @@ fn out_of_core_equals_in_core_samples() {
     let app = KHop::new(vec![6, 3]);
     let mut gpu = Gpu::new(GpuSpec::small());
     let (ooc_res, ooc) =
-        run_nextdoor_out_of_core(&mut gpu, &graph, &app, &init, 5, graph.size_bytes() / 3);
-    let cpu = run_cpu(&graph, &app, &init, 5);
+        run_nextdoor_out_of_core(&mut gpu, &graph, &app, &init, 5, graph.size_bytes() / 3).unwrap();
+    let cpu = run_cpu(&graph, &app, &init, 5).unwrap();
     assert_eq!(ooc_res.store.final_samples(), cpu.store.final_samples());
     assert!(ooc.partitions >= 2, "budget should force partitioning");
     assert!(ooc.transfer_ms > 0.0, "transfers must be charged");
     // The in-core engine spends nothing on transfers.
     let mut gpu2 = Gpu::new(GpuSpec::small());
-    let in_core = run_nextdoor(&mut gpu2, &graph, &app, &init, 5);
+    let in_core = run_nextdoor(&mut gpu2, &graph, &app, &init, 5).unwrap();
     assert!(ooc_res.stats.total_ms > in_core.stats.total_ms);
 }
 
@@ -87,7 +88,7 @@ fn readme_pipeline_smoke() {
     let graph = Dataset::Patents.generate(0.005, 1);
     let init = initial_samples_random(&graph, 64, 1, 2);
     let mut gpu = Gpu::new(GpuSpec::v100());
-    let result = run_nextdoor(&mut gpu, &graph, &DeepWalk::new(10), &init, 3);
+    let result = run_nextdoor(&mut gpu, &graph, &DeepWalk::new(10), &init, 3).unwrap();
     assert_eq!(result.store.num_samples(), 64);
     assert!(result.stats.total_ms > 0.0);
     assert!(result.stats.counters.gst_efficiency() > 0.0);

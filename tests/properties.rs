@@ -4,23 +4,48 @@ use proptest::prelude::*;
 
 use nextdoor::apps::{DeepWalk, KHop};
 use nextdoor::core::engine::unique::dedup_values;
-use nextdoor::core::{run_cpu, run_nextdoor, NULL_VERTEX};
+use nextdoor::core::{run_cpu, run_nextdoor, SamplingApp, NULL_VERTEX};
 use nextdoor::gpu::algorithms::{compact, exclusive_scan, histogram, radix_sort_pairs};
-use nextdoor::gpu::{Gpu, GpuSpec};
+use nextdoor::gpu::{FaultPlan, Gpu, GpuSpec};
 use nextdoor::graph::{GraphBuilder, VertexId};
+
+/// An arbitrary fault script: any combination of a failed allocation, a
+/// transient kernel fault and a whole-device loss, at arbitrary points.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::option::weighted(0.5, 0u64..5),
+        proptest::option::weighted(0.5, 0u64..12),
+        proptest::option::weighted(0.3, 0u64..12),
+    )
+        .prop_map(|(alloc, transient, lose)| {
+            let mut plan = FaultPlan::new();
+            if let Some(i) = alloc {
+                plan = plan.fail_alloc(i);
+            }
+            if let Some(i) = transient {
+                plan = plan.transient_at_launch(i);
+            }
+            if let Some(i) = lose {
+                plan = plan.lose_device_at_launch(i);
+            }
+            plan
+        })
+}
 
 /// An arbitrary small graph from an edge list.
 fn arb_graph() -> impl Strategy<Value = nextdoor::graph::Csr> {
-    (2usize..64, proptest::collection::vec((0u32..64, 0u32..64), 1..256)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..64,
+        proptest::collection::vec((0u32..64, 0u32..64), 1..256),
+    )
+        .prop_map(|(n, edges)| {
             let mut b = GraphBuilder::new(64).undirected(true);
             let _ = n;
             for (s, d) in edges {
                 b.push_edge(s, d);
             }
             b.build().expect("endpoints in range")
-        },
-    )
+        })
 }
 
 proptest! {
@@ -92,7 +117,7 @@ proptest! {
     #[test]
     fn walks_only_traverse_edges(g in arb_graph(), seed in 0u64..1000) {
         let init: Vec<Vec<VertexId>> = (0..8).map(|i| vec![i * 7 % 64]).collect();
-        let res = run_cpu(&g, &DeepWalk::new(6), &init, seed);
+        let res = run_cpu(&g, &DeepWalk::new(6), &init, seed).unwrap();
         for s in res.store.final_samples() {
             for w in s.windows(2) {
                 prop_assert!(g.has_edge(w[0], w[1]), "non-edge {} -> {}", w[0], w[1]);
@@ -103,7 +128,7 @@ proptest! {
     #[test]
     fn khop_children_descend_from_transits(g in arb_graph(), seed in 0u64..1000) {
         let init: Vec<Vec<VertexId>> = (0..6).map(|i| vec![i * 11 % 64]).collect();
-        let res = run_cpu(&g, &KHop::new(vec![3, 2]), &init, seed);
+        let res = run_cpu(&g, &KHop::new(vec![3, 2]), &init, seed).unwrap();
         if res.store.num_steps() < 2 {
             // Every root was a dead end: nothing to check.
             return Ok(());
@@ -125,10 +150,38 @@ proptest! {
     fn engines_agree_on_random_graphs(g in arb_graph(), seed in 0u64..1000) {
         let init: Vec<Vec<VertexId>> = (0..12).map(|i| vec![i as u32 * 5 % 64]).collect();
         let app = KHop::new(vec![4, 2]);
-        let cpu = run_cpu(&g, &app, &init, seed);
+        let cpu = run_cpu(&g, &app, &init, seed).unwrap();
         let mut gpu = Gpu::new(GpuSpec::small());
-        let nd = run_nextdoor(&mut gpu, &g, &app, &init, seed);
+        let nd = run_nextdoor(&mut gpu, &g, &app, &init, seed).unwrap();
         prop_assert_eq!(cpu.store.final_samples(), nd.store.final_samples());
+    }
+
+    #[test]
+    fn faulty_runs_never_panic_and_ok_runs_match_clean(
+        g in arb_graph(),
+        seed in 0u64..500,
+        plan in arb_fault_plan()
+    ) {
+        // The robustness contract: under ANY scripted fault plan, a run
+        // either recovers completely (samples byte-identical to a
+        // fault-free run) or surfaces a typed error — it never panics and
+        // never silently returns different samples.
+        let init: Vec<Vec<VertexId>> = (0..8).map(|i| vec![i * 9 % 64]).collect();
+        let apps: Vec<Box<dyn SamplingApp>> = vec![
+            Box::new(DeepWalk::new(5)),
+            Box::new(KHop::new(vec![3, 2])),
+        ];
+        for app in &apps {
+            let mut clean_gpu = Gpu::new(GpuSpec::small());
+            let clean = run_nextdoor(&mut clean_gpu, &g, app.as_ref(), &init, seed).unwrap();
+            let mut gpu = Gpu::new(GpuSpec::small());
+            gpu.inject_faults(plan.clone());
+            // A typed error is an acceptable outcome; an Ok run must match
+            // the fault-free samples exactly.
+            if let Ok(res) = run_nextdoor(&mut gpu, &g, app.as_ref(), &init, seed) {
+                prop_assert_eq!(res.store.final_samples(), clean.store.final_samples());
+            }
+        }
     }
 
     #[test]
