@@ -22,13 +22,14 @@ fn main() {
     let graphs: Vec<_> = Dataset::MAIN4.iter().map(|&d| (d, cfg.graph(d))).collect();
     for (app, kind) in benchmark_suite() {
         let mut cells = Vec::new();
-        for (_, graph) in &graphs {
+        for (ds, graph) in &graphs {
             let init = cfg.init_for(graph, kind);
             let mut gpu = Gpu::new(cfg.gpu.clone());
             let res =
                 run_nextdoor(&mut gpu, graph, app.as_ref(), &init, cfg.seed).expect("bench run");
             let frac = 100.0 * res.stats.scheduling_ms / res.stats.total_ms.max(1e-12);
             cells.push(format!("{frac:.1}%"));
+            cfg.export_profile(&format!("fig6_{}_{}", app.name(), ds.spec().abbrev), &gpu);
         }
         row(app.name(), &cells);
     }

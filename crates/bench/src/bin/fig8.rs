@@ -29,7 +29,7 @@ fn main() {
             continue;
         }
         let mut cells = Vec::new();
-        for (_, graph) in &graphs {
+        for (ds, graph) in &graphs {
             let init = cfg.init_for(graph, kind);
             let mut g1 = Gpu::new(cfg.gpu.clone());
             let nd =
@@ -40,6 +40,9 @@ fn main() {
             let ratio = nd.stats.counters.l2_read_transactions() as f64
                 / sp.stats.counters.l2_read_transactions().max(1) as f64;
             cells.push(format!("{ratio:.2}"));
+            let abbrev = ds.spec().abbrev;
+            cfg.export_profile(&format!("fig8_nd_{}_{}", app.name(), abbrev), &g1);
+            cfg.export_profile(&format!("fig8_sp_{}_{}", app.name(), abbrev), &g2);
         }
         row(app.name(), &cells);
     }

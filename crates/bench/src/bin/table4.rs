@@ -48,6 +48,10 @@ fn main() {
                 res.stats.counters.gst_efficiency(),
                 res.stats.counters.multiprocessor_activity()
             ));
+            cfg.export_profile(
+                &format!("table4_{}_{}", app.name(), dataset.spec().abbrev),
+                &gpu,
+            );
         }
         row(app.name(), &cells);
     }

@@ -10,10 +10,13 @@
 //! * `--samples <n>` — samples per application run (default 2048)
 //! * `--sms <n>`     — SMs of the simulated GPU (default 16, a 1/5 V100)
 //! * `--seed <n>`    — RNG seed (default 42)
+//! * `--profile`     — export per-kernel JSON + chrome-trace files to
+//!   `results/` (see [`BenchConfig::export_profile`])
 
 use nextdoor_core::initial_samples_random;
-use nextdoor_gpu::GpuSpec;
+use nextdoor_gpu::{Gpu, GpuSpec};
 use nextdoor_graph::{Csr, Dataset, VertexId};
+use std::path::PathBuf;
 
 /// Configuration shared by all bench binaries.
 #[derive(Debug, Clone)]
@@ -28,6 +31,8 @@ pub struct BenchConfig {
     pub seed: u64,
     /// CPU threads for the CPU baselines.
     pub threads: usize,
+    /// Whether to export per-kernel profile artifacts to `results/`.
+    pub profile: bool,
 }
 
 impl Default for BenchConfig {
@@ -47,6 +52,7 @@ impl Default for BenchConfig {
             gpu,
             seed: 42,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            profile: false,
         }
     }
 }
@@ -68,9 +74,11 @@ impl BenchConfig {
                 "--samples" => cfg.samples = value("--samples").parse().expect("integer --samples"),
                 "--sms" => cfg.gpu.num_sms = value("--sms").parse().expect("integer --sms"),
                 "--seed" => cfg.seed = value("--seed").parse().expect("integer --seed"),
+                "--profile" => cfg.profile = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale <f> --samples <n> --sms <n> --seed <n> (see DESIGN.md)"
+                        "flags: --scale <f> --samples <n> --sms <n> --seed <n> --profile \
+                         (see DESIGN.md)"
                     );
                     std::process::exit(0);
                 }
@@ -94,7 +102,7 @@ impl BenchConfig {
     /// transit-parallelism its sharing (hubs attract many walkers).
     pub fn walk_init(&self, graph: &Csr) -> Vec<Vec<VertexId>> {
         let n = self.samples.max(graph.num_vertices());
-        initial_samples_random(graph, n, 1, self.seed ^ 0x1001)
+        initial_samples_random(graph, n, 1, self.seed ^ 0x1001).expect("bench graphs are non-empty")
     }
 
     /// Root sets for multi-dimensional walks (100 roots per sample, as in
@@ -102,11 +110,43 @@ impl BenchConfig {
     pub fn multirw_init(&self, graph: &Csr) -> Vec<Vec<VertexId>> {
         let per = 100usize;
         initial_samples_random(graph, (self.samples / 8).max(32), per, self.seed ^ 0x1002)
+            .expect("bench graphs are non-empty")
     }
 
     /// Batches for importance sampling (batch size 64, as in the paper).
     pub fn batch_init(&self, graph: &Csr) -> Vec<Vec<VertexId>> {
         initial_samples_random(graph, (self.samples / 8).max(32), 64, self.seed ^ 0x1003)
+            .expect("bench graphs are non-empty")
+    }
+
+    /// Directory the bench binaries drop artifacts into (created on
+    /// demand).
+    pub fn results_dir(&self) -> PathBuf {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("can create results/");
+        dir
+    }
+
+    /// Exports the device's profile as `results/profile_<label>.json` (the
+    /// per-kernel Table 4 view) and `results/profile_<label>.trace.json`
+    /// (a `chrome://tracing` / Perfetto file laid out by SM). No-op unless
+    /// `--profile` was passed.
+    pub fn export_profile(&self, label: &str, gpu: &Gpu) {
+        if !self.profile {
+            return;
+        }
+        let dir = self.results_dir();
+        let report = dir.join(format!("profile_{label}.json"));
+        let trace = dir.join(format!("profile_{label}.trace.json"));
+        nextdoor_gpu::write_kernel_report(&report, gpu.spec(), gpu.profile())
+            .expect("can write profile report");
+        nextdoor_gpu::write_chrome_trace(&trace, gpu.spec(), &[(label, gpu.profile())])
+            .expect("can write chrome trace");
+        eprintln!(
+            "profile: wrote {} and {}",
+            report.display(),
+            trace.display()
+        );
     }
 }
 
@@ -134,6 +174,7 @@ impl BenchConfig {
             AppInit::Walk => self.walk_init(graph),
             AppInit::LayerRoots => {
                 initial_samples_random(graph, (self.samples / 4).max(64), 1, self.seed ^ 0x1001)
+                    .expect("bench graphs are non-empty")
             }
             AppInit::MultiRw => self.multirw_init(graph),
             AppInit::Batch => self.batch_init(graph),

@@ -1,8 +1,17 @@
+//! `nextdoor-bench`: a profiled smoke run of the NextDoor engine.
+//!
+//! Runs one random-walk workload on the transit-parallel engine and prints
+//! the per-kernel breakdown (the Table 4 view: launches, simulated time,
+//! load/store transactions, occupancy, phase). With `--profile`, also
+//! exports `results/profile_smoke.json` and
+//! `results/profile_smoke.trace.json` — open the latter in
+//! `chrome://tracing` or Perfetto to see the per-SM timeline.
+
+use nextdoor_bench::{header, row, BenchConfig};
 use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
 use nextdoor_core::engine::nextdoor::run_nextdoor;
-use nextdoor_gpu::{Gpu, GpuSpec};
-use nextdoor_graph::gen::{rmat, RmatParams};
-use std::collections::HashMap;
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::Dataset;
 
 struct Walk(usize);
 impl SamplingApp for Walk {
@@ -26,25 +35,35 @@ impl SamplingApp for Walk {
 }
 
 fn main() {
-    let g = rmat(10, 10_000, RmatParams::SKEWED, 7);
-    let init: Vec<Vec<u32>> = (0..512).map(|i| vec![(i * 2) as u32]).collect();
-    let mut gpu = Gpu::new(GpuSpec::small());
-    let _ = run_nextdoor(&mut gpu, &g, &Walk(10), &init, 4);
-    let mut by: HashMap<String, (u64, u64, f64)> = HashMap::new();
-    for k in gpu.kernel_log() {
-        let e = by.entry(k.name.clone()).or_default();
-        e.0 += k.counters.gld_transactions;
-        e.1 += 1;
-        e.2 += k.cycles;
-    }
-    let mut v: Vec<_> = by.into_iter().collect();
-    v.sort_by_key(|x| std::cmp::Reverse(x.1 .0));
-    for (n, (tx, cnt, cyc)) in v {
-        println!("{n:24} gld_tx={tx:8} launches={cnt:4} cycles={cyc:12.0}");
+    let cfg = BenchConfig::from_args();
+    let g = cfg.graph(Dataset::Ppi);
+    let init = cfg.walk_init(&g);
+    let mut gpu = Gpu::new(cfg.gpu.clone());
+    let res = run_nextdoor(&mut gpu, &g, &Walk(10), &init, cfg.seed).expect("smoke run succeeds");
+
+    header(
+        "per-kernel breakdown (10-step walk, NextDoor engine)",
+        &["phase", "launches", "ms", "gld_tx", "gst_tx", "occup"],
+    );
+    for k in &res.stats.profile.kernels {
+        row(
+            &k.name,
+            &[
+                k.phase.label().to_string(),
+                k.launches.to_string(),
+                format!("{:.3}", k.ms),
+                k.counters.gld_transactions.to_string(),
+                k.counters.gst_transactions.to_string(),
+                format!("{:.2}", k.avg_occupancy),
+            ],
+        );
     }
     println!(
-        "total gld={} cycles={}",
-        gpu.counters().gld_transactions,
-        gpu.counters().cycles
+        "\ntotal {:.3}ms over {} steps ({} kernel launches); scheduling {:.3}ms",
+        res.stats.total_ms,
+        res.stats.steps_run,
+        res.stats.profile.total_launches(),
+        res.stats.scheduling_ms,
     );
+    cfg.export_profile("smoke", &gpu);
 }

@@ -114,6 +114,7 @@ pub fn run_cpu(
             scheduling_ms: 0.0,
             counters: Default::default(),
             steps_run,
+            profile: Default::default(),
         },
         report: Default::default(),
     })

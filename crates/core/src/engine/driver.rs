@@ -75,13 +75,19 @@ pub(crate) fn live_pairs(plan: &StepPlan, num_samples: usize) -> Vec<(VertexId, 
 
 /// Executes one step's `next` invocations under `kind`, filling `out`.
 /// Returns the cycles spent building the scheduling index.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when a scheduling-stage device allocation fails
+/// (genuinely or through a scripted fault); the step loop classifies the
+/// failure and retries the step when the fault was injected.
 pub(crate) fn exec_step(
     gpu: &mut Gpu,
     ex: &StepExec<'_>,
     kind: GpuEngineKind,
     transit_buf: &DeviceBuffer<u32>,
     out: &mut StepOut,
-) -> f64 {
+) -> Result<f64, OutOfMemory> {
     let ns = ex.store.num_samples();
     let plan = ex.plan;
     let mut sched_cycles = 0.0;
@@ -90,8 +96,8 @@ pub(crate) fn exec_step(
             GpuEngineKind::NextDoor => {
                 let pairs = live_pairs(plan, ns);
                 let c0 = gpu.counters().cycles;
-                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices());
-                let classes = partition_kernel_classes(gpu, &index, plan.m, 1024);
+                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices())?;
+                let classes = partition_kernel_classes(gpu, &index, plan.m, 1024)?;
                 sched_cycles += gpu.counters().cycles - c0;
                 run_subwarp_kernel(gpu, ex, &index, &classes.sub_warp, out);
                 let bw = block_class_work(&index, &classes.block);
@@ -105,7 +111,7 @@ pub(crate) fn exec_step(
             GpuEngineKind::VanillaTp => {
                 let pairs = live_pairs(plan, ns);
                 let c0 = gpu.counters().cycles;
-                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices());
+                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices())?;
                 sched_cycles += gpu.counters().cycles - c0;
                 let bw: Vec<BlockWork> = (0..index.segments.len())
                     .map(|si| BlockWork {
@@ -123,7 +129,7 @@ pub(crate) fn exec_step(
                 GpuEngineKind::NextDoor | GpuEngineKind::VanillaTp => {
                     let pairs = live_pairs(plan, ns);
                     let c0 = gpu.counters().cycles;
-                    let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices());
+                    let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices())?;
                     sched_cycles += gpu.counters().cycles - c0;
                     build_combined_transit_parallel(gpu, ex, &index, &mut comb);
                 }
@@ -134,7 +140,7 @@ pub(crate) fn exec_step(
             run_collective_next_kernel(gpu, ex, &comb, out);
         }
     }
-    sched_cycles
+    Ok(sched_cycles)
 }
 
 /// Classifies a fallible device allocation: `Ok(Some(_))` succeeded,
@@ -171,6 +177,10 @@ pub(crate) struct StepLoopOut {
     pub transfers: usize,
     pub steps_run: usize,
     pub report: FaultReport,
+    /// Per executed step: `(step, first_launch, end_launch)` bracketing the
+    /// step's kernel launches (retried attempts included) by the device's
+    /// monotonic launch index, for the per-step profile breakdown.
+    pub step_marks: Vec<(usize, u64, u64)>,
 }
 
 /// The engine-independent, fault-tolerant step loop.
@@ -199,6 +209,7 @@ pub(crate) fn run_step_loop(
     let mut transfer_cycles = 0.0;
     let mut transfers = 0usize;
     let mut steps_run = 0usize;
+    let mut step_marks: Vec<(usize, u64, u64)> = Vec::new();
     let init_flat: Vec<u32> = init.iter().flatten().copied().collect();
     let mut prev_buf = {
         let mut retries = 0usize;
@@ -240,6 +251,7 @@ pub(crate) fn run_step_loop(
         }
         let ns = store.num_samples();
         let mut retries = 0usize;
+        let step_launch0 = gpu.launches_issued();
         let (values, edges, step_buf) = loop {
             // A faulted attempt falls through to the retry bookkeeping at
             // the bottom; allocation faults restart the attempt directly.
@@ -252,7 +264,7 @@ pub(crate) fn run_step_loop(
                 report.step_retries += 1;
                 continue;
             };
-            charge_step_transits(gpu, &prev_buf, &mut transit_buf, &plan.transits);
+            charge_step_transits(gpu, &prev_buf, &mut transit_buf, &plan.transits, plan.tps);
             let res = StepOut::try_new(gpu, ns, plan.slots);
             let Some(mut out) = absorb_alloc_fault(gpu, &mut report, res)? else {
                 if retries >= MAX_STEP_RETRIES {
@@ -271,7 +283,16 @@ pub(crate) fn run_step_loop(
                     plan: &plan,
                     seed,
                 };
-                sched_cycles += exec_step(gpu, &ex, kind, &transit_buf, &mut out);
+                let res = exec_step(gpu, &ex, kind, &transit_buf, &mut out);
+                let Some(cycles) = absorb_alloc_fault(gpu, &mut report, res)? else {
+                    if retries >= MAX_STEP_RETRIES {
+                        return Err(NextDoorError::KernelFault { step, retries });
+                    }
+                    retries += 1;
+                    report.step_retries += 1;
+                    continue;
+                };
+                sched_cycles += cycles;
             }
             let StepOut {
                 mut values,
@@ -302,6 +323,7 @@ pub(crate) fn run_step_loop(
         let live_this_step = values.iter().any(|&v| v != NULL_VERTEX);
         finish_step(app, &mut store, &plan, values, edges);
         steps_run += 1;
+        step_marks.push((step, step_launch0, gpu.launches_issued()));
         prev_buf = step_buf;
         if !live_this_step {
             break;
@@ -314,6 +336,7 @@ pub(crate) fn run_step_loop(
         transfers,
         steps_run,
         report,
+        step_marks,
     })
 }
 
@@ -336,10 +359,13 @@ pub(crate) fn run_gpu_engine(
         return Err(NextDoorError::DeviceLost { device: 0 });
     }
     let counters0 = *gpu.counters();
+    let launch0 = gpu.launches_issued();
     match GpuGraph::upload(gpu, graph) {
         Ok(gg) => {
             let out = run_step_loop(gpu, graph, &gg, app, init, seed, kind, None)?;
             let counters = gpu.counters().diff(&counters0);
+            let profile =
+                crate::engine::profile::RunProfile::from_device(gpu, launch0, &out.step_marks);
             let spec = gpu.spec();
             let total_ms = spec.cycles_to_ms(counters.cycles);
             let scheduling_ms = spec.cycles_to_ms(out.sched_cycles);
@@ -351,6 +377,7 @@ pub(crate) fn run_gpu_engine(
                     scheduling_ms,
                     counters,
                     steps_run: out.steps_run,
+                    profile,
                 },
                 report: out.report,
             })

@@ -72,18 +72,30 @@ impl StepOut {
 /// vertices host-side, so the device read of `prev_buf` only accounts the
 /// memory traffic of the real kernel while the stored values come from the
 /// plan. Callers must not overwrite `transit_buf` afterwards.
+///
+/// The previous-step read of pair `(sample, tidx)` targets that sample's
+/// own slice of `prev_buf` — slot `tidx`, clamped to the slots the
+/// previous step actually produced. Charging wrapped addresses instead
+/// (`gid % prev_len`) would merge reads of *different* samples into the
+/// same sectors and over-count coalescing whenever the previous step's
+/// per-sample slot count differs from `tps`.
 pub(crate) fn charge_step_transits(
     gpu: &mut Gpu,
     prev_buf: &DeviceBuffer<u32>,
     transit_buf: &mut DeviceBuffer<u32>,
     transits: &[VertexId],
+    tps: usize,
 ) {
     let n = transit_buf.len();
     debug_assert_eq!(n, transits.len(), "transit buffer must match the plan");
-    if n == 0 {
+    if n == 0 || tps == 0 {
         return;
     }
-    let prev_len = prev_buf.len().max(1);
+    debug_assert_eq!(n % tps, 0, "transit array is num_samples * tps");
+    let ns = n / tps;
+    // Slots the previous step produced per sample (the initial vertex
+    // count at step 0). Always >= 1 for a validated run.
+    let prev_per_sample = (prev_buf.len() / ns.max(1)).max(1);
     gpu.launch("step_transits", LaunchConfig::grid1d(n, 256), |blk| {
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
@@ -92,7 +104,11 @@ pub(crate) fn charge_step_transits(
                 return;
             }
             let safe = gid.map(|g| g.min(n - 1));
-            let _ = w.ld_global(prev_buf, &safe.map(|g| g % prev_len), m);
+            let prev_slot = safe.map(|g| {
+                let (sample, tidx) = (g / tps, g % tps);
+                sample * prev_per_sample + tidx.min(prev_per_sample - 1)
+            });
+            let _ = w.ld_global(prev_buf, &prev_slot, m);
             let v: [u32; WARP_SIZE] = std::array::from_fn(|l| transits[safe[l]]);
             w.st_global(transit_buf, &safe, v, m);
         });
@@ -164,7 +180,17 @@ fn execute_lanes(
             Some(&mut traces[l]),
         );
         vals[l] = v;
-        idxs[l] = lw.phys.min(step_buf.len() - 1);
+        // The step buffer is sized `num_samples * slots` and every kernel
+        // derives `phys` from an in-range pair position, so an out-of-range
+        // slot means the work plan itself is corrupt — fail loudly rather
+        // than silently merging the store into the last sector.
+        debug_assert!(
+            lw.phys < step_buf.len(),
+            "physical slot {} out of range for step buffer of {} slots",
+            lw.phys,
+            step_buf.len()
+        );
+        idxs[l] = lw.phys;
         out_values[ex.out_index(lw.sample, lw.tidx, lw.j)] = v;
         out_edges[lw.sample].extend(es);
     }
@@ -471,4 +497,129 @@ pub(crate) fn run_sample_parallel_kernel(
             });
         },
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_gpu::GpuSpec;
+
+    /// Regression test for the previous-step read addressing: with 4
+    /// samples owning 8 previous-step slots each and 2 transits per
+    /// sample, each pair `(s, t)` must read its own sample's region
+    /// (`s * 8 + t`), touching one 32-byte sector per sample. The old
+    /// wrapped addressing (`g % prev_len`) read slots `0..8` — a single
+    /// sector entirely inside sample 0 — under-charging the reads and
+    /// attributing them to the wrong sample.
+    #[test]
+    fn step_transit_reads_address_each_samples_previous_slots() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let (ns, tps, prev_per_sample) = (4usize, 2usize, 8usize);
+        let prev_buf = gpu.to_device(&vec![1u32; ns * prev_per_sample]);
+        let transits: Vec<VertexId> = (0..ns * tps).map(|i| i as u32).collect();
+        let mut transit_buf = gpu.alloc(ns * tps);
+        charge_step_transits(&mut gpu, &prev_buf, &mut transit_buf, &transits, tps);
+        let kernel = gpu
+            .profile()
+            .kernels()
+            .last()
+            .expect("the launch was profiled");
+        assert_eq!(kernel.name, "step_transits");
+        // Reads: slots {8s, 8s+1} for s in 0..4 — four sectors (one per
+        // sample). The wrapped scheme would coalesce them into one.
+        assert_eq!(kernel.counters.gld_transactions, 4);
+        // Stores: slots 0..8, one contiguous sector.
+        assert_eq!(kernel.counters.gst_transactions, 1);
+    }
+
+    /// When the previous step produced exactly `tps` slots per sample
+    /// (the steady state of a random walk), the corrected addressing is
+    /// the identity mapping: reads are as coalesced as stores.
+    #[test]
+    fn step_transit_reads_coalesce_in_the_steady_state() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let (ns, tps) = (8usize, 1usize);
+        let prev_buf = gpu.to_device(&vec![1u32; ns * tps]);
+        let transits: Vec<VertexId> = (0..ns * tps).map(|i| i as u32).collect();
+        let mut transit_buf = gpu.alloc(ns * tps);
+        charge_step_transits(&mut gpu, &prev_buf, &mut transit_buf, &transits, tps);
+        let kernel = gpu.profile().kernels().last().expect("profiled");
+        assert_eq!(kernel.counters.gld_transactions, 1);
+        assert_eq!(kernel.counters.gst_transactions, 1);
+    }
+
+    /// Regression test for the silent clamp: an out-of-range physical slot
+    /// means the work plan is corrupt, and `execute_lanes` must fail
+    /// loudly instead of merging the store into the last in-range sector
+    /// (which corrupted store-coalescing attribution).
+    #[test]
+    #[should_panic(expected = "out of range for step buffer")]
+    fn out_of_range_physical_slot_fails_loudly() {
+        use crate::api::{NextCtx, Steps};
+        use crate::engine::plan_step;
+        use crate::gpu_graph::GpuGraph;
+        use nextdoor_graph::gen::ring_lattice;
+
+        struct Walk;
+        impl SamplingApp for Walk {
+            fn name(&self) -> &'static str {
+                "walk"
+            }
+            fn steps(&self) -> Steps {
+                Steps::Fixed(1)
+            }
+            fn sample_size(&self, _: usize) -> usize {
+                1
+            }
+            fn next(&self, ctx: &mut NextCtx<'_>) -> Option<VertexId> {
+                let d = ctx.num_edges();
+                if d == 0 {
+                    return None;
+                }
+                let i = ctx.rand_range(d);
+                Some(ctx.src_edge(i))
+            }
+        }
+
+        let graph = ring_lattice(16, 2, 0);
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let gg = GpuGraph::upload(&mut gpu, &graph).unwrap();
+        let store = SampleStore::new(vec![vec![0]]);
+        let plan = plan_step(&Walk, &store, 0, 0);
+        let ex = StepExec {
+            graph: &graph,
+            gg: &gg,
+            app: &Walk,
+            store: &store,
+            plan: &plan,
+            seed: 0,
+        };
+        let mut values = vec![NULL_VERTEX; plan.slots];
+        let mut edges = vec![Vec::new()];
+        // Correctly sized for the plan (1 slot); the lane below claims
+        // physical slot 5.
+        let mut step_buf = gpu.alloc(store.num_samples() * plan.slots);
+        let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+        work[0] = Some(LaneWork {
+            sample: 0,
+            tidx: 0,
+            j: 0,
+            transit: plan.transits[0],
+            phys: 5,
+            cached_len: 0,
+        });
+        gpu.launch("corrupt_plan", LaunchConfig::grid1d(32, 32), |blk| {
+            blk.for_each_warp(|w| {
+                execute_lanes(
+                    w,
+                    &ex,
+                    &work,
+                    EdgeCost::Global,
+                    &mut values,
+                    &mut edges,
+                    &mut step_buf,
+                );
+            });
+        });
+    }
 }

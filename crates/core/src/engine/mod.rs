@@ -19,6 +19,7 @@ pub mod cpu;
 pub(crate) mod driver;
 pub(crate) mod kernels;
 pub mod nextdoor;
+pub mod profile;
 pub mod scheduling;
 pub mod sp;
 pub mod tp;
@@ -63,6 +64,9 @@ pub struct EngineStats {
     pub counters: Counters,
     /// Steps actually executed.
     pub steps_run: usize,
+    /// Per-kernel, per-step breakdown of the run (empty for the CPU
+    /// reference).
+    pub profile: profile::RunProfile,
 }
 
 /// The per-step execution plan shared by every engine.
@@ -90,6 +94,14 @@ pub(crate) fn plan_step(
     seed: u64,
 ) -> StepPlan {
     let init_len = store.initial(0).len();
+    // `tps` sizes the transit array for *every* sample, so this derivation
+    // is only sound when all samples carry the same number of initial
+    // vertices — `validate_run` rejects ragged inputs at every `run_*`
+    // entry point before any engine reaches this function.
+    debug_assert!(
+        (0..store.num_samples()).all(|s| store.initial(s).len() == init_len),
+        "plan_step requires uniform initial-vertex counts (enforced by validate_run)"
+    );
     let tps = app.num_transits(step, init_len);
     let m = app.sample_size(step);
     let slots = match app.sampling_type() {
@@ -265,21 +277,28 @@ pub(crate) fn finish_step(
 
 /// Picks `num_samples` initial samples of one random vertex each, the
 /// default initial-sample policy mentioned in §4.1.
+///
+/// # Errors
+///
+/// Returns [`NextDoorError::EmptyGraph`](crate::error::NextDoorError) when
+/// the graph has no vertices to draw from.
 pub fn initial_samples_random(
     graph: &Csr,
     num_samples: usize,
     vertices_per_sample: usize,
     seed: u64,
-) -> Vec<Vec<VertexId>> {
+) -> Result<Vec<Vec<VertexId>>, crate::error::NextDoorError> {
     let n = graph.num_vertices() as u32;
-    assert!(n > 0, "empty graph");
-    (0..num_samples)
+    if n == 0 {
+        return Err(crate::error::NextDoorError::EmptyGraph);
+    }
+    Ok((0..num_samples)
         .map(|s| {
             (0..vertices_per_sample)
                 .map(|i| nextdoor_gpu::rng::rand_range(seed, s as u64, i as u64, n))
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -371,11 +390,20 @@ mod tests {
     #[test]
     fn initial_samples_shape_and_determinism() {
         let g = ring_lattice(32, 2, 0);
-        let a = initial_samples_random(&g, 5, 3, 9);
-        let b = initial_samples_random(&g, 5, 3, 9);
+        let a = initial_samples_random(&g, 5, 3, 9).unwrap();
+        let b = initial_samples_random(&g, 5, 3, 9).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 5);
         assert!(a.iter().all(|s| s.len() == 3));
         assert!(a.iter().flatten().all(|&v| (v as usize) < g.num_vertices()));
+    }
+
+    #[test]
+    fn initial_samples_on_empty_graph_is_typed_error() {
+        let g = Csr::empty(0);
+        assert!(matches!(
+            initial_samples_random(&g, 4, 1, 0),
+            Err(crate::error::NextDoorError::EmptyGraph)
+        ));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::api::NULL_VERTEX;
 use nextdoor_gpu::algorithms::{compact, exclusive_scan, radix_sort_pairs};
-use nextdoor_gpu::{Gpu, LaunchConfig, WARP_SIZE};
+use nextdoor_gpu::{Gpu, LaunchConfig, OutOfMemory, WARP_SIZE};
 use nextdoor_graph::VertexId;
 
 /// One transit vertex's group of sample-slots in the sorted pair array.
@@ -47,25 +47,31 @@ pub struct KernelClasses {
 ///
 /// `pairs` holds `(transit, pair_id)` with NULL transits already removed;
 /// `num_vertices` bounds the radix-sort key range.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when a device allocation fails — genuinely or
+/// through a scripted fault (see [`nextdoor_gpu::FaultPlan`]); the step
+/// loop absorbs injected faults and retries the step.
 pub fn build_scheduling_index(
     gpu: &mut Gpu,
     pairs: &[(VertexId, u32)],
     num_vertices: usize,
-) -> SchedulingIndex {
+) -> Result<SchedulingIndex, OutOfMemory> {
     if pairs.is_empty() {
-        return SchedulingIndex::default();
+        return Ok(SchedulingIndex::default());
     }
     debug_assert!(pairs.iter().all(|&(t, _)| t != NULL_VERTEX));
     let keys_host: Vec<u32> = pairs.iter().map(|&(t, _)| t).collect();
     let vals_host: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
-    let keys = gpu.to_device(&keys_host);
-    let vals = gpu.to_device(&vals_host);
+    let keys = gpu.try_to_device(&keys_host)?;
+    let vals = gpu.try_to_device(&vals_host)?;
     let (sorted_keys, sorted_vals) = radix_sort_pairs(gpu, &keys, &vals, (num_vertices - 1) as u32);
     // Segment-boundary flags: position i starts a new transit group.
     let n = pairs.len();
-    let mut flags = gpu.alloc::<u32>(n);
+    let mut flags = gpu.try_alloc::<u32>(n)?;
     let iota: Vec<u32> = (0..n as u32).collect();
-    let iota_dev = gpu.to_device(&iota);
+    let iota_dev = gpu.try_to_device(&iota)?;
     gpu.launch("segment_flags", LaunchConfig::grid1d(n, 256), |blk| {
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
@@ -96,32 +102,37 @@ pub fn build_scheduling_index(
             count: end - st as usize,
         });
     }
-    SchedulingIndex {
+    Ok(SchedulingIndex {
         sorted_pair_ids: sorted_vals.as_slice().to_vec(),
         segments,
-    }
+    })
 }
 
 /// Partitions transits into the three kernel classes of Table 2 by the
 /// number of threads each needs (`count × m`), charging the scan-based
 /// partition pass the paper describes.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when a device allocation fails — genuinely or
+/// through a scripted fault.
 pub fn partition_kernel_classes(
     gpu: &mut Gpu,
     index: &SchedulingIndex,
     m: usize,
     max_block_threads: usize,
-) -> KernelClasses {
+) -> Result<KernelClasses, OutOfMemory> {
     let mut classes = KernelClasses::default();
     let n = index.segments.len();
     if n == 0 {
-        return classes;
+        return Ok(classes);
     }
     // The classification pass: one thread per transit reads its count and
     // writes a class id; the subsequent scan-compactions are charged as one
     // pass (they share the same traffic shape as `compact`).
     let counts: Vec<u32> = index.segments.iter().map(|s| s.count as u32).collect();
-    let counts_dev = gpu.to_device(&counts);
-    let mut class_dev = gpu.alloc::<u32>(n);
+    let counts_dev = gpu.try_to_device(&counts)?;
+    let mut class_dev = gpu.try_alloc::<u32>(n)?;
     gpu.launch("partition_transits", LaunchConfig::grid1d(n, 256), |blk| {
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
@@ -156,7 +167,7 @@ pub fn partition_kernel_classes(
             classes.grid.push(i);
         }
     }
-    classes
+    Ok(classes)
 }
 
 #[cfg(test)]
@@ -172,7 +183,7 @@ mod tests {
     fn index_groups_pairs_by_transit() {
         let mut g = gpu();
         let pairs = vec![(5u32, 0u32), (3, 1), (5, 2), (3, 3), (9, 4), (5, 5)];
-        let idx = build_scheduling_index(&mut g, &pairs, 16);
+        let idx = build_scheduling_index(&mut g, &pairs, 16).unwrap();
         assert_eq!(idx.segments.len(), 3);
         assert_eq!(
             idx.segments[0],
@@ -192,7 +203,7 @@ mod tests {
     #[test]
     fn empty_pairs_yield_empty_index() {
         let mut g = gpu();
-        let idx = build_scheduling_index(&mut g, &[], 16);
+        let idx = build_scheduling_index(&mut g, &[], 16).unwrap();
         assert!(idx.segments.is_empty());
         assert!(idx.sorted_pair_ids.is_empty());
     }
@@ -201,7 +212,7 @@ mod tests {
     fn single_transit_many_samples() {
         let mut g = gpu();
         let pairs: Vec<(u32, u32)> = (0..100).map(|i| (7u32, i)).collect();
-        let idx = build_scheduling_index(&mut g, &pairs, 16);
+        let idx = build_scheduling_index(&mut g, &pairs, 16).unwrap();
         assert_eq!(idx.segments.len(), 1);
         assert_eq!(idx.segments[0].count, 100);
         assert_eq!(idx.sorted_pair_ids, (0..100).collect::<Vec<_>>());
@@ -221,14 +232,14 @@ mod tests {
         for i in 0..2000u32 {
             pairs.push((3u32, 1000 + i));
         }
-        let idx = build_scheduling_index(&mut g, &pairs, 8);
-        let classes = partition_kernel_classes(&mut g, &idx, 1, 1024);
+        let idx = build_scheduling_index(&mut g, &pairs, 8).unwrap();
+        let classes = partition_kernel_classes(&mut g, &idx, 1, 1024).unwrap();
         assert_eq!(classes.sub_warp.len(), 1);
         assert_eq!(classes.block.len(), 1);
         assert_eq!(classes.grid.len(), 1);
         assert_eq!(idx.segments[classes.grid[0]].transit, 3);
         // With m = 8, the 10-count transit needs 80 threads: block class.
-        let classes = partition_kernel_classes(&mut g, &idx, 8, 1024);
+        let classes = partition_kernel_classes(&mut g, &idx, 8, 1024).unwrap();
         assert!(classes.sub_warp.is_empty());
         assert_eq!(classes.block.len(), 2);
     }

@@ -20,6 +20,8 @@ use nextdoor_graph::{Csr, VertexId};
 pub enum NextDoorError {
     /// The initial sample set was empty.
     EmptyInit,
+    /// The graph has no vertices to sample from.
+    EmptyGraph,
     /// Initial samples must all hold the same number of vertices.
     UnequalInitSizes {
         /// Size of sample 0.
@@ -80,6 +82,7 @@ impl std::fmt::Display for NextDoorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NextDoorError::EmptyInit => write!(f, "need at least one initial sample"),
+            NextDoorError::EmptyGraph => write!(f, "the graph has no vertices"),
             NextDoorError::UnequalInitSizes {
                 expected,
                 got,

@@ -123,6 +123,7 @@ pub(crate) fn out_of_core_run(
     let gg = GpuGraph::upload_staged(gpu, graph);
     gpu.set_charge_transfers(true);
     let counters0 = *gpu.counters();
+    let launch0 = gpu.launches_issued();
     let loop_res = run_step_loop(
         gpu,
         graph,
@@ -136,6 +137,7 @@ pub(crate) fn out_of_core_run(
     gpu.set_charge_transfers(false);
     let out = loop_res?;
     let counters = gpu.counters().diff(&counters0);
+    let profile = crate::engine::profile::RunProfile::from_device(gpu, launch0, &out.step_marks);
     let spec = gpu.spec();
     let total_ms = spec.cycles_to_ms(counters.cycles);
     let scheduling_ms = spec.cycles_to_ms(out.sched_cycles);
@@ -147,6 +149,7 @@ pub(crate) fn out_of_core_run(
         scheduling_ms,
         counters,
         steps_run: out.steps_run,
+        profile,
     };
     let ooc = OutOfCoreStats {
         engine: stats.clone(),

@@ -48,7 +48,7 @@
 //! }
 //!
 //! let graph = rmat(8, 1000, RmatParams::SKEWED, 1);
-//! let init = initial_samples_random(&graph, 32, 1, 7);
+//! let init = initial_samples_random(&graph, 32, 1, 7).expect("graph is non-empty");
 //! let mut gpu = Gpu::new(GpuSpec::small());
 //! let result = run_nextdoor(&mut gpu, &graph, &UniformWalk, &init, 42)
 //!     .expect("inputs are valid and the graph fits");
@@ -69,6 +69,7 @@ pub mod store;
 pub use api::{NextCtx, SampleView, SamplingApp, SamplingType, Steps, NULL_VERTEX};
 pub use engine::cpu::run_cpu;
 pub use engine::nextdoor::run_nextdoor;
+pub use engine::profile::{classify_kernel, KernelBreakdown, KernelPhase, RunProfile, StepProfile};
 pub use engine::sp::run_sample_parallel;
 pub use engine::tp::run_vanilla_tp;
 pub use engine::{initial_samples_random, EngineStats, RunResult};

@@ -18,7 +18,7 @@ use crate::api::SamplingApp;
 use crate::engine::nextdoor::run_nextdoor;
 use crate::engine::{EngineStats, RunResult};
 use crate::error::{validate_run, FaultReport, NextDoorError};
-use nextdoor_gpu::{FaultPlan, Gpu, GpuSpec};
+use nextdoor_gpu::{FaultPlan, Gpu, GpuSpec, Profile};
 use nextdoor_graph::{Csr, VertexId};
 
 /// Result of a multi-GPU sampling run.
@@ -32,6 +32,11 @@ pub struct MultiGpuResult {
     /// Aggregated fault report: per-shard faults plus device losses and
     /// failovers handled by this layer.
     pub report: FaultReport,
+    /// Raw per-device kernel profiles (index = physical device), for
+    /// multi-device trace export via
+    /// [`write_chrome_trace`](nextdoor_gpu::write_chrome_trace). A lost
+    /// device keeps the records it produced before dying.
+    pub device_profiles: Vec<Profile>,
 }
 
 impl MultiGpuResult {
@@ -159,10 +164,12 @@ pub fn run_nextdoor_multi_gpu_with_faults(
         }
     }
     let makespan_ms = device_ms.iter().cloned().fold(0.0f64, f64::max);
+    let device_profiles = gpus.iter().map(|g| g.profile().clone()).collect();
     Ok(MultiGpuResult {
         per_gpu,
         makespan_ms,
         report,
+        device_profiles,
     })
 }
 

@@ -7,6 +7,7 @@ use crate::block::BlockCtx;
 use crate::counters::{Counters, KernelStats};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::mem::{DeviceBuffer, MemTracker, OutOfMemory};
+use crate::profile::{KernelRecord, Profile, ProfileEvent, TransferDir, TransferRecord};
 use crate::sched;
 use crate::spec::GpuSpec;
 use crate::warp::WARP_SIZE;
@@ -54,6 +55,7 @@ pub struct Gpu {
     tracker: Rc<MemTracker>,
     counters: Counters,
     kernel_log: Vec<KernelStats>,
+    profile: Profile,
     charge_transfers: bool,
     fault_plan: Option<FaultPlan>,
     alloc_seq: Cell<u64>,
@@ -71,6 +73,7 @@ impl Gpu {
             tracker,
             counters: Counters::default(),
             kernel_log: Vec::new(),
+            profile: Profile::default(),
             charge_transfers: false,
             fault_plan: None,
             alloc_seq: Cell::new(0),
@@ -195,18 +198,32 @@ impl Gpu {
 
     /// Charges a host-to-device transfer of `bytes` (if charging is on).
     pub fn charge_htod(&mut self, bytes: usize) {
-        self.counters.htod_bytes += bytes as u64;
-        if self.charge_transfers {
-            self.counters.cycles += self.spec.pcie_cycles(bytes);
-        }
+        self.charge_transfer(TransferDir::HtoD, bytes);
     }
 
     /// Charges a device-to-host transfer of `bytes` (if charging is on).
     pub fn charge_dtoh(&mut self, bytes: usize) {
-        self.counters.dtoh_bytes += bytes as u64;
-        if self.charge_transfers {
-            self.counters.cycles += self.spec.pcie_cycles(bytes);
+        self.charge_transfer(TransferDir::DtoH, bytes);
+    }
+
+    fn charge_transfer(&mut self, dir: TransferDir, bytes: usize) {
+        let start_cycles = self.counters.cycles;
+        let cycles = if self.charge_transfers {
+            self.spec.pcie_cycles(bytes)
+        } else {
+            0.0
+        };
+        match dir {
+            TransferDir::HtoD => self.counters.htod_bytes += bytes as u64,
+            TransferDir::DtoH => self.counters.dtoh_bytes += bytes as u64,
         }
+        self.counters.cycles += cycles;
+        self.profile.push(ProfileEvent::Transfer(TransferRecord {
+            dir,
+            bytes: bytes as u64,
+            start_cycles,
+            cycles,
+        }));
     }
 
     /// Bytes of device memory currently allocated.
@@ -292,7 +309,20 @@ impl Gpu {
         launch_counters.cycles = cycles;
         launch_counters.sm_busy_cycles = sch.busy;
         launch_counters.sm_total_cycles = sch.makespan * self.spec.num_sms as f64;
+        let start_cycles = self.counters.cycles;
         self.counters.merge(&launch_counters);
+        self.profile.push(ProfileEvent::Kernel(KernelRecord {
+            name: name.to_string(),
+            launch_idx,
+            grid_dim: cfg.grid_dim,
+            block_dim: cfg.block_dim,
+            start_cycles,
+            cycles,
+            counters: launch_counters,
+            occupancy: resident_warps as f64 / self.spec.max_warps_per_sm as f64,
+            per_sm_busy: sch.per_sm,
+            shared_mem_bytes: max_shared_words * 4,
+        }));
         let stats = KernelStats {
             name: name.to_string(),
             blocks: cfg.grid_dim,
@@ -328,15 +358,40 @@ impl Gpu {
         &self.kernel_log
     }
 
+    /// The bounded per-kernel/per-transfer profile buffer (see
+    /// [`crate::profile`]).
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Rebounds the profile buffer to `capacity` events, keeping existing
+    /// events (the oldest are folded into the evicted aggregate if the new
+    /// bound is smaller).
+    pub fn set_profile_capacity(&mut self, capacity: usize) {
+        let mut fresh = Profile::with_capacity(capacity);
+        let old = std::mem::take(&mut self.profile);
+        fresh.absorb(old);
+        self.profile = fresh;
+    }
+
+    /// Kernel launches issued so far. Monotonic over the device's lifetime
+    /// (never reset), so a pair of snapshots brackets the profile records
+    /// of any code region by `launch_idx`.
+    pub fn launches_issued(&self) -> u64 {
+        self.launch_seq
+    }
+
     /// Total simulated time so far, in milliseconds.
     pub fn elapsed_ms(&self) -> f64 {
         self.spec.cycles_to_ms(self.counters.cycles)
     }
 
-    /// Resets counters and the kernel log (memory stays allocated).
+    /// Resets counters, the kernel log and the profile buffer (memory stays
+    /// allocated).
     pub fn reset_counters(&mut self) {
         self.counters = Counters::default();
         self.kernel_log.clear();
+        self.profile.clear();
     }
 }
 

@@ -61,6 +61,7 @@ pub mod fault;
 pub mod lane;
 pub mod launch;
 pub mod mem;
+pub mod profile;
 pub mod rng;
 pub mod sched;
 pub mod spec;
@@ -72,5 +73,9 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use lane::{LaneOp, LaneTrace};
 pub use launch::{Gpu, LaunchConfig};
 pub use mem::{DeviceBuffer, OutOfMemory};
+pub use profile::{
+    summarize_kernels, write_chrome_trace, write_kernel_report, KernelRecord, KernelSummary,
+    Profile, ProfileEvent, TransferDir, TransferRecord,
+};
 pub use spec::{CostModel, GpuSpec};
 pub use warp::{Mask, WarpCtx, WARP_SIZE};

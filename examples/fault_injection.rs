@@ -15,7 +15,7 @@ use nextdoor::graph::Dataset;
 
 fn main() {
     let graph = Dataset::Ppi.generate(0.05, 7);
-    let init = initial_samples_random(&graph, 1000, 1, 42);
+    let init = initial_samples_random(&graph, 1000, 1, 42).expect("non-empty graph");
     let app = KHop::graphsage();
 
     // Reference: a fault-free run.

@@ -35,7 +35,7 @@ fn main() {
     let graph = b.build().expect("valid community graph");
 
     // Sample node2vec walks (p=2, q=0.5 biases walks to explore outward).
-    let init = initial_samples_random(&graph, 400, 1, 3);
+    let init = initial_samples_random(&graph, 400, 1, 3).expect("non-empty graph");
     let mut gpu = Gpu::new(GpuSpec::small());
     let result = run_nextdoor(&mut gpu, &graph, &Node2Vec::new(12, 2.0, 0.5), &init, 17)
         .expect("valid inputs, graph fits");

@@ -29,7 +29,7 @@ fn main() {
         parts.len()
     );
 
-    let init = initial_samples_random(&graph, 4096, 1, 11);
+    let init = initial_samples_random(&graph, 4096, 1, 11).expect("non-empty graph");
     let apps: Vec<Box<dyn SamplingApp>> =
         vec![Box::new(KHop::graphsage()), Box::new(DeepWalk::new(50))];
     for app in apps {

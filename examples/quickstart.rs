@@ -51,7 +51,7 @@ fn main() {
     );
 
     // 1000 samples, each starting from one random vertex.
-    let init = initial_samples_random(&graph, 1000, 1, 42);
+    let init = initial_samples_random(&graph, 1000, 1, 42).expect("non-empty graph");
     let app = UniformWalk { length: 16 };
 
     // Run transit-parallel on a simulated V100.

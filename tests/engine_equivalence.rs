@@ -55,7 +55,7 @@ fn check_all_engines(app: &dyn SamplingApp, graph: &Csr, init: &[Vec<VertexId>])
 }
 
 fn walk_init(graph: &Csr, n: usize) -> Vec<Vec<VertexId>> {
-    nextdoor::core::initial_samples_random(graph, n, 1, 5)
+    nextdoor::core::initial_samples_random(graph, n, 1, 5).expect("non-empty graph")
 }
 
 #[test]
@@ -70,7 +70,7 @@ fn walks_are_engine_independent() {
 #[test]
 fn multirw_is_engine_independent() {
     let g = graph();
-    let init = nextdoor::core::initial_samples_random(&g, 24, 16, 6);
+    let init = nextdoor::core::initial_samples_random(&g, 24, 16, 6).unwrap();
     check_all_engines(&apps::MultiRw::new(20), &g, &init);
 }
 
@@ -78,7 +78,7 @@ fn multirw_is_engine_independent() {
 fn khop_and_mvs_are_engine_independent() {
     let g = graph();
     check_all_engines(&apps::KHop::new(vec![10, 5]), &g, &walk_init(&g, 64));
-    let batches = nextdoor::core::initial_samples_random(&g, 16, 32, 7);
+    let batches = nextdoor::core::initial_samples_random(&g, 16, 32, 7).unwrap();
     check_all_engines(&apps::Mvs::new(2), &g, &batches);
 }
 
@@ -86,7 +86,7 @@ fn khop_and_mvs_are_engine_independent() {
 fn collective_apps_are_engine_independent() {
     let g = graph();
     check_all_engines(&apps::Layer::new(16, 48), &g, &walk_init(&g, 32));
-    let batches = nextdoor::core::initial_samples_random(&g, 12, 16, 8);
+    let batches = nextdoor::core::initial_samples_random(&g, 12, 16, 8).unwrap();
     check_all_engines(&apps::FastGcn::new(2, 24), &g, &batches);
     check_all_engines(&apps::Ladies::new(2, 24), &g, &batches);
 }

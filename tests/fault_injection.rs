@@ -16,7 +16,7 @@ use nextdoor::graph::Dataset;
 #[test]
 fn scripted_faults_survive_a_multi_gpu_khop_run() {
     let graph = Dataset::Ppi.generate(0.02, 5);
-    let init = initial_samples_random(&graph, 96, 1, 11);
+    let init = initial_samples_random(&graph, 96, 1, 11).unwrap();
     let app = KHop::new(vec![4, 2]);
     let spec = GpuSpec::small();
 
@@ -62,7 +62,7 @@ fn scripted_faults_survive_a_multi_gpu_khop_run() {
 #[test]
 fn upload_oom_degrades_to_out_of_core_with_identical_samples() {
     let graph = Dataset::Ppi.generate(0.02, 3);
-    let init = initial_samples_random(&graph, 64, 1, 9);
+    let init = initial_samples_random(&graph, 64, 1, 9).unwrap();
     let app = KHop::new(vec![3, 2]);
 
     let mut clean_gpu = Gpu::new(GpuSpec::small());
@@ -80,7 +80,7 @@ fn upload_oom_degrades_to_out_of_core_with_identical_samples() {
 #[test]
 fn transient_fault_is_retried_transparently() {
     let graph = Dataset::Ppi.generate(0.02, 3);
-    let init = initial_samples_random(&graph, 64, 1, 9);
+    let init = initial_samples_random(&graph, 64, 1, 9).unwrap();
     let app = KHop::new(vec![3, 2]);
 
     let mut clean_gpu = Gpu::new(GpuSpec::small());
@@ -97,7 +97,7 @@ fn transient_fault_is_retried_transparently() {
 #[test]
 fn persistent_watchdog_timeouts_exhaust_retries_into_a_typed_error() {
     let graph = Dataset::Ppi.generate(0.02, 3);
-    let init = initial_samples_random(&graph, 64, 1, 9);
+    let init = initial_samples_random(&graph, 64, 1, 9).unwrap();
 
     let mut gpu = Gpu::new(GpuSpec::small());
     // A budget no kernel can meet: every attempt times out, the bounded
@@ -116,7 +116,7 @@ fn persistent_watchdog_timeouts_exhaust_retries_into_a_typed_error() {
 #[test]
 fn lost_single_device_is_a_typed_error_not_a_panic() {
     let graph = Dataset::Ppi.generate(0.02, 3);
-    let init = initial_samples_random(&graph, 32, 1, 9);
+    let init = initial_samples_random(&graph, 32, 1, 9).unwrap();
 
     let mut gpu = Gpu::new(GpuSpec::small());
     gpu.inject_faults(FaultPlan::new().lose_device_at_launch(1));

@@ -21,7 +21,7 @@ fn dense_roots(g: &Csr) -> Vec<Vec<VertexId>> {
 }
 
 fn roots(g: &Csr, n: usize) -> Vec<Vec<VertexId>> {
-    nextdoor::core::initial_samples_random(g, n, 1, 17)
+    nextdoor::core::initial_samples_random(g, n, 1, 17).expect("non-empty graph")
 }
 
 #[test]

@@ -51,7 +51,7 @@ fn gnn_trains_with_both_samplers_and_learns() {
 #[test]
 fn multi_gpu_covers_all_samples_and_validates() {
     let graph = Dataset::Ppi.generate(0.02, 2);
-    let init = initial_samples_random(&graph, 200, 1, 3);
+    let init = initial_samples_random(&graph, 200, 1, 3).unwrap();
     let res =
         run_nextdoor_multi_gpu(&GpuSpec::small(), 4, &graph, &DeepWalk::new(8), &init, 9).unwrap();
     assert_eq!(res.total_samples(), 200);
@@ -67,7 +67,7 @@ fn multi_gpu_covers_all_samples_and_validates() {
 #[test]
 fn out_of_core_equals_in_core_samples() {
     let graph = Dataset::Ppi.generate(0.02, 4);
-    let init = initial_samples_random(&graph, 128, 1, 7);
+    let init = initial_samples_random(&graph, 128, 1, 7).unwrap();
     let app = KHop::new(vec![6, 3]);
     let mut gpu = Gpu::new(GpuSpec::small());
     let (ooc_res, ooc) =
@@ -86,7 +86,7 @@ fn out_of_core_equals_in_core_samples() {
 fn readme_pipeline_smoke() {
     // The five-line pipeline from the README: dataset -> sampler -> stats.
     let graph = Dataset::Patents.generate(0.005, 1);
-    let init = initial_samples_random(&graph, 64, 1, 2);
+    let init = initial_samples_random(&graph, 64, 1, 2).unwrap();
     let mut gpu = Gpu::new(GpuSpec::v100());
     let result = run_nextdoor(&mut gpu, &graph, &DeepWalk::new(10), &init, 3).unwrap();
     assert_eq!(result.store.num_samples(), 64);
