@@ -117,9 +117,12 @@ pub fn run_frontier(
             .filter(|&&v| v != NULL_VERTEX)
             .count();
         if inserts > 0 {
-            let mut new_frontier = gpu.alloc::<u32>(inserts);
-            let mut cursor = gpu.alloc::<u32>(1);
-            gpu.launch(
+            let new_frontier = gpu.alloc::<u32>(inserts);
+            let cursor = gpu.alloc::<u32>(1);
+            // `launch_ordered`: the queue positions returned by the cursor
+            // atomics depend on cross-block execution order, so this kernel
+            // must run its blocks sequentially to stay deterministic.
+            gpu.launch_ordered(
                 "gunrock_frontier_insert",
                 LaunchConfig::grid1d(inserts, 256),
                 |blk| {
@@ -132,10 +135,10 @@ pub fn run_frontier(
                         // Atomic cursor bump, then a scattered write of the
                         // accepted vertex into the new frontier.
                         let pos =
-                            w.atomic_add_global(&mut cursor, &[0; WARP_SIZE], [1; WARP_SIZE], msk);
+                            w.atomic_add_global(&cursor, &[0; WARP_SIZE], [1; WARP_SIZE], msk);
                         let idx: [usize; WARP_SIZE] =
                             std::array::from_fn(|l| (pos[l] as usize).min(inserts - 1));
-                        w.st_global(&mut new_frontier, &idx, [0; WARP_SIZE], msk);
+                        w.st_global(&new_frontier, &idx, [0; WARP_SIZE], msk);
                     });
                 },
             );

@@ -131,9 +131,12 @@ pub fn run_message_passing(
             .filter(|&&v| v != NULL_VERTEX)
             .count();
         if deliveries > 0 {
-            let mut queue = gpu.alloc::<u32>(deliveries);
-            let mut cursor = gpu.alloc::<u32>(1);
-            gpu.launch(
+            let queue = gpu.alloc::<u32>(deliveries);
+            let cursor = gpu.alloc::<u32>(1);
+            // `launch_ordered`: queue positions from the cursor atomics are
+            // cross-block execution-order dependent (see the Gunrock
+            // frontier insert), so blocks run sequentially.
+            gpu.launch_ordered(
                 "tigr_message_delivery",
                 LaunchConfig::grid1d(deliveries, 256),
                 |blk| {
@@ -144,10 +147,10 @@ pub fn run_message_passing(
                             return;
                         }
                         let pos =
-                            w.atomic_add_global(&mut cursor, &[0; WARP_SIZE], [1; WARP_SIZE], msk);
+                            w.atomic_add_global(&cursor, &[0; WARP_SIZE], [1; WARP_SIZE], msk);
                         let idx: [usize; WARP_SIZE] =
                             std::array::from_fn(|l| (pos[l] as usize).min(deliveries - 1));
-                        w.st_global(&mut queue, &idx, [0; WARP_SIZE], msk);
+                        w.st_global(&queue, &idx, [0; WARP_SIZE], msk);
                     });
                 },
             );

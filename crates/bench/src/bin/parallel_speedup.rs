@@ -1,0 +1,87 @@
+//! Sequential-vs-parallel wall-clock of the simulator's host worker pool.
+//!
+//! Runs the smoke workload (the 10-step walk of `nextdoor-bench`) twice —
+//! once with one host worker thread (the exact sequential code path) and
+//! once with the configured thread count (default: available parallelism) —
+//! verifies the outputs are bit-identical, and records both wall-clock
+//! times into `BENCH_parallel.json` as the first datapoint of the
+//! parallel-performance trajectory. On a machine with at least 4 cores the
+//! parallel leg is expected to be at least 2x faster; on smaller machines
+//! the file still records the honest measurement.
+
+use nextdoor_bench::BenchConfig;
+use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+use nextdoor_core::engine::nextdoor::run_nextdoor;
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::Dataset;
+use std::time::Instant;
+
+struct Walk(usize);
+impl SamplingApp for Walk {
+    fn name(&self) -> &'static str {
+        "walk"
+    }
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.0)
+    }
+    fn sample_size(&self, _: usize) -> usize {
+        1
+    }
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        let i = ctx.rand_range(d);
+        Some(ctx.src_edge(i))
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let g = cfg.graph(Dataset::Ppi);
+    let init = cfg.walk_init(&g);
+    let app = Walk(10);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_threads = if cfg.gpu.host_threads > 0 {
+        cfg.gpu.host_threads
+    } else {
+        cores
+    };
+
+    let run_at = |threads: usize| {
+        let mut spec = cfg.gpu.clone();
+        spec.host_threads = threads;
+        let mut gpu = Gpu::new(spec);
+        let start = Instant::now();
+        let res = run_nextdoor(&mut gpu, &g, &app, &init, cfg.seed).expect("smoke run succeeds");
+        (start.elapsed().as_secs_f64() * 1e3, res)
+    };
+
+    let (seq_ms, seq) = run_at(1);
+    let (par_ms, par) = run_at(parallel_threads);
+    assert_eq!(
+        seq.store.final_samples(),
+        par.store.final_samples(),
+        "parallel launch diverged from the sequential path"
+    );
+    let speedup = seq_ms / par_ms.max(1e-9);
+    println!(
+        "smoke walk: sequential {seq_ms:.1}ms, {parallel_threads} threads {par_ms:.1}ms \
+         ({speedup:.2}x, {cores} cores)"
+    );
+    if cores >= 4 && speedup < 2.0 {
+        eprintln!("warning: expected >= 2x speedup on a {cores}-core host, got {speedup:.2}x");
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": \"smoke_walk10_ppi\",\n  \"samples\": {},\n  \
+         \"host_cores\": {cores},\n  \"threads_sequential\": 1,\n  \
+         \"threads_parallel\": {parallel_threads},\n  \"sequential_ms\": {seq_ms:.3},\n  \
+         \"parallel_ms\": {par_ms:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"bit_identical\": true\n}}\n",
+        init.len(),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("can write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

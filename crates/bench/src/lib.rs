@@ -10,6 +10,8 @@
 //! * `--samples <n>` — samples per application run (default 2048)
 //! * `--sms <n>`     — SMs of the simulated GPU (default 16, a 1/5 V100)
 //! * `--seed <n>`    — RNG seed (default 42)
+//! * `--threads <n>` — host worker threads for the simulator's launch pool
+//!   and the CPU baselines (default: available parallelism)
 //! * `--profile`     — export per-kernel JSON + chrome-trace files to
 //!   `results/` (see [`BenchConfig::export_profile`])
 
@@ -74,11 +76,17 @@ impl BenchConfig {
                 "--samples" => cfg.samples = value("--samples").parse().expect("integer --samples"),
                 "--sms" => cfg.gpu.num_sms = value("--sms").parse().expect("integer --sms"),
                 "--seed" => cfg.seed = value("--seed").parse().expect("integer --seed"),
+                "--threads" => {
+                    let n: usize = value("--threads").parse().expect("integer --threads");
+                    assert!(n > 0, "--threads must be positive");
+                    cfg.threads = n;
+                    cfg.gpu.host_threads = n;
+                }
                 "--profile" => cfg.profile = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale <f> --samples <n> --sms <n> --seed <n> --profile \
-                         (see DESIGN.md)"
+                        "flags: --scale <f> --samples <n> --sms <n> --seed <n> --threads <n> \
+                         --profile (see DESIGN.md)"
                     );
                     std::process::exit(0);
                 }

@@ -15,7 +15,7 @@ use crate::engine::scheduling::SchedulingIndex;
 use nextdoor_gpu::algorithms::exclusive_scan;
 use nextdoor_gpu::lane::LaneTrace;
 use nextdoor_gpu::warp::mask_first_n;
-use nextdoor_gpu::{DeviceBuffer, Gpu, LaunchConfig, WARP_SIZE};
+use nextdoor_gpu::{BlockShards, DeviceBuffer, Gpu, LaunchConfig, SyncSlice, WARP_SIZE};
 use nextdoor_graph::VertexId;
 
 /// The combined neighbourhoods of all samples for one step.
@@ -229,10 +229,11 @@ pub(crate) fn run_collective_next_kernel(
     if total == 0 {
         return;
     }
-    let values = &mut out.values;
-    let edges = &mut out.edges;
-    let step_buf = &mut out.step_buf;
-    gpu.launch("collective_next", LaunchConfig::grid1d(total, 256), |blk| {
+    let cfg = LaunchConfig::grid1d(total, 256);
+    let values = SyncSlice::new(&mut out.values);
+    let edge_shards = BlockShards::new(cfg.grid_dim);
+    let step_buf = &out.step_buf;
+    gpu.launch("collective_next", cfg, |blk| {
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
             let valid = w
@@ -274,11 +275,21 @@ pub(crate) fn run_collective_next_kernel(
                 drop(ctx);
                 vals[l] = v;
                 idxs[l] = sample * ex.plan.slots + j;
-                values[idxs[l]] = v;
-                edges[sample].extend(es);
+                // SAFETY: each `(sample, j)` slot belongs to exactly one
+                // lane of the launch, and each shard is only touched by the
+                // thread executing its block.
+                unsafe {
+                    values.write(idxs[l], v);
+                    if !es.is_empty() {
+                        edge_shards.push(w.block_idx, (sample, es));
+                    }
+                }
             }
             w.replay(&traces, valid);
             w.st_global(step_buf, &idxs, vals, valid);
         });
     });
+    for (sample, es) in edge_shards.into_ordered() {
+        out.edges[sample].extend(es);
+    }
 }

@@ -256,7 +256,7 @@ pub(crate) fn run_step_loop(
             // A faulted attempt falls through to the retry bookkeeping at
             // the bottom; allocation faults restart the attempt directly.
             let res = gpu.try_alloc::<u32>(ns * plan.tps);
-            let Some(mut transit_buf) = absorb_alloc_fault(gpu, &mut report, res)? else {
+            let Some(transit_buf) = absorb_alloc_fault(gpu, &mut report, res)? else {
                 if retries >= MAX_STEP_RETRIES {
                     return Err(NextDoorError::KernelFault { step, retries });
                 }
@@ -264,7 +264,7 @@ pub(crate) fn run_step_loop(
                 report.step_retries += 1;
                 continue;
             };
-            charge_step_transits(gpu, &prev_buf, &mut transit_buf, &plan.transits, plan.tps);
+            charge_step_transits(gpu, &prev_buf, &transit_buf, &plan.transits, plan.tps);
             let res = StepOut::try_new(gpu, ns, plan.slots);
             let Some(mut out) = absorb_alloc_fault(gpu, &mut report, res)? else {
                 if retries >= MAX_STEP_RETRIES {

@@ -13,7 +13,9 @@ use crate::gpu_graph::GpuGraph;
 use crate::store::SampleStore;
 use nextdoor_gpu::lane::LaneTrace;
 use nextdoor_gpu::warp::mask_first_n;
-use nextdoor_gpu::{DeviceBuffer, Gpu, LaunchConfig, OutOfMemory, WARP_SIZE};
+use nextdoor_gpu::{
+    BlockShards, DeviceBuffer, Gpu, LaunchConfig, OutOfMemory, SyncSlice, WARP_SIZE,
+};
 use nextdoor_graph::{Csr, VertexId};
 
 /// Everything a sampling kernel needs to know about the current step.
@@ -82,7 +84,7 @@ impl StepOut {
 pub(crate) fn charge_step_transits(
     gpu: &mut Gpu,
     prev_buf: &DeviceBuffer<u32>,
-    transit_buf: &mut DeviceBuffer<u32>,
+    transit_buf: &DeviceBuffer<u32>,
     transits: &[VertexId],
     tps: usize,
 ) {
@@ -140,18 +142,25 @@ struct LaneWork {
     cached_len: usize,
 }
 
+/// Per-block shard payload of `execute_lanes`: the sampled edges one lane
+/// appends for one sample. Draining the shards in block order reproduces
+/// exactly the append order of a sequential launch.
+pub(crate) type EdgeAppend = (usize, Vec<(VertexId, VertexId)>);
+
 /// Runs `next` for the lanes described by `work`, replays the traces on the
 /// warp, stores outputs through the step buffer, and mirrors values/edges
-/// into `out`.
+/// into the host-side output mirrors. The mirrors are shared-reference
+/// writable ([`SyncSlice`] / [`BlockShards`]) because the kernel closure
+/// may be executing on several host worker threads at once.
 #[allow(clippy::too_many_arguments)]
 fn execute_lanes(
     w: &mut nextdoor_gpu::WarpCtx<'_>,
     ex: &StepExec<'_>,
     work: &[Option<LaneWork>; WARP_SIZE],
     cost: EdgeCost,
-    out_values: &mut [VertexId],
-    out_edges: &mut [Vec<(VertexId, VertexId)>],
-    step_buf: &mut DeviceBuffer<u32>,
+    out_values: &SyncSlice<'_, VertexId>,
+    out_edges: &BlockShards<EdgeAppend>,
+    step_buf: &DeviceBuffer<u32>,
 ) {
     let mut traces: [LaneTrace; WARP_SIZE] = std::array::from_fn(|_| LaneTrace::new());
     let mut vals = [NULL_VERTEX; WARP_SIZE];
@@ -191,8 +200,15 @@ fn execute_lanes(
             step_buf.len()
         );
         idxs[l] = lw.phys;
-        out_values[ex.out_index(lw.sample, lw.tidx, lw.j)] = v;
-        out_edges[lw.sample].extend(es);
+        // SAFETY: each `(sample, tidx, j)` slot belongs to exactly one lane
+        // of the launch, and each shard is only touched by the thread
+        // executing its block (see `execute_lanes`' doc).
+        unsafe {
+            out_values.write(ex.out_index(lw.sample, lw.tidx, lw.j), v);
+            if !es.is_empty() {
+                out_edges.push(w.block_idx, (lw.sample, es));
+            }
+        }
     }
     if mask == 0 {
         return;
@@ -233,64 +249,78 @@ pub(crate) fn run_subwarp_kernel(
         warps.push(cur);
     }
     let total_threads = warps.len() * WARP_SIZE;
-    let values = &mut out.values;
-    let edges = &mut out.edges;
-    let step_buf = &mut out.step_buf;
-    gpu.launch(
-        "nextdoor_subwarp",
-        LaunchConfig::grid1d(total_threads, 256),
-        |blk| {
-            blk.for_each_warp(|w| {
-                let gw = w.global_warp_id();
-                if gw >= warps.len() {
-                    return;
-                }
-                let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
-                let mut lane = 0usize;
-                for &si in &warps[gw] {
-                    let seg = index.segments[si];
-                    let deg = ex.graph.degree(seg.transit);
-                    // Register caching: the transit's sub-warps can hold
-                    // REG_CACHE_PER_THREAD neighbours per thread; they are
-                    // loaded once with coalesced reads and served to every
-                    // lane via warp shuffles.
-                    let threads = seg.count * m;
-                    // Adaptive cache sizing: preload no more sectors than
-                    // the expected number of accesses can pay back (a few
-                    // probes per slot), bounded by the register budget.
-                    let expected = (4 * threads).next_multiple_of(8).max(8);
-                    let reg_n = deg.min(expected).min(REG_CACHE_PER_THREAD * threads);
-                    if reg_n > 0 {
-                        let (start, _) = ex.graph.adjacency_range(seg.transit);
-                        let mut c = 0;
-                        while c < reg_n {
-                            let len = (reg_n - c).min(WARP_SIZE);
-                            let idx: [usize; WARP_SIZE] =
-                                std::array::from_fn(|l| start + c + l.min(len - 1));
-                            let _ = w.ld_global(&ex.gg.cols, &idx, mask_first_n(len));
-                            c += len;
-                        }
-                    }
-                    for p in 0..seg.count {
-                        let pair_id = index.sorted_pair_ids[seg.start + p];
-                        let (sample, tidx) = ex.decode_pair(pair_id);
-                        for j in 0..m {
-                            work[lane] = Some(LaneWork {
-                                sample,
-                                tidx,
-                                j,
-                                transit: seg.transit,
-                                phys: (seg.start + p) * m + j,
-                                cached_len: reg_n,
-                            });
-                            lane += 1;
-                        }
+    let cfg = LaunchConfig::grid1d(total_threads, 256);
+    let values = SyncSlice::new(&mut out.values);
+    let edge_shards = BlockShards::new(cfg.grid_dim);
+    let step_buf = &out.step_buf;
+    gpu.launch("nextdoor_subwarp", cfg, |blk| {
+        blk.for_each_warp(|w| {
+            let gw = w.global_warp_id();
+            if gw >= warps.len() {
+                return;
+            }
+            let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+            let mut lane = 0usize;
+            for &si in &warps[gw] {
+                let seg = index.segments[si];
+                let deg = ex.graph.degree(seg.transit);
+                // Register caching: the transit's sub-warps can hold
+                // REG_CACHE_PER_THREAD neighbours per thread; they are
+                // loaded once with coalesced reads and served to every
+                // lane via warp shuffles.
+                let threads = seg.count * m;
+                // Adaptive cache sizing: preload no more sectors than
+                // the expected number of accesses can pay back (a few
+                // probes per slot), bounded by the register budget.
+                let expected = (4 * threads).next_multiple_of(8).max(8);
+                let reg_n = deg.min(expected).min(REG_CACHE_PER_THREAD * threads);
+                if reg_n > 0 {
+                    let (start, _) = ex.graph.adjacency_range(seg.transit);
+                    let mut c = 0;
+                    while c < reg_n {
+                        let len = (reg_n - c).min(WARP_SIZE);
+                        let idx: [usize; WARP_SIZE] =
+                            std::array::from_fn(|l| start + c + l.min(len - 1));
+                        let _ = w.ld_global(&ex.gg.cols, &idx, mask_first_n(len));
+                        c += len;
                     }
                 }
-                execute_lanes(w, ex, &work, EdgeCost::Registers, values, edges, step_buf);
-            });
-        },
-    );
+                for p in 0..seg.count {
+                    let pair_id = index.sorted_pair_ids[seg.start + p];
+                    let (sample, tidx) = ex.decode_pair(pair_id);
+                    for j in 0..m {
+                        work[lane] = Some(LaneWork {
+                            sample,
+                            tidx,
+                            j,
+                            transit: seg.transit,
+                            phys: (seg.start + p) * m + j,
+                            cached_len: reg_n,
+                        });
+                        lane += 1;
+                    }
+                }
+            }
+            execute_lanes(
+                w,
+                ex,
+                &work,
+                EdgeCost::Registers,
+                &values,
+                &edge_shards,
+                step_buf,
+            );
+        });
+    });
+    drain_edge_shards(edge_shards, &mut out.edges);
+}
+
+/// Merges the per-block edge shards into the per-sample edge lists, in
+/// canonical block order.
+fn drain_edge_shards(shards: BlockShards<EdgeAppend>, edges: &mut [Vec<(VertexId, VertexId)>]) {
+    for (sample, es) in shards.into_ordered() {
+        edges[sample].extend(es);
+    }
 }
 
 /// A unit of block-level work: a chunk of one transit's pairs.
@@ -361,86 +391,92 @@ pub(crate) fn run_transit_block_kernel(
     }
     let m = ex.plan.m;
     let block_dim = 1024usize;
-    let values = &mut out.values;
-    let edges = &mut out.edges;
-    let step_buf = &mut out.step_buf;
-    gpu.launch(
-        name,
-        LaunchConfig {
-            grid_dim: blocks.len(),
-            block_dim,
-        },
-        |blk| {
-            let bw = blocks[blk.block_idx];
-            let seg = index.segments[bw.seg];
-            let deg = ex.graph.degree(seg.transit);
-            let (row_start, _) = ex.graph.adjacency_range(seg.transit);
-            // Shared-memory cache of the adjacency list; spill to global
-            // when it does not fit (§6.1.2 "Caching").
-            let cache_n = deg.min(blk.shared_words_free());
-            let cache = if cache_n > 0 {
-                blk.shared_alloc(cache_n)
-            } else {
-                None
-            };
-            let cached_len = cache.map_or(0, |_| cache_n);
-            if let Some(arr) = cache {
-                let chunks = cache_n.div_ceil(WARP_SIZE);
-                let num_warps = blk.num_warps();
-                blk.for_each_warp(|w| {
-                    let mut c = w.warp_in_block;
-                    while c < chunks {
-                        let base = c * WARP_SIZE;
-                        let len = WARP_SIZE.min(cache_n - base);
-                        let msk = mask_first_n(len);
-                        let gidx: [usize; WARP_SIZE] =
-                            std::array::from_fn(|l| row_start + (base + l).min(cache_n - 1));
-                        let v = w.ld_global(&ex.gg.cols, &gidx, msk);
-                        let sidx: [usize; WARP_SIZE] =
-                            std::array::from_fn(|l| (base + l).min(cache_n - 1));
-                        w.st_shared(&arr, &sidx, v, msk);
-                        c += num_warps;
-                    }
-                });
-                blk.syncthreads();
-            }
-            let lanes_needed = bw.pair_count * m;
-            let iterations = if grid_stride {
-                lanes_needed.div_ceil(block_dim)
-            } else {
-                1
-            };
+    let cfg = LaunchConfig {
+        grid_dim: blocks.len(),
+        block_dim,
+    };
+    let values = SyncSlice::new(&mut out.values);
+    let edge_shards = BlockShards::new(cfg.grid_dim);
+    let step_buf = &out.step_buf;
+    gpu.launch(name, cfg, |blk| {
+        let bw = blocks[blk.block_idx];
+        let seg = index.segments[bw.seg];
+        let deg = ex.graph.degree(seg.transit);
+        let (row_start, _) = ex.graph.adjacency_range(seg.transit);
+        // Shared-memory cache of the adjacency list; spill to global
+        // when it does not fit (§6.1.2 "Caching").
+        let cache_n = deg.min(blk.shared_words_free());
+        let cache = if cache_n > 0 {
+            blk.shared_alloc(cache_n)
+        } else {
+            None
+        };
+        let cached_len = cache.map_or(0, |_| cache_n);
+        if let Some(arr) = cache {
+            let chunks = cache_n.div_ceil(WARP_SIZE);
+            let num_warps = blk.num_warps();
             blk.for_each_warp(|w| {
-                for it in 0..iterations {
-                    let lane_base = it * block_dim + w.warp_in_block * WARP_SIZE;
-                    if lane_base >= lanes_needed {
-                        break;
-                    }
-                    let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
-                    for (l, slot) in work.iter_mut().enumerate() {
-                        let off = lane_base + l;
-                        if off >= lanes_needed {
-                            break;
-                        }
-                        let local_pair = off / m;
-                        let j = off % m;
-                        let pair_pos = seg.start + bw.pair_start + local_pair;
-                        let pair_id = index.sorted_pair_ids[pair_pos];
-                        let (sample, tidx) = ex.decode_pair(pair_id);
-                        *slot = Some(LaneWork {
-                            sample,
-                            tidx,
-                            j,
-                            transit: seg.transit,
-                            phys: pair_pos * m + j,
-                            cached_len,
-                        });
-                    }
-                    execute_lanes(w, ex, &work, EdgeCost::Shared, values, edges, step_buf);
+                let mut c = w.warp_in_block;
+                while c < chunks {
+                    let base = c * WARP_SIZE;
+                    let len = WARP_SIZE.min(cache_n - base);
+                    let msk = mask_first_n(len);
+                    let gidx: [usize; WARP_SIZE] =
+                        std::array::from_fn(|l| row_start + (base + l).min(cache_n - 1));
+                    let v = w.ld_global(&ex.gg.cols, &gidx, msk);
+                    let sidx: [usize; WARP_SIZE] =
+                        std::array::from_fn(|l| (base + l).min(cache_n - 1));
+                    w.st_shared(&arr, &sidx, v, msk);
+                    c += num_warps;
                 }
             });
-        },
-    );
+            blk.syncthreads();
+        }
+        let lanes_needed = bw.pair_count * m;
+        let iterations = if grid_stride {
+            lanes_needed.div_ceil(block_dim)
+        } else {
+            1
+        };
+        blk.for_each_warp(|w| {
+            for it in 0..iterations {
+                let lane_base = it * block_dim + w.warp_in_block * WARP_SIZE;
+                if lane_base >= lanes_needed {
+                    break;
+                }
+                let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+                for (l, slot) in work.iter_mut().enumerate() {
+                    let off = lane_base + l;
+                    if off >= lanes_needed {
+                        break;
+                    }
+                    let local_pair = off / m;
+                    let j = off % m;
+                    let pair_pos = seg.start + bw.pair_start + local_pair;
+                    let pair_id = index.sorted_pair_ids[pair_pos];
+                    let (sample, tidx) = ex.decode_pair(pair_id);
+                    *slot = Some(LaneWork {
+                        sample,
+                        tidx,
+                        j,
+                        transit: seg.transit,
+                        phys: pair_pos * m + j,
+                        cached_len,
+                    });
+                }
+                execute_lanes(
+                    w,
+                    ex,
+                    &work,
+                    EdgeCost::Shared,
+                    &values,
+                    &edge_shards,
+                    step_buf,
+                );
+            }
+        });
+    });
+    drain_edge_shards(edge_shards, &mut out.edges);
 }
 
 /// The fine-grained sample-parallel kernel of §5.1 (the SP baseline):
@@ -461,42 +497,48 @@ pub(crate) fn run_sample_parallel_kernel(
     if total_threads == 0 {
         return;
     }
-    let values = &mut out.values;
-    let edges = &mut out.edges;
-    let step_buf = &mut out.step_buf;
-    gpu.launch(
-        "sp_sample",
-        LaunchConfig::grid1d(total_threads, 256),
-        |blk| {
-            blk.for_each_warp(|w| {
-                let gid = w.global_thread_ids();
-                let valid = w.mask_where(|l| gid[l] < total_threads);
-                if valid == 0 {
-                    return;
+    let cfg = LaunchConfig::grid1d(total_threads, 256);
+    let values = SyncSlice::new(&mut out.values);
+    let edge_shards = BlockShards::new(cfg.grid_dim);
+    let step_buf = &out.step_buf;
+    gpu.launch("sp_sample", cfg, |blk| {
+        blk.for_each_warp(|w| {
+            let gid = w.global_thread_ids();
+            let valid = w.mask_where(|l| gid[l] < total_threads);
+            if valid == 0 {
+                return;
+            }
+            // Each lane reads its pair's transit from global memory.
+            let pair_idx: [usize; WARP_SIZE] =
+                std::array::from_fn(|l| (gid[l] / m).min(num_pairs - 1));
+            let transits = w.ld_global(transit_buf, &pair_idx, valid);
+            let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if valid & (1 << l) == 0 || transits[l] == NULL_VERTEX {
+                    continue;
                 }
-                // Each lane reads its pair's transit from global memory.
-                let pair_idx: [usize; WARP_SIZE] =
-                    std::array::from_fn(|l| (gid[l] / m).min(num_pairs - 1));
-                let transits = w.ld_global(transit_buf, &pair_idx, valid);
-                let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
-                for l in 0..WARP_SIZE {
-                    if valid & (1 << l) == 0 || transits[l] == NULL_VERTEX {
-                        continue;
-                    }
-                    let pair = gid[l] / m;
-                    work[l] = Some(LaneWork {
-                        sample: pair / tps,
-                        tidx: pair % tps,
-                        j: gid[l] % m,
-                        transit: transits[l],
-                        phys: gid[l],
-                        cached_len: 0,
-                    });
-                }
-                execute_lanes(w, ex, &work, EdgeCost::Global, values, edges, step_buf);
-            });
-        },
-    );
+                let pair = gid[l] / m;
+                work[l] = Some(LaneWork {
+                    sample: pair / tps,
+                    tidx: pair % tps,
+                    j: gid[l] % m,
+                    transit: transits[l],
+                    phys: gid[l],
+                    cached_len: 0,
+                });
+            }
+            execute_lanes(
+                w,
+                ex,
+                &work,
+                EdgeCost::Global,
+                &values,
+                &edge_shards,
+                step_buf,
+            );
+        });
+    });
+    drain_edge_shards(edge_shards, &mut out.edges);
 }
 
 #[cfg(test)]
@@ -517,8 +559,8 @@ mod tests {
         let (ns, tps, prev_per_sample) = (4usize, 2usize, 8usize);
         let prev_buf = gpu.to_device(&vec![1u32; ns * prev_per_sample]);
         let transits: Vec<VertexId> = (0..ns * tps).map(|i| i as u32).collect();
-        let mut transit_buf = gpu.alloc(ns * tps);
-        charge_step_transits(&mut gpu, &prev_buf, &mut transit_buf, &transits, tps);
+        let transit_buf = gpu.alloc(ns * tps);
+        charge_step_transits(&mut gpu, &prev_buf, &transit_buf, &transits, tps);
         let kernel = gpu
             .profile()
             .kernels()
@@ -541,8 +583,8 @@ mod tests {
         let (ns, tps) = (8usize, 1usize);
         let prev_buf = gpu.to_device(&vec![1u32; ns * tps]);
         let transits: Vec<VertexId> = (0..ns * tps).map(|i| i as u32).collect();
-        let mut transit_buf = gpu.alloc(ns * tps);
-        charge_step_transits(&mut gpu, &prev_buf, &mut transit_buf, &transits, tps);
+        let transit_buf = gpu.alloc(ns * tps);
+        charge_step_transits(&mut gpu, &prev_buf, &transit_buf, &transits, tps);
         let kernel = gpu.profile().kernels().last().expect("profiled");
         assert_eq!(kernel.counters.gld_transactions, 1);
         assert_eq!(kernel.counters.gst_transactions, 1);
@@ -595,10 +637,11 @@ mod tests {
             seed: 0,
         };
         let mut values = vec![NULL_VERTEX; plan.slots];
-        let mut edges = vec![Vec::new()];
+        let values = SyncSlice::new(&mut values);
+        let edge_shards = BlockShards::new(1);
         // Correctly sized for the plan (1 slot); the lane below claims
         // physical slot 5.
-        let mut step_buf = gpu.alloc(store.num_samples() * plan.slots);
+        let step_buf = gpu.alloc(store.num_samples() * plan.slots);
         let mut work: [Option<LaneWork>; WARP_SIZE] = [None; WARP_SIZE];
         work[0] = Some(LaneWork {
             sample: 0,
@@ -615,9 +658,9 @@ mod tests {
                     &ex,
                     &work,
                     EdgeCost::Global,
-                    &mut values,
-                    &mut edges,
-                    &mut step_buf,
+                    &values,
+                    &edge_shards,
+                    &step_buf,
                 );
             });
         });

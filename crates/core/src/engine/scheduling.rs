@@ -69,7 +69,7 @@ pub fn build_scheduling_index(
     let (sorted_keys, sorted_vals) = radix_sort_pairs(gpu, &keys, &vals, (num_vertices - 1) as u32);
     // Segment-boundary flags: position i starts a new transit group.
     let n = pairs.len();
-    let mut flags = gpu.try_alloc::<u32>(n)?;
+    let flags = gpu.try_alloc::<u32>(n)?;
     let iota: Vec<u32> = (0..n as u32).collect();
     let iota_dev = gpu.try_to_device(&iota)?;
     gpu.launch("segment_flags", LaunchConfig::grid1d(n, 256), |blk| {
@@ -83,7 +83,7 @@ pub fn build_scheduling_index(
             let cur = w.ld_global(&sorted_keys, &safe, m);
             let prev = w.ld_global(&sorted_keys, &safe.map(|g| g.saturating_sub(1)), m);
             let f = w.lanes_from_fn(m, |l| u32::from(safe[l] == 0 || cur[l] != prev[l]));
-            w.st_global(&mut flags, &safe, f, m);
+            w.st_global(&flags, &safe, f, m);
         });
     });
     let (starts_dev, _num_segments) = compact(gpu, &iota_dev, &flags);
@@ -132,7 +132,7 @@ pub fn partition_kernel_classes(
     // pass (they share the same traffic shape as `compact`).
     let counts: Vec<u32> = index.segments.iter().map(|s| s.count as u32).collect();
     let counts_dev = gpu.try_to_device(&counts)?;
-    let mut class_dev = gpu.try_alloc::<u32>(n)?;
+    let class_dev = gpu.try_alloc::<u32>(n)?;
     gpu.launch("partition_transits", LaunchConfig::grid1d(n, 256), |blk| {
         blk.for_each_warp(|w| {
             let gid = w.global_thread_ids();
@@ -152,7 +152,7 @@ pub fn partition_kernel_classes(
                     2
                 }
             });
-            w.st_global(&mut class_dev, &safe, cls, msk);
+            w.st_global(&class_dev, &safe, cls, msk);
         });
     });
     let (positions, _) = exclusive_scan(gpu, &class_dev);

@@ -43,7 +43,7 @@ pub fn dedup_values_gpu(gpu: &mut Gpu, values: &mut [VertexId], slots: usize, nu
     let block_dim = padded.clamp(WARP_SIZE, 1024);
     let shared_fits = padded * 4 <= gpu.spec().shared_mem_per_block;
     let vals_dev = gpu.to_device(values);
-    let mut out_dev = gpu.alloc::<u32>(values.len());
+    let out_dev = gpu.alloc::<u32>(values.len());
     gpu.launch(
         "unique_dedup",
         LaunchConfig {
@@ -64,7 +64,7 @@ pub fn dedup_values_gpu(gpu: &mut Gpu, values: &mut [VertexId], slots: usize, nu
                     let m = w.mask_where(|l| gid[l] < (s + 1) * slots && gid[l] >= s * slots);
                     if m != 0 {
                         let v = w.ld_global(&vals_dev, &gid.map(|g| g.min(values.len() - 1)), m);
-                        w.st_global(&mut out_dev, &gid.map(|g| g.min(values.len() - 1)), v, m);
+                        w.st_global(&out_dev, &gid.map(|g| g.min(values.len() - 1)), v, m);
                         w.charge_compute(8);
                     }
                 });
@@ -96,7 +96,7 @@ pub fn dedup_values_gpu(gpu: &mut Gpu, values: &mut [VertexId], slots: usize, nu
                 let _ = (cur, prev);
                 w.charge_compute(2);
                 let idx = safe.map(|t| (s * slots + t).min(values.len() - 1));
-                w.st_global(&mut out_dev, &idx, cur, m);
+                w.st_global(&out_dev, &idx, cur, m);
             });
         },
     );

@@ -122,6 +122,46 @@ pub fn run_nextdoor_multi_gpu_with_faults(
     let mut report = FaultReport::default();
     let per = init.len().div_ceil(num_gpus);
     let mut per_gpu = Vec::with_capacity(num_gpus);
+    // First wave: shard `i` runs on device `i`, and real hardware runs the
+    // devices concurrently — so do we, one host thread per device (each
+    // device's launches may additionally use the intra-launch worker pool).
+    // With a single host worker thread the wave runs inline in shard order
+    // instead. Either way each device executes exactly its own shard during
+    // the wave — failover re-runs happen strictly afterwards — so every
+    // device profile, counter and sample is bit-identical at any thread
+    // count: shard seeds are device-independent and all accounting is
+    // folded in shard order below.
+    let concurrent = gpus.first().is_some_and(|g| g.host_threads() > 1);
+    let mut first_wave: Vec<Option<Result<RunResult, NextDoorError>>> =
+        (0..num_gpus).map(|_| None).collect();
+    if concurrent {
+        std::thread::scope(|s| {
+            for (shard, (gpu, slot)) in gpus.iter_mut().zip(first_wave.iter_mut()).enumerate() {
+                let lo = shard * per;
+                let hi = ((shard + 1) * per).min(init.len());
+                if lo >= hi {
+                    continue;
+                }
+                let shard_seed = seed ^ shard as u64;
+                s.spawn(move || {
+                    *slot = Some(run_nextdoor(gpu, graph, app, &init[lo..hi], shard_seed));
+                });
+            }
+        });
+    } else {
+        for (shard, (gpu, slot)) in gpus.iter_mut().zip(first_wave.iter_mut()).enumerate() {
+            let lo = shard * per;
+            let hi = ((shard + 1) * per).min(init.len());
+            if lo >= hi {
+                continue;
+            }
+            let shard_seed = seed ^ shard as u64;
+            *slot = Some(run_nextdoor(gpu, graph, app, &init[lo..hi], shard_seed));
+        }
+    }
+    // Reduction wave, strictly in shard order: fold each shard's result
+    // into the accounting, running failovers (and, in the sequential path,
+    // the shards themselves) inline.
     for shard in 0..num_gpus {
         let lo = shard * per;
         let hi = ((shard + 1) * per).min(init.len());
@@ -143,8 +183,19 @@ pub fn run_nextdoor_multi_gpu_with_faults(
         } else {
             pick_survivor(&alive, &device_ms).ok_or(NextDoorError::AllDevicesLost)?
         };
+        // The concurrent first wave already ran this shard on its own
+        // device; reuse that result for the first loop iteration.
+        let mut pending = if dev == shard {
+            first_wave[shard].take()
+        } else {
+            None
+        };
         loop {
-            match run_nextdoor(&mut gpus[dev], graph, app, &init[lo..hi], shard_seed) {
+            let attempt = match pending.take() {
+                Some(r) => r,
+                None => run_nextdoor(&mut gpus[dev], graph, app, &init[lo..hi], shard_seed),
+            };
+            match attempt {
                 Ok(res) => {
                     device_ms[dev] += res.stats.total_ms;
                     report.merge(&res.report);

@@ -29,19 +29,19 @@ const SCAN_BLOCK: usize = 256;
 /// total.
 pub fn exclusive_scan(gpu: &mut Gpu, input: &DeviceBuffer<u32>) -> (DeviceBuffer<u32>, u32) {
     let n = input.len();
-    let mut out = gpu.alloc::<u32>(n);
+    let out = gpu.alloc::<u32>(n);
     if n == 0 {
         return (out, 0);
     }
     let num_blocks = n.div_ceil(SCAN_BLOCK);
-    let mut sums = gpu.alloc::<u32>(num_blocks);
-    scan_blocks_kernel(gpu, input, &mut out, &mut sums);
+    let sums = gpu.alloc::<u32>(num_blocks);
+    scan_blocks_kernel(gpu, input, &out, &sums);
     if num_blocks == 1 {
         let total = sums.as_slice()[0];
         return (out, total);
     }
     let (scanned_sums, total) = exclusive_scan(gpu, &sums);
-    uniform_add_kernel(gpu, &mut out, &scanned_sums);
+    uniform_add_kernel(gpu, &out, &scanned_sums);
     (out, total)
 }
 
@@ -52,8 +52,8 @@ pub fn exclusive_scan(gpu: &mut Gpu, input: &DeviceBuffer<u32>) -> (DeviceBuffer
 fn scan_blocks_kernel(
     gpu: &mut Gpu,
     input: &DeviceBuffer<u32>,
-    out: &mut DeviceBuffer<u32>,
-    sums: &mut DeviceBuffer<u32>,
+    out: &DeviceBuffer<u32>,
+    sums: &DeviceBuffer<u32>,
 ) {
     let n = input.len();
     let cfg = LaunchConfig::grid1d(n, SCAN_BLOCK);
@@ -110,7 +110,7 @@ fn scan_blocks_kernel(
 }
 
 /// Adds `block_offsets[block]` to every element of that block's chunk.
-fn uniform_add_kernel(gpu: &mut Gpu, out: &mut DeviceBuffer<u32>, offsets: &DeviceBuffer<u32>) {
+fn uniform_add_kernel(gpu: &mut Gpu, out: &DeviceBuffer<u32>, offsets: &DeviceBuffer<u32>) {
     let n = out.len();
     let cfg = LaunchConfig::grid1d(n, SCAN_BLOCK);
     gpu.launch("scan_uniform_add", cfg, |blk| {
@@ -135,7 +135,7 @@ fn uniform_add_kernel(gpu: &mut Gpu, out: &mut DeviceBuffer<u32>, offsets: &Devi
 ///
 /// Panics (in the kernel) if a key is `>= num_bins`.
 pub fn histogram(gpu: &mut Gpu, keys: &DeviceBuffer<u32>, num_bins: usize) -> DeviceBuffer<u32> {
-    let mut bins = gpu.alloc::<u32>(num_bins);
+    let bins = gpu.alloc::<u32>(num_bins);
     let n = keys.len();
     if n == 0 {
         return bins;
@@ -157,7 +157,7 @@ pub fn histogram(gpu: &mut Gpu, keys: &DeviceBuffer<u32>, num_bins: usize) -> De
                     0
                 }
             });
-            w.atomic_add_global(&mut bins, &idx, [1; WARP_SIZE], valid);
+            w.atomic_add_global(&bins, &idx, [1; WARP_SIZE], valid);
         });
     });
     bins
@@ -212,7 +212,7 @@ fn radix_pass(
     let num_blocks = n.div_ceil(RADIX_TILE);
     // `block_hist[digit * num_blocks + block]`: digit-major layout makes the
     // scanned result directly usable as scatter bases.
-    let mut block_hist = gpu.alloc::<u32>(RADIX * num_blocks);
+    let block_hist = gpu.alloc::<u32>(RADIX * num_blocks);
     gpu.launch(
         "radix_histogram",
         LaunchConfig {
@@ -263,7 +263,7 @@ fn radix_pass(
                 let c = w.lanes_from_fn(u32::MAX, |l| tile_counts[tid[l]]);
                 let out_idx: [usize; WARP_SIZE] =
                     std::array::from_fn(|l| tid[l] * num_blocks + block);
-                w.st_global(&mut block_hist, &out_idx, c, u32::MAX);
+                w.st_global(&block_hist, &out_idx, c, u32::MAX);
             });
         },
     );
@@ -273,8 +273,8 @@ fn radix_pass(
     // elements by digit (shared-memory staging), and writes them out — so
     // same-digit runs land in consecutive destinations and the global
     // writes coalesce, as in CUB's memory-bandwidth-efficient scatter.
-    let mut out_k = gpu.alloc::<u32>(n);
-    let mut out_v = gpu.alloc::<u32>(n);
+    let out_k = gpu.alloc::<u32>(n);
+    let out_v = gpu.alloc::<u32>(n);
     gpu.launch(
         "radix_scatter",
         LaunchConfig {
@@ -337,8 +337,8 @@ fn radix_pass(
                     let d_idx: [usize; WARP_SIZE] = std::array::from_fn(|l| dest[emit[l]]);
                     let kv = w.lanes_from_fn(m, |l| keys.as_slice()[tile_base + emit[l]]);
                     let vv = w.lanes_from_fn(m, |l| vals.as_slice()[tile_base + emit[l]]);
-                    w.st_global(&mut out_k, &d_idx, kv, m);
-                    w.st_global(&mut out_v, &d_idx, vv, m);
+                    w.st_global(&out_k, &d_idx, kv, m);
+                    w.st_global(&out_v, &d_idx, vv, m);
                 }
             });
         },
@@ -359,7 +359,7 @@ pub fn compact(
         return (gpu.alloc(0), 0);
     }
     let (positions, total) = exclusive_scan(gpu, flags);
-    let mut out = gpu.alloc::<u32>(total as usize);
+    let out = gpu.alloc::<u32>(total as usize);
     gpu.launch(
         "compact_scatter",
         LaunchConfig::grid1d(n, SCAN_BLOCK),
@@ -379,7 +379,7 @@ pub fn compact(
                 let v = w.ld_global(data, &safe, keep);
                 let pos = w.ld_global(&positions, &safe, keep);
                 let dest: [usize; WARP_SIZE] = std::array::from_fn(|l| pos[l] as usize);
-                w.st_global(&mut out, &dest, v, keep);
+                w.st_global(&out, &dest, v, keep);
             });
         },
     );
@@ -596,7 +596,7 @@ mod tests {
     #[test]
     fn bitonic_sorts_shared_array() {
         let mut g = gpu();
-        let mut out = g.alloc::<u32>(100);
+        let out = g.alloc::<u32>(100);
         let data: Vec<u32> = (0..100)
             .map(|i| crate::rng::rand_range(3, i, 1, 1000))
             .collect();
@@ -627,7 +627,7 @@ mod tests {
                         return;
                     }
                     let v = w.ld_shared(&arr, &tid.map(|t| t.min(99)), m);
-                    w.st_global(&mut out, &tid.map(|t| t.min(99)), v, m);
+                    w.st_global(&out, &tid.map(|t| t.min(99)), v, m);
                 });
             },
         );
@@ -645,7 +645,7 @@ pub fn reduce_sum(gpu: &mut Gpu, input: &DeviceBuffer<u32>) -> u64 {
         return 0;
     }
     let num_blocks = n.div_ceil(SCAN_BLOCK);
-    let mut sums = gpu.alloc::<u32>(num_blocks);
+    let sums = gpu.alloc::<u32>(num_blocks);
     gpu.launch("reduce_sum", LaunchConfig::grid1d(n, SCAN_BLOCK), |blk| {
         let scratch = blk.shared_alloc(SCAN_BLOCK / WARP_SIZE).expect("fits");
         let base = blk.block_idx * SCAN_BLOCK;
@@ -677,7 +677,7 @@ pub fn reduce_sum(gpu: &mut Gpu, input: &DeviceBuffer<u32>) -> u64 {
                 w.charge_compute(3);
                 let bidx = w.block_idx;
                 w.st_global(
-                    &mut sums,
+                    &sums,
                     &[bidx; WARP_SIZE],
                     [(total & 0xFFFF_FFFF) as u32; WARP_SIZE],
                     1,

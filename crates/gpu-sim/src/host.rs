@@ -1,0 +1,185 @@
+//! Host-side output mirrors writable from concurrently executing blocks.
+//!
+//! The engines keep some kernel outputs in plain host memory (the
+//! functional mirror of a device buffer, e.g. the sampled vertices of a
+//! step, or the per-sample edge lists). A sequential launch could write
+//! those through `&mut` captures; a parallel launch cannot, because the
+//! kernel closure is shared by every worker thread. This module provides
+//! the two shapes those writes take:
+//!
+//! * [`SyncSlice`] — indexed writes where each index is written by at most
+//!   one block of the launch (the common "one output slot per lane" case).
+//! * [`BlockShards`] — per-block append lists, drained *in block order*
+//!   after the launch, so the concatenated output is bit-identical to what
+//!   the sequential block loop would have appended.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A shared-reference view of a host slice that concurrently executing
+/// blocks write disjoint elements of.
+///
+/// The launch contract mirrors [`crate::DeviceBuffer`]'s: within one
+/// launch, each index is written by at most one block, and the slice is not
+/// read until the launch returns.
+pub struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: writes are disjoint per the launch contract (each index written
+// by at most one block), and the exclusive borrow held by `SyncSlice`
+// prevents any other access for its lifetime.
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wraps an exclusive borrow of `slice` for the duration of a launch.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SyncSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes element `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    ///
+    /// # Safety
+    ///
+    /// Within one launch, each index must be written by at most one block,
+    /// and the underlying slice must not be read until the launch returns.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, v: T) {
+        assert!(
+            idx < self.len,
+            "SyncSlice write out of bounds: {idx} >= {}",
+            self.len
+        );
+        // SAFETY: bounds checked above; disjointness is the caller's
+        // contract.
+        unsafe { self.ptr.add(idx).write(v) }
+    }
+}
+
+/// Per-block append lists: block `b` pushes into shard `b` during the
+/// launch; afterwards the shards are drained in block order, reproducing
+/// exactly the append order of a sequential block loop.
+pub struct BlockShards<T> {
+    shards: Vec<UnsafeCell<Vec<T>>>,
+}
+
+// SAFETY: each shard is only touched by the single thread executing its
+// block (the launch runs every block exactly once), so the cells are never
+// accessed concurrently.
+unsafe impl<T: Send> Sync for BlockShards<T> {}
+
+impl<T> BlockShards<T> {
+    /// One empty shard per block of the launch.
+    pub fn new(num_blocks: usize) -> Self {
+        BlockShards {
+            shards: (0..num_blocks)
+                .map(|_| UnsafeCell::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Appends `item` to block `block_idx`'s shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_idx` is out of range.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the (single) thread currently executing
+    /// block `block_idx` of the launch.
+    #[inline]
+    pub unsafe fn push(&self, block_idx: usize, item: T) {
+        // SAFETY: only the thread executing `block_idx` touches this cell.
+        unsafe { (*self.shards[block_idx].get()).push(item) }
+    }
+
+    /// Consumes the shards, yielding every item in canonical block order
+    /// (block 0's pushes first, in push order, then block 1's, ...).
+    pub fn into_ordered(self) -> impl Iterator<Item = T> {
+        self.shards.into_iter().flat_map(|c| c.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_slice_writes_land() {
+        let mut data = vec![0u32; 8];
+        {
+            let s = SyncSlice::new(&mut data);
+            assert_eq!(s.len(), 8);
+            assert!(!s.is_empty());
+            for i in 0..8 {
+                // SAFETY: single-threaded, disjoint indices.
+                unsafe { s.write(i, (i * 3) as u32) };
+            }
+        }
+        assert_eq!(data, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sync_slice_bounds_checked() {
+        let mut data = vec![0u32; 2];
+        let s = SyncSlice::new(&mut data);
+        // SAFETY: single-threaded.
+        unsafe { s.write(2, 1) };
+    }
+
+    #[test]
+    fn block_shards_drain_in_block_order() {
+        let shards = BlockShards::new(3);
+        // Push out of block order, as concurrent execution would.
+        // SAFETY: single-threaded test.
+        unsafe {
+            shards.push(2, "c1");
+            shards.push(0, "a1");
+            shards.push(1, "b1");
+            shards.push(0, "a2");
+        }
+        let drained: Vec<&str> = shards.into_ordered().collect();
+        assert_eq!(drained, vec!["a1", "a2", "b1", "c1"]);
+    }
+
+    #[test]
+    fn shards_are_writable_from_worker_threads() {
+        let shards = BlockShards::new(16);
+        std::thread::scope(|s| {
+            let shards = &shards;
+            for t in 0..4 {
+                s.spawn(move || {
+                    for b in (t * 4)..(t * 4 + 4) {
+                        // SAFETY: each block index is owned by one thread.
+                        unsafe { shards.push(b, b * 10) };
+                    }
+                });
+            }
+        });
+        let drained: Vec<usize> = shards.into_ordered().collect();
+        assert_eq!(drained, (0..16).map(|b| b * 10).collect::<Vec<_>>());
+    }
+}

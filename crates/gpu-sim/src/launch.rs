@@ -1,9 +1,24 @@
 //! The simulated GPU device: memory allocation and kernel launches.
+//!
+//! # Host threading model
+//!
+//! Blocks within a launch are data-independent in every kernel this
+//! simulator runs (randomness is keyed by logical coordinates, not
+//! execution order), so [`Gpu::launch`] may execute them concurrently on a
+//! host worker pool. Determinism is preserved by construction: each worker
+//! accumulates per-block [`crate::block::BlockStats`] shards for a
+//! *contiguous* chunk of blocks, the shards are concatenated in canonical
+//! block order, and every reduction (counter merge, block-time vector, SM
+//! schedule) then runs over that ordered sequence — exactly the arithmetic
+//! the sequential loop performs. `host_threads = 1` *is* the sequential
+//! loop. Kernels whose semantics depend on cross-block execution order
+//! (e.g. consuming the return value of a global atomic as a store index)
+//! must use [`Gpu::launch_ordered`], which always runs blocks sequentially.
 
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::Arc;
 
-use crate::block::BlockCtx;
+use crate::block::{BlockCtx, BlockStats};
 use crate::counters::{Counters, KernelStats};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::mem::{DeviceBuffer, MemTracker, OutOfMemory};
@@ -44,15 +59,36 @@ impl LaunchConfig {
     }
 }
 
+/// Resolves the worker-thread count for a device: an explicit spec value
+/// wins, then the `NEXTDOOR_SIM_THREADS` environment variable, then the
+/// machine's available parallelism.
+fn resolve_host_threads(spec_threads: usize) -> usize {
+    if spec_threads > 0 {
+        return spec_threads;
+    }
+    if let Ok(s) = std::env::var("NEXTDOOR_SIM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A simulated GPU device.
 ///
 /// Owns the memory tracker and the accumulated [`Counters`]; kernels are
 /// launched with [`Gpu::launch`]. Buffers are owned by the caller so that
-/// kernels can borrow some buffers mutably and others immutably under the
-/// usual Rust rules.
+/// kernels can borrow them under the usual Rust rules; device stores go
+/// through shared references (see [`DeviceBuffer`]), which is what lets a
+/// launch execute its blocks on several host threads at once.
 pub struct Gpu {
     spec: GpuSpec,
-    tracker: Rc<MemTracker>,
+    tracker: Arc<MemTracker>,
+    host_threads: usize,
     counters: Counters,
     kernel_log: Vec<KernelStats>,
     profile: Profile,
@@ -66,11 +102,17 @@ pub struct Gpu {
 
 impl Gpu {
     /// Creates a device with the given specification.
+    ///
+    /// The host worker-thread count is resolved here, once:
+    /// `spec.host_threads` if non-zero, else `NEXTDOOR_SIM_THREADS`, else
+    /// available parallelism.
     pub fn new(spec: GpuSpec) -> Self {
         let tracker = MemTracker::new(spec.device_memory);
+        let host_threads = resolve_host_threads(spec.host_threads);
         Gpu {
             spec,
             tracker,
+            host_threads,
             counters: Counters::default(),
             kernel_log: Vec::new(),
             profile: Profile::default(),
@@ -86,6 +128,11 @@ impl Gpu {
     /// The device specification.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Resolved host worker-thread count used by [`Gpu::launch`].
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// Installs a [`FaultPlan`]; faults fire at the scripted allocation and
@@ -236,16 +283,57 @@ impl Gpu {
         self.tracker.capacity()
     }
 
-    /// Launches a kernel: `kernel` is invoked once per thread block.
+    /// Launches a kernel: `kernel` is invoked once per thread block, with
+    /// blocks distributed over the device's host worker threads (see the
+    /// module docs for the determinism argument). The kernel closure is
+    /// shared by the workers, so it must be `Fn + Sync`; device writes go
+    /// through `&DeviceBuffer` and host-memory outputs through
+    /// [`crate::SyncSlice`] / [`crate::BlockShards`].
     ///
     /// Returns the per-launch statistics; the same deltas are accumulated
-    /// into [`Gpu::counters`].
+    /// into [`Gpu::counters`]. Results are bit-identical at any thread
+    /// count.
     pub fn launch(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: impl Fn(&mut BlockCtx<'_>) + Sync,
+    ) -> KernelStats {
+        let launch_idx = self.pre_launch(name);
+        let threads = self.host_threads.min(cfg.grid_dim.max(1));
+        let blocks = if threads <= 1 {
+            run_blocks_sequential(&self.spec, cfg, kernel)
+        } else {
+            run_blocks_parallel(&self.spec, cfg, threads, &kernel)
+        };
+        self.post_launch(name, cfg, launch_idx, &blocks)
+    }
+
+    /// Launches a kernel whose blocks must execute **sequentially in block
+    /// order** on the host, because its semantics observe cross-block
+    /// execution order — e.g. a queue built from the return values of
+    /// global atomics, as the baseline frontier kernels do. Cost accounting
+    /// is identical to [`Gpu::launch`]; only the execution strategy
+    /// differs, and `FnMut` closures (mutable host captures) are allowed.
+    pub fn launch_ordered(
         &mut self,
         name: &str,
         cfg: LaunchConfig,
         mut kernel: impl FnMut(&mut BlockCtx<'_>),
     ) -> KernelStats {
+        let launch_idx = self.pre_launch(name);
+        let mut blocks = Vec::with_capacity(cfg.grid_dim);
+        for b in 0..cfg.grid_dim {
+            let mut ctx = BlockCtx::new(b, cfg.block_dim, &self.spec);
+            kernel(&mut ctx);
+            blocks.push(ctx.stats);
+        }
+        self.post_launch(name, cfg, launch_idx, &blocks)
+    }
+
+    /// Fault hooks and launch-index bookkeeping shared by both launch
+    /// entry points.
+    fn pre_launch(&mut self, name: &str) -> u64 {
         let launch_idx = self.launch_seq;
         self.launch_seq += 1;
         if let Some(plan) = &self.fault_plan {
@@ -265,33 +353,36 @@ impl Gpu {
                 ));
             }
         }
-        let mut launch_counters = Counters::default();
-        let mut block_times = Vec::with_capacity(cfg.grid_dim);
-        let mut max_shared_words = 0usize;
+        launch_idx
+    }
+
+    /// Reduces per-block stats (in canonical block order) into launch
+    /// counters, block times, the SM schedule, and the profile record —
+    /// the same arithmetic regardless of how the blocks were executed.
+    fn post_launch(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        launch_idx: u64,
+        blocks: &[BlockStats],
+    ) -> KernelStats {
         let warps_per_block = cfg.block_dim.div_ceil(WARP_SIZE).max(1);
-        // First pass: execute blocks functionally and collect their costs.
-        let mut raw: Vec<(f64, f64, u64)> = Vec::with_capacity(cfg.grid_dim);
-        for b in 0..cfg.grid_dim {
-            let mut ctx = BlockCtx::new(b, cfg.block_dim, &self.spec);
-            kernel(&mut ctx);
-            launch_counters.merge(&ctx.stats.counters);
-            max_shared_words = max_shared_words.max(ctx.stats.shared_words_used);
-            raw.push((
-                ctx.stats.pipeline_cycles,
-                ctx.stats.mem_bw_cycles,
-                ctx.stats.mem_requests,
-            ));
+        let mut launch_counters = Counters::default();
+        let mut max_shared_words = 0usize;
+        for b in blocks {
+            launch_counters.merge(&b.counters);
+            max_shared_words = max_shared_words.max(b.shared_words_used);
         }
         // Occupancy: how many blocks can an SM host at once?
         let resident_blocks = self.resident_blocks(cfg.block_dim, max_shared_words * 4);
         let resident_warps = (warps_per_block * resident_blocks).min(self.spec.max_warps_per_sm);
-        // Second pass: convert each block's cost components to a time,
-        // overlapping compute with memory and hiding latency behind the
-        // resident warps.
+        // Convert each block's cost components to a time, overlapping
+        // compute with memory and hiding latency behind the resident warps.
         let cost = &self.spec.cost;
-        for &(pipeline, bw, reqs) in &raw {
-            let latency_bound = reqs as f64 * cost.global_latency / resident_warps as f64;
-            let t = pipeline.max(bw).max(latency_bound) + cost.block_overhead;
+        let mut block_times = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            let latency_bound = b.mem_requests as f64 * cost.global_latency / resident_warps as f64;
+            let t = b.pipeline_cycles.max(b.mem_bw_cycles).max(latency_bound) + cost.block_overhead;
             block_times.push(t);
         }
         let sch = sched::schedule(self.spec.num_sms, 1, &block_times);
@@ -395,6 +486,52 @@ impl Gpu {
     }
 }
 
+/// The sequential block loop: today's exact code path (`host_threads = 1`).
+fn run_blocks_sequential(
+    spec: &GpuSpec,
+    cfg: LaunchConfig,
+    kernel: impl Fn(&mut BlockCtx<'_>),
+) -> Vec<BlockStats> {
+    let mut blocks = Vec::with_capacity(cfg.grid_dim);
+    for b in 0..cfg.grid_dim {
+        let mut ctx = BlockCtx::new(b, cfg.block_dim, spec);
+        kernel(&mut ctx);
+        blocks.push(ctx.stats);
+    }
+    blocks
+}
+
+/// Executes the grid as `threads` contiguous chunks on the worker pool.
+/// Workers fill disjoint per-chunk shards; concatenating the shards in
+/// chunk order restores canonical block order, so every downstream
+/// reduction is bit-identical to the sequential loop's.
+fn run_blocks_parallel(
+    spec: &GpuSpec,
+    cfg: LaunchConfig,
+    threads: usize,
+    kernel: &(impl Fn(&mut BlockCtx<'_>) + Sync),
+) -> Vec<BlockStats> {
+    let chunk = cfg.grid_dim.div_ceil(threads);
+    let num_chunks = cfg.grid_dim.div_ceil(chunk.max(1));
+    let mut shards: Vec<Vec<BlockStats>> = Vec::with_capacity(num_chunks);
+    shards.resize_with(num_chunks, Vec::new);
+    rayon::scope(|s| {
+        for (c, shard) in shards.iter_mut().enumerate() {
+            s.spawn(move |_| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(cfg.grid_dim);
+                shard.reserve(hi - lo);
+                for b in lo..hi {
+                    let mut ctx = BlockCtx::new(b, cfg.block_dim, spec);
+                    kernel(&mut ctx);
+                    shard.push(ctx.stats);
+                }
+            });
+        }
+    });
+    shards.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,12 +555,12 @@ mod tests {
     fn simple_kernel_moves_data_and_counts() {
         let mut gpu = Gpu::new(GpuSpec::small());
         let src = gpu.to_device(&(0u32..64).collect::<Vec<_>>());
-        let mut dst = gpu.alloc::<u32>(64);
+        let dst = gpu.alloc::<u32>(64);
         let stats = gpu.launch("copy", LaunchConfig::grid1d(64, 32), |blk| {
             blk.for_each_warp(|w| {
                 let idx = w.global_thread_ids();
                 let v = w.ld_global(&src, &idx, FULL_MASK);
-                w.st_global(&mut dst, &idx, v, FULL_MASK);
+                w.st_global(&dst, &idx, v, FULL_MASK);
             });
         });
         assert_eq!(dst.as_slice(), src.as_slice());
@@ -439,13 +576,13 @@ mod tests {
     fn strided_access_is_uncoalesced() {
         let mut gpu = Gpu::new(GpuSpec::small());
         let src = gpu.to_device(&vec![7u32; 32 * 32]);
-        let mut dst = gpu.alloc::<u32>(32);
+        let dst = gpu.alloc::<u32>(32);
         let stats = gpu.launch("gather", LaunchConfig::grid1d(32, 32), |blk| {
             blk.for_each_warp(|w| {
                 let idx: [usize; 32] = std::array::from_fn(|l| l * 32);
                 let out_idx = w.global_thread_ids();
                 let v = w.ld_global(&src, &idx, FULL_MASK);
-                w.st_global(&mut dst, &out_idx, v, FULL_MASK);
+                w.st_global(&dst, &out_idx, v, FULL_MASK);
             });
         });
         // 32 lanes × stride 128 bytes: every lane hits its own sector.
@@ -570,12 +707,12 @@ mod tests {
         b.inject_faults(FaultPlan::new());
         for gpu in [&mut a, &mut b] {
             let src = gpu.to_device(&(0u32..64).collect::<Vec<_>>());
-            let mut dst = gpu.alloc::<u32>(64);
+            let dst = gpu.alloc::<u32>(64);
             gpu.launch("copy", LaunchConfig::grid1d(64, 32), |blk| {
                 blk.for_each_warp(|w| {
                     let idx = w.global_thread_ids();
                     let v = w.ld_global(&src, &idx, FULL_MASK);
-                    w.st_global(&mut dst, &idx, v, FULL_MASK);
+                    w.st_global(&dst, &idx, v, FULL_MASK);
                 });
             });
         }
@@ -601,5 +738,110 @@ mod tests {
         assert_eq!(gpu.counters().cycles, 0.0);
         assert_eq!(gpu.kernel_log().len(), 0);
         assert_eq!(buf.as_slice(), &[1, 2, 3]);
+    }
+
+    /// Runs the same skewed workload at a given thread count and returns
+    /// everything observable: output data, counters, and block-time-derived
+    /// cycle totals.
+    fn run_at_threads(threads: usize) -> (Vec<u32>, Counters, Vec<KernelStats>) {
+        let mut spec = GpuSpec::small();
+        spec.host_threads = threads;
+        let mut gpu = Gpu::new(spec);
+        let n = 4096usize;
+        let src = gpu.to_device(&(0..n as u32).collect::<Vec<_>>());
+        let dst = gpu.alloc::<u32>(n);
+        gpu.launch("mix", LaunchConfig::grid1d(n, 64), |blk| {
+            // Skew the per-block cost so chunk boundaries matter.
+            let extra = (blk.block_idx % 7) as u64 * 13;
+            blk.for_each_warp(|w| {
+                let idx = w.global_thread_ids();
+                let m = w.mask_where(|l| idx[l] < n);
+                let v = w.ld_global(&src, &idx.map(|i| i.min(n - 1)), m);
+                let out = w.map(v, m, |x| x.wrapping_mul(3).wrapping_add(1));
+                w.charge_compute(extra);
+                w.st_global(&dst, &idx.map(|i| i.min(n - 1)), out, m);
+            });
+        });
+        let hist = crate::algorithms::histogram(&mut gpu, &src, n);
+        let _ = hist;
+        (
+            dst.as_slice().to_vec(),
+            *gpu.counters(),
+            gpu.kernel_log().to_vec(),
+        )
+    }
+
+    #[test]
+    fn parallel_launch_is_bit_identical_to_sequential() {
+        let (d1, c1, k1) = run_at_threads(1);
+        for threads in [2, 3, 4, 8] {
+            let (d, c, k) = run_at_threads(threads);
+            assert_eq!(d, d1, "output data differs at {threads} threads");
+            assert_eq!(c, c1, "counters differ at {threads} threads");
+            assert_eq!(k.len(), k1.len());
+            for (a, b) in k.iter().zip(&k1) {
+                assert_eq!(a.counters, b.counters);
+                assert_eq!(a.cycles, b.cycles, "kernel cycles differ");
+            }
+        }
+    }
+
+    #[test]
+    fn launch_ordered_matches_launch_accounting() {
+        let mut spec = GpuSpec::small();
+        spec.host_threads = 4;
+        let mut gpu = Gpu::new(spec);
+        let src = gpu.to_device(&(0u32..256).collect::<Vec<_>>());
+        let dst = gpu.alloc::<u32>(256);
+        let par = gpu.launch("copy_par", LaunchConfig::grid1d(256, 32), |blk| {
+            blk.for_each_warp(|w| {
+                let idx = w.global_thread_ids();
+                let v = w.ld_global(&src, &idx, FULL_MASK);
+                w.st_global(&dst, &idx, v, FULL_MASK);
+            });
+        });
+        let mut order = Vec::new();
+        let seq = gpu.launch_ordered("copy_seq", LaunchConfig::grid1d(256, 32), |blk| {
+            order.push(blk.block_idx);
+            blk.for_each_warp(|w| {
+                let idx = w.global_thread_ids();
+                let v = w.ld_global(&src, &idx, FULL_MASK);
+                w.st_global(&dst, &idx, v, FULL_MASK);
+            });
+        });
+        assert_eq!(order, (0..8).collect::<Vec<_>>(), "strict block order");
+        assert_eq!(par.counters.gld_transactions, seq.counters.gld_transactions);
+        assert_eq!(par.cycles, seq.cycles);
+    }
+
+    #[test]
+    fn env_threads_resolution_prefers_spec() {
+        let mut spec = GpuSpec::small();
+        spec.host_threads = 3;
+        let gpu = Gpu::new(spec);
+        assert_eq!(gpu.host_threads(), 3);
+        // host_threads = 0 resolves to *something* positive.
+        let gpu = Gpu::new(GpuSpec::small());
+        assert!(gpu.host_threads() >= 1);
+    }
+
+    #[test]
+    fn kernel_panics_propagate_from_worker_threads() {
+        let mut spec = GpuSpec::small();
+        spec.host_threads = 4;
+        let mut gpu = Gpu::new(spec);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.launch(
+                "boom",
+                LaunchConfig {
+                    grid_dim: 8,
+                    block_dim: 32,
+                },
+                |blk| {
+                    assert!(blk.block_idx != 5, "scripted kernel assert");
+                },
+            );
+        }));
+        assert!(res.is_err(), "block panic must reach the caller");
     }
 }

@@ -30,7 +30,12 @@
 //!
 //! The simulator is fully deterministic: kernels obtain randomness from the
 //! counter-based generator in [`rng`], keyed by logical identifiers rather
-//! than execution order.
+//! than execution order. Because blocks are data-independent, [`Gpu::launch`]
+//! executes them concurrently on a host worker pool (size controlled by
+//! `GpuSpec::host_threads` / `NEXTDOOR_SIM_THREADS`) while reducing all
+//! statistics in canonical block order, so every counter, profile record and
+//! sampled output is bit-identical at any thread count — see [`launch`] for
+//! the full argument.
 //!
 //! # Examples
 //!
@@ -39,14 +44,14 @@
 //!
 //! let mut gpu = Gpu::new(GpuSpec::small());
 //! let src = gpu.to_device(&(0u32..128).collect::<Vec<_>>());
-//! let mut dst = gpu.alloc::<u32>(128);
+//! let dst = gpu.alloc::<u32>(128);
 //! gpu.launch("double", LaunchConfig::grid1d(128, 64), |blk| {
 //!     blk.for_each_warp(|w| {
 //!         let idx = w.global_thread_ids();
 //!         let mask = w.mask_where(|l| idx[l] < 128);
 //!         let v = w.ld_global(&src, &idx, mask);
 //!         let doubled = w.map(v, mask, |x| x * 2);
-//!         w.st_global(&mut dst, &idx, doubled, mask);
+//!         w.st_global(&dst, &idx, doubled, mask);
 //!     });
 //! });
 //! assert_eq!(dst.as_slice()[5], 10);
@@ -58,6 +63,7 @@ pub mod algorithms;
 pub mod block;
 pub mod counters;
 pub mod fault;
+pub mod host;
 pub mod lane;
 pub mod launch;
 pub mod mem;
@@ -70,6 +76,7 @@ pub mod warp;
 pub use block::BlockCtx;
 pub use counters::{Counters, KernelStats};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use host::{BlockShards, SyncSlice};
 pub use lane::{LaneOp, LaneTrace};
 pub use launch::{Gpu, LaunchConfig};
 pub use mem::{DeviceBuffer, OutOfMemory};

@@ -5,9 +5,18 @@
 //! hardware counts global-memory transactions). A shared allocation tracker
 //! enforces the device-memory capacity, which the out-of-GPU-memory
 //! experiment (§8.4 of the paper) depends on.
+//!
+//! Buffer storage is interior-mutable through shared references, mirroring
+//! real device memory: a kernel launch holds `&DeviceBuffer` for every
+//! buffer it touches, and the thread blocks of the launch — which may run on
+//! different host threads — write through those shared references. As on
+//! CUDA hardware, two blocks of one launch writing the same element without
+//! atomics is a kernel bug; the simulator's kernels only ever write disjoint
+//! elements or use [`DeviceBuffer::atomic_add`].
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Error returned when an allocation exceeds the remaining device memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,25 +40,29 @@ impl std::fmt::Display for OutOfMemory {
 impl std::error::Error for OutOfMemory {}
 
 /// Shared allocator state: a bump address counter plus a live-bytes gauge.
+///
+/// Atomics (rather than `Cell`) keep the tracker `Sync`, so a `Gpu` and its
+/// buffers can move across host threads — the multi-GPU driver runs one
+/// device per thread.
 #[derive(Debug)]
 pub(crate) struct MemTracker {
-    next_addr: Cell<u64>,
-    used: Cell<usize>,
+    next_addr: AtomicU64,
+    used: AtomicUsize,
     capacity: usize,
 }
 
 impl MemTracker {
-    pub(crate) fn new(capacity: usize) -> Rc<Self> {
-        Rc::new(MemTracker {
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(MemTracker {
             // Start well above zero so that address 0 never aliases a buffer.
-            next_addr: Cell::new(0x1000),
-            used: Cell::new(0),
+            next_addr: AtomicU64::new(0x1000),
+            used: AtomicUsize::new(0),
             capacity,
         })
     }
 
     pub(crate) fn used(&self) -> usize {
-        self.used.get()
+        self.used.load(Ordering::Relaxed)
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -57,14 +70,23 @@ impl MemTracker {
     }
 
     fn reserve(&self, bytes: usize) -> Result<u64, OutOfMemory> {
-        let available = self.capacity - self.used.get();
-        if bytes > available {
-            return Err(OutOfMemory {
-                requested: bytes,
-                available,
-            });
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let available = self.capacity - cur;
+            if bytes > available {
+                return Err(OutOfMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+            match self
+                .used
+                .compare_exchange(cur, cur + bytes, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
         }
-        self.used.set(self.used.get() + bytes);
         Ok(self.bump(bytes))
     }
 
@@ -76,15 +98,52 @@ impl MemTracker {
     }
 
     fn bump(&self, bytes: usize) -> u64 {
-        let base = self.next_addr.get();
-        // 256-byte alignment, matching cudaMalloc.
-        let aligned = (base + 255) & !255;
-        self.next_addr.set(aligned + bytes as u64);
+        let mut aligned = 0u64;
+        // The closure always returns Some, so the update cannot fail; the
+        // last evaluation corresponds to the successful exchange.
+        let _ = self
+            .next_addr
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |base| {
+                // 256-byte alignment, matching cudaMalloc.
+                aligned = (base + 255) & !255;
+                Some(aligned + bytes as u64)
+            });
         aligned
     }
 
     fn release(&self, bytes: usize) {
-        self.used.set(self.used.get() - bytes);
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// One element of device-buffer storage: an `UnsafeCell` that is `Sync`, so
+/// concurrently executing blocks can write their disjoint elements through
+/// `&DeviceBuffer` (the simulated analogue of raw device pointers).
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: access discipline is the launch contract documented on
+// [`DeviceBuffer`]: within one launch, each element is written by at most
+// one block (or through `atomic_add`), and host-side reads only happen
+// outside launches, under `&mut Gpu` exclusivity.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T: Copy> SyncCell<T> {
+    #[inline]
+    fn new(v: T) -> Self {
+        SyncCell(UnsafeCell::new(v))
+    }
+
+    #[inline]
+    fn get(&self) -> T {
+        // SAFETY: see the `Sync` impl above.
+        unsafe { *self.0.get() }
+    }
+
+    #[inline]
+    fn set(&self, v: T) {
+        // SAFETY: see the `Sync` impl above.
+        unsafe { *self.0.get() = v }
     }
 }
 
@@ -96,34 +155,49 @@ impl MemTracker {
 /// transactions, while [`DeviceBuffer::as_slice`] is the un-charged
 /// "cudaMemcpy back to host and inspect" path used by tests and by result
 /// extraction.
-#[derive(Debug)]
+///
+/// Device-side writes go through `&self`, because a parallel launch executes
+/// blocks on several host threads at once. The contract is CUDA's: within a
+/// single launch, elements written by more than one block (except via
+/// [`DeviceBuffer::atomic_add`]) are a data race in the *simulated* program,
+/// and the simulator's kernels are structured so this never happens.
 pub struct DeviceBuffer<T: Copy> {
     base: u64,
-    data: Vec<T>,
-    tracker: Rc<MemTracker>,
+    data: Vec<SyncCell<T>>,
+    tracker: Arc<MemTracker>,
     /// Whether the bytes count against device capacity (false for
     /// host-staged buffers).
     counted: bool,
 }
 
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("base", &self.base)
+            .field("len", &self.data.len())
+            .field("counted", &self.counted)
+            .finish()
+    }
+}
+
 impl<T: Copy + Default> DeviceBuffer<T> {
-    pub(crate) fn new(len: usize, tracker: Rc<MemTracker>) -> Result<Self, OutOfMemory> {
+    pub(crate) fn new(len: usize, tracker: Arc<MemTracker>) -> Result<Self, OutOfMemory> {
         let bytes = len * std::mem::size_of::<T>();
         let base = tracker.reserve(bytes)?;
         Ok(DeviceBuffer {
             base,
-            data: vec![T::default(); len],
+            data: (0..len).map(|_| SyncCell::new(T::default())).collect(),
             tracker,
             counted: true,
         })
     }
 
-    pub(crate) fn from_slice(src: &[T], tracker: Rc<MemTracker>) -> Result<Self, OutOfMemory> {
+    pub(crate) fn from_slice(src: &[T], tracker: Arc<MemTracker>) -> Result<Self, OutOfMemory> {
         let bytes = std::mem::size_of_val(src);
         let base = tracker.reserve(bytes)?;
         Ok(DeviceBuffer {
             base,
-            data: src.to_vec(),
+            data: src.iter().map(|&v| SyncCell::new(v)).collect(),
             tracker,
             counted: true,
         })
@@ -131,12 +205,12 @@ impl<T: Copy + Default> DeviceBuffer<T> {
 
     /// A buffer in host-staged (pinned) memory: addressable by kernels but
     /// not counted against device capacity.
-    pub(crate) fn staged(src: &[T], tracker: Rc<MemTracker>) -> Self {
+    pub(crate) fn staged(src: &[T], tracker: Arc<MemTracker>) -> Self {
         let bytes = std::mem::size_of_val(src);
         let base = tracker.reserve_unchecked(bytes);
         DeviceBuffer {
             base,
-            data: src.to_vec(),
+            data: src.iter().map(|&v| SyncCell::new(v)).collect(),
             tracker,
             counted: false,
         }
@@ -167,26 +241,48 @@ impl<T: Copy> DeviceBuffer<T> {
     }
 
     /// Host view of the contents (the "copy back and inspect" path; not
-    /// charged as simulated traffic).
+    /// charged as simulated traffic). Only meaningful between launches.
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        // SAFETY: `SyncCell<T>` is `repr(transparent)` over `T`, so the
+        // layouts match; callers inspect buffers between launches, when no
+        // block is writing.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr() as *const T, self.data.len()) }
     }
 
     /// Mutable host view (host-side initialisation; not charged).
     pub fn as_mut_slice(&mut self) -> &mut [T] {
-        &mut self.data
+        // SAFETY: `&mut self` guarantees exclusive access, and
+        // `SyncCell<T>` is `repr(transparent)` over `T`.
+        unsafe { std::slice::from_raw_parts_mut(self.data.as_mut_ptr() as *mut T, self.data.len()) }
     }
 
     /// Reads element `idx` (device-side; the caller charges the access).
     #[inline]
     pub(crate) fn read(&self, idx: usize) -> T {
-        self.data[idx]
+        self.data[idx].get()
     }
 
     /// Writes element `idx` (device-side; the caller charges the access).
+    ///
+    /// Takes `&self`: blocks of a parallel launch write disjoint elements
+    /// through shared references, per the launch contract above.
     #[inline]
-    pub(crate) fn write(&mut self, idx: usize, v: T) {
-        self.data[idx] = v;
+    pub(crate) fn write(&self, idx: usize, v: T) {
+        self.data[idx].set(v);
+    }
+}
+
+impl DeviceBuffer<u32> {
+    /// Atomic fetch-add on element `idx`, returning the pre-add value.
+    /// Safe under concurrent blocks, like CUDA's `atomicAdd`.
+    #[inline]
+    pub(crate) fn atomic_add(&self, idx: usize, v: u32) -> u32 {
+        let cell: &SyncCell<u32> = &self.data[idx];
+        // SAFETY: `AtomicU32` has the same size and alignment as `u32`, and
+        // all concurrent access to this element goes through this method or
+        // is disjoint per the launch contract.
+        let atomic = unsafe { &*(cell.0.get() as *const AtomicU32) };
+        atomic.fetch_add(v, Ordering::Relaxed)
     }
 }
 
@@ -202,7 +298,7 @@ impl<T: Copy> Drop for DeviceBuffer<T> {
 mod tests {
     use super::*;
 
-    fn tracker() -> Rc<MemTracker> {
+    fn tracker() -> Arc<MemTracker> {
         MemTracker::new(1 << 20)
     }
 
@@ -244,6 +340,16 @@ mod tests {
         let t = tracker();
         let b = DeviceBuffer::from_slice(&[1u32, 2, 3], t).unwrap();
         assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_reference_writes_are_visible() {
+        let t = tracker();
+        let b = DeviceBuffer::<u32>::new(4, t).unwrap();
+        b.write(2, 7);
+        assert_eq!(b.read(2), 7);
+        assert_eq!(b.atomic_add(2, 5), 7, "atomic_add returns the old value");
+        assert_eq!(b.as_slice(), &[0, 0, 12, 0]);
     }
 
     #[test]

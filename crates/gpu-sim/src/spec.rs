@@ -25,6 +25,13 @@ pub struct GpuSpec {
     pub clock_ghz: f64,
     /// Host-to-device interconnect bandwidth in GB/s (PCIe 3.0 x16: ~12).
     pub pcie_gbps: f64,
+    /// Host worker threads used to execute the blocks of each launch
+    /// concurrently. `0` resolves at device construction: the
+    /// `NEXTDOOR_SIM_THREADS` environment variable if set, else the
+    /// machine's available parallelism. `1` is the fully sequential path.
+    /// Purely a host-side execution knob — counters, profiles and samples
+    /// are bit-identical at every value (see `crate::launch`).
+    pub host_threads: usize,
     /// Cost model constants.
     pub cost: CostModel,
 }
@@ -41,6 +48,7 @@ impl GpuSpec {
             device_memory: 16 * (1 << 30),
             clock_ghz: 1.38,
             pcie_gbps: 12.0,
+            host_threads: 0,
             cost: CostModel::default(),
         }
     }

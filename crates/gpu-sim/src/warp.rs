@@ -209,9 +209,12 @@ impl<'a> WarpCtx<'a> {
     /// Panics if an active lane's index is out of bounds. Two active lanes
     /// writing the same index is a data race on real hardware; the simulator
     /// lets the highest lane win, like CUDA's undefined-but-common outcome.
+    /// The buffer is taken by shared reference — device stores mutate
+    /// interior-mutable storage, so blocks of a parallel launch can write
+    /// their disjoint elements concurrently (see [`DeviceBuffer`]).
     pub fn st_global<T: Copy + Default>(
         &mut self,
-        buf: &mut DeviceBuffer<T>,
+        buf: &DeviceBuffer<T>,
         idxs: &[usize; WARP_SIZE],
         vals: [T; WARP_SIZE],
         mask: Mask,
@@ -241,10 +244,13 @@ impl<'a> WarpCtx<'a> {
     /// Warp-level `atomicAdd` on a `u32` buffer; returns the pre-add values.
     ///
     /// Lanes hitting the same location are serialised, as on hardware: the
-    /// returned old values reflect lane order.
+    /// returned old values reflect lane order. The add itself is a host
+    /// atomic, so blocks of a parallel launch may target the same location;
+    /// only the *returned* old values are then execution-order-dependent
+    /// (use [`crate::Gpu::launch_ordered`] for kernels that consume them).
     pub fn atomic_add_global(
         &mut self,
-        buf: &mut DeviceBuffer<u32>,
+        buf: &DeviceBuffer<u32>,
         idxs: &[usize; WARP_SIZE],
         vals: [u32; WARP_SIZE],
         mask: Mask,
@@ -262,8 +268,7 @@ impl<'a> WarpCtx<'a> {
         for l in 0..WARP_SIZE {
             if mask & (1 << l) != 0 {
                 let i = idxs[l];
-                out[l] = buf.read(i);
-                buf.write(i, out[l].wrapping_add(vals[l]));
+                out[l] = buf.atomic_add(i, vals[l]);
                 sectors.insert_range(buf.addr_of(i), elem);
                 if seen.contains(&i) {
                     conflicts += 1;

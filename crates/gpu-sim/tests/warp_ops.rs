@@ -8,7 +8,8 @@ use nextdoor_gpu::{Gpu, GpuSpec, LaunchConfig, WARP_SIZE};
 
 fn one_warp(gpu: &mut Gpu, f: impl FnMut(&mut nextdoor_gpu::WarpCtx<'_>)) {
     let mut f = Some(f);
-    gpu.launch(
+    // `launch_ordered`: the helper hands a `FnMut` to the single block.
+    gpu.launch_ordered(
         "test",
         LaunchConfig {
             grid_dim: 1,
@@ -41,11 +42,11 @@ fn shfl_moves_values_between_lanes() {
 #[test]
 fn atomic_add_serialises_conflicts_and_returns_olds() {
     let mut gpu = Gpu::new(GpuSpec::small());
-    let mut buf = gpu.alloc::<u32>(4);
+    let buf = gpu.alloc::<u32>(4);
     one_warp(&mut gpu, |w| {
         // All 32 lanes hit slot 0: the returned "old" values must be a
         // permutation of 0..32 and the final cell 32.
-        let olds = w.atomic_add_global(&mut buf, &[0; WARP_SIZE], [1; WARP_SIZE], FULL_MASK);
+        let olds = w.atomic_add_global(&buf, &[0; WARP_SIZE], [1; WARP_SIZE], FULL_MASK);
         let mut sorted = olds;
         sorted.sort_unstable();
         let expect: [u32; WARP_SIZE] = std::array::from_fn(|l| l as u32);
@@ -142,7 +143,7 @@ fn mixed_op_kinds_at_same_position_serialise() {
 #[test]
 fn shared_memory_round_trip_within_block() {
     let mut gpu = Gpu::new(GpuSpec::small());
-    let mut out = gpu.alloc::<u32>(64);
+    let out = gpu.alloc::<u32>(64);
     gpu.launch(
         "stage",
         LaunchConfig {
@@ -161,7 +162,7 @@ fn shared_memory_round_trip_within_block() {
             blk.for_each_warp(|w| {
                 let tid = w.thread_ids_in_block();
                 let v = w.ld_shared(&arr, &tid.map(|t| 63 - t), FULL_MASK);
-                w.st_global(&mut out, &tid, v, FULL_MASK);
+                w.st_global(&out, &tid, v, FULL_MASK);
             });
         },
     );

@@ -119,6 +119,66 @@ fn walk_sampling_phase_beats_sp_even_when_totals_do_not() {
 }
 
 #[test]
+fn scheduler_invariants_hold_for_every_kernel_of_every_engine() {
+    // List scheduling cannot beat the work bound or the critical path, and
+    // achieved occupancy is a fraction: for every kernel record of a smoke
+    // run of each engine,
+    //   makespan >= total busy cycles / num_sms,
+    //   makespan >= the busiest single SM,
+    //   occupancy in (0, 1].
+    let g = graph();
+    let init = roots(&g, 512);
+    let app = KHop::new(vec![8, 4]);
+    let num_sms = GpuSpec::small().num_sms as f64;
+    type EngineFn = fn(
+        &mut Gpu,
+        &Csr,
+        &dyn nextdoor::core::SamplingApp,
+        &[Vec<VertexId>],
+        u64,
+    ) -> Result<nextdoor::core::RunResult, nextdoor::core::NextDoorError>;
+    let engines: [(&str, EngineFn); 3] = [
+        ("nextdoor", |gpu, g, a, i, s| run_nextdoor(gpu, g, a, i, s)),
+        ("sample_parallel", |gpu, g, a, i, s| {
+            run_sample_parallel(gpu, g, a, i, s)
+        }),
+        ("vanilla_tp", |gpu, g, a, i, s| {
+            run_vanilla_tp(gpu, g, a, i, s)
+        }),
+    ];
+    for (name, run) in engines {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        run(&mut gpu, &g, &app, &init, 31).unwrap();
+        let mut checked = 0usize;
+        for k in gpu.profile().kernels() {
+            let busy: f64 = k.per_sm_busy.iter().sum();
+            let peak = k.per_sm_busy.iter().cloned().fold(0.0f64, f64::max);
+            assert!(
+                k.cycles >= busy / num_sms - 1e-6,
+                "{name}/{}: makespan {} below work bound {}",
+                k.name,
+                k.cycles,
+                busy / num_sms
+            );
+            assert!(
+                k.cycles >= peak - 1e-6,
+                "{name}/{}: makespan {} below busiest SM {peak}",
+                k.name,
+                k.cycles
+            );
+            assert!(
+                k.occupancy > 0.0 && k.occupancy <= 1.0,
+                "{name}/{}: occupancy {} outside (0, 1]",
+                k.name,
+                k.occupancy
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "{name}: smoke run recorded no kernels");
+    }
+}
+
+#[test]
 fn store_efficiency_is_high_for_fanout_apps() {
     let g = graph();
     let init = roots(&g, 2048);

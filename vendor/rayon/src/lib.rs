@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rayon` crate: a persistent worker pool with
+//! scoped task spawning, exposing only the subset of the rayon API this
+//! workspace uses (`scope`, `Scope::spawn`, `current_num_threads`).
+//!
+//! Jobs are injected into a global FIFO served by `available_parallelism`
+//! worker threads, spawned lazily on first use. [`scope`] blocks until every
+//! task spawned inside it has finished; while waiting, the calling thread
+//! helps drain the queue instead of sleeping, so concurrent scopes (e.g. one
+//! per simulated device) cannot starve each other. A panic inside a spawned
+//! task is caught on the worker and re-thrown from `scope` on the caller's
+//! thread, matching rayon's propagation semantics.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn inject(&self, job: Job) {
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().expect("pool queue poisoned").pop_front()
+    }
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static WORKERS: Once = Once::new();
+
+fn pool() -> &'static Pool {
+    let p = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    });
+    WORKERS.call_once(|| {
+        for i in 0..current_num_threads() {
+            let spawned = std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(p));
+            // A failed spawn just leaves fewer workers; the helping caller
+            // in `scope` guarantees forward progress regardless.
+            drop(spawned);
+        }
+    });
+    p
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = pool.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        // Jobs are panic-wrapped at spawn time, so this cannot unwind.
+        job();
+    }
+}
+
+/// Number of worker threads the global pool targets: the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct ScopeStatus {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct ScopeState {
+    status: Mutex<ScopeStatus>,
+    done: Condvar,
+}
+
+/// A scope in which tasks borrowing the caller's stack can be spawned onto
+/// the global pool. All tasks are joined before [`scope`] returns.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    // Invariant over 'scope, as in rayon.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+/// Runs `op`, allowing it to spawn tasks that borrow data outside the
+/// closure; blocks until every spawned task completes.
+///
+/// # Panics
+///
+/// Re-throws the first panic raised by a spawned task (after all tasks have
+/// settled), as rayon does.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        state: Arc::new(ScopeState {
+            status: Mutex::new(ScopeStatus {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }),
+        _marker: PhantomData,
+    };
+    let result = op(&s);
+    // Join: help run queued jobs while any task of this scope is pending.
+    loop {
+        {
+            let st = s.state.status.lock().expect("scope status poisoned");
+            if st.pending == 0 {
+                break;
+            }
+        }
+        if let Some(job) = pool().try_pop() {
+            job();
+            continue;
+        }
+        // Queue empty but tasks still running on workers: wait briefly for
+        // the completion signal (timeout guards against racing a job that
+        // was popped between our two checks).
+        let st = s.state.status.lock().expect("scope status poisoned");
+        if st.pending > 0 {
+            let _ = s
+                .state
+                .done
+                .wait_timeout(st, Duration::from_millis(1))
+                .expect("scope status poisoned");
+        }
+    }
+    let panic = {
+        let mut st = s.state.status.lock().expect("scope status poisoned");
+        st.panic.take()
+    };
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+    result
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the global pool. The task may borrow anything that
+    /// outlives `'scope`; the owning [`scope`] call joins it before
+    /// returning.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state
+            .status
+            .lock()
+            .expect("scope status poisoned")
+            .pending += 1;
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let sub = Scope {
+                state: Arc::clone(&state),
+                _marker: PhantomData,
+            };
+            let res = catch_unwind(AssertUnwindSafe(|| body(&sub)));
+            let mut st = state.status.lock().expect("scope status poisoned");
+            if let Err(p) = res {
+                if st.panic.is_none() {
+                    st.panic = Some(p);
+                }
+            }
+            st.pending -= 1;
+            if st.pending == 0 {
+                drop(st);
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: `scope` does not return until `pending` reaches zero,
+        // i.e. until this task has run to completion and dropped its
+        // captures, so no `'scope` borrow inside the box outlives its
+        // referent. The transmute only erases that lifetime.
+        let task: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        pool().inject(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_mutably_disjoint_slots() {
+        let mut slots = vec![0usize; 32];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * 2);
+            }
+        });
+        for (i, &v) in slots.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_interfere() {
+        let totals: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|outer| {
+            for t in &totals {
+                outer.spawn(|| {
+                    scope(|s| {
+                        for _ in 0..16 {
+                            s.spawn(|_| {
+                                t.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        for t in &totals {
+            assert_eq!(t.load(Ordering::Relaxed), 16);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_caller() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(res.is_err());
+        // The pool survives a panicking task.
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
