@@ -1,0 +1,224 @@
+//! Serving-layer benchmark: persistent sessions and request micro-batching.
+//!
+//! Serves the same stream of sampling requests three ways and records
+//! throughput and latency tails into `BENCH_serve.json`:
+//!
+//! 1. **cold per-request** — every request pays a fresh device and graph
+//!    upload (the one-shot `run_nextdoor` path a service would take without
+//!    sessions);
+//! 2. **warm per-request** — one [`SamplerSession`] answers each request
+//!    alone (upload amortised, no fusion);
+//! 3. **warm fused** — a [`SampleServer`] under open-loop load (all
+//!    requests submitted up front), so the scheduler coalesces them into
+//!    fused launches of up to `max_batch`.
+//!
+//! All three legs must produce bit-identical samples per request — fusion
+//! and session reuse are pure throughput levers. Wall-clock latency is
+//! measured per request (submit → result); the fused leg additionally
+//! reports the simulated-clock latency split (queued vs service) that the
+//! serving layer carves from the device's counter/profile machinery.
+
+use nextdoor_bench::BenchConfig;
+use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+use nextdoor_core::engine::nextdoor::run_nextdoor;
+use nextdoor_core::session::SamplerSession;
+use nextdoor_core::SampleStore;
+use nextdoor_gpu::Gpu;
+use nextdoor_graph::{Dataset, VertexId};
+use nextdoor_serve::{MicroBatcher, Request, SampleServer, ServeConfig};
+use std::time::Instant;
+
+struct Walk(usize);
+impl SamplingApp for Walk {
+    fn name(&self) -> &'static str {
+        "walk"
+    }
+    fn steps(&self) -> Steps {
+        Steps::Fixed(self.0)
+    }
+    fn sample_size(&self, _: usize) -> usize {
+        1
+    }
+    fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+        let d = ctx.num_edges();
+        if d == 0 {
+            return None;
+        }
+        let i = ctx.rand_range(d);
+        Some(ctx.src_edge(i))
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Leg {
+    total_ms: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn leg_stats(mut latencies_ms: Vec<f64>, total_ms: f64) -> Leg {
+    let n = latencies_ms.len();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Leg {
+        total_ms,
+        throughput_rps: n as f64 / (total_ms / 1e3).max(1e-12),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+    }
+}
+
+fn leg_json(name: &str, leg: &Leg) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"total_ms\": {:.3},\n    \"throughput_rps\": {:.1},\n    \
+         \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4}\n  }}",
+        leg.total_ms, leg.throughput_rps, leg.p50_ms, leg.p99_ms
+    )
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let g = cfg.graph(Dataset::Ppi);
+    let app_steps = 10;
+    let requests = 64usize;
+    // Serving requests are mini-batch sized (a training iteration's worth),
+    // not experiment sized: cap the per-request workload so per-launch fixed
+    // costs — the thing fusion amortises — keep their service-time share.
+    let samples_per_request = (cfg.samples / requests).clamp(8, 64);
+    let inits: Vec<Vec<Vec<VertexId>>> = (0..requests)
+        .map(|r| {
+            nextdoor_core::initial_samples_random(
+                &g,
+                samples_per_request,
+                1,
+                cfg.seed ^ (0xA000 + r as u64),
+            )
+            .expect("bench graph is non-empty")
+        })
+        .collect();
+    let seed_of = |r: usize| cfg.seed + r as u64;
+    println!(
+        "serving {requests} requests x {samples_per_request} samples, walk({app_steps}), \
+         graph |V|={} |E|={}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Leg 1: cold per-request — fresh device + upload every time.
+    let mut cold_lat = Vec::with_capacity(requests);
+    let mut cold_out: Vec<SampleStore> = Vec::with_capacity(requests);
+    let cold_t0 = Instant::now();
+    for (r, init) in inits.iter().enumerate() {
+        let t = Instant::now();
+        let mut gpu = Gpu::new(cfg.gpu.clone());
+        let res = run_nextdoor(&mut gpu, &g, &Walk(app_steps), init, seed_of(r))
+            .expect("cold run succeeds");
+        cold_lat.push(t.elapsed().as_secs_f64() * 1e3);
+        cold_out.push(res.store);
+    }
+    let cold = leg_stats(cold_lat, cold_t0.elapsed().as_secs_f64() * 1e3);
+
+    // Leg 2: warm per-request — one session, no fusion.
+    let mut session = SamplerSession::new(cfg.gpu.clone(), g.clone(), Box::new(Walk(app_steps)))
+        .expect("bench graph fits on the device");
+    let mut warm_lat = Vec::with_capacity(requests);
+    let warm_t0 = Instant::now();
+    for (r, init) in inits.iter().enumerate() {
+        let t = Instant::now();
+        let res = session
+            .query(init, seed_of(r))
+            .expect("warm query succeeds");
+        warm_lat.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            res.store.final_samples(),
+            cold_out[r].final_samples(),
+            "warm session diverged from cold run on request {r}"
+        );
+    }
+    let warm = leg_stats(warm_lat, warm_t0.elapsed().as_secs_f64() * 1e3);
+
+    // Leg 3: warm fused — open-loop load on the micro-batching server.
+    let serve_cfg = ServeConfig {
+        max_batch: 8,
+        max_queue: requests,
+        default_deadline_ms: None,
+    };
+    let server = SampleServer::start(MicroBatcher::new(session, serve_cfg));
+    let client = server.client();
+    let fused_t0 = Instant::now();
+    let tickets: Vec<(Instant, _)> = inits
+        .iter()
+        .enumerate()
+        .map(|(r, init)| {
+            let req = Request::new(init.clone(), seed_of(r));
+            (
+                Instant::now(),
+                client.submit(req).expect("server accepts while running"),
+            )
+        })
+        .collect();
+    let mut fused_lat = Vec::with_capacity(requests);
+    let mut sim_queued = Vec::with_capacity(requests);
+    let mut sim_service = Vec::with_capacity(requests);
+    let mut batch_sizes = Vec::with_capacity(requests);
+    for (r, (submitted, ticket)) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait().expect("fused request succeeds");
+        fused_lat.push(submitted.elapsed().as_secs_f64() * 1e3);
+        sim_queued.push(resp.latency.queued_ms);
+        sim_service.push(resp.latency.service_ms);
+        batch_sizes.push(resp.latency.batch_size);
+        assert_eq!(
+            resp.store.final_samples(),
+            cold_out[r].final_samples(),
+            "fused batch diverged from cold run on request {r}"
+        );
+    }
+    let fused = leg_stats(fused_lat, fused_t0.elapsed().as_secs_f64() * 1e3);
+    server.shutdown();
+
+    let mean_batch = batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64;
+    sim_queued.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sim_service.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!(
+        "cold    {:8.1} req/s  p50 {:.3}ms p99 {:.3}ms",
+        cold.throughput_rps, cold.p50_ms, cold.p99_ms
+    );
+    println!(
+        "warm    {:8.1} req/s  p50 {:.3}ms p99 {:.3}ms",
+        warm.throughput_rps, warm.p50_ms, warm.p99_ms
+    );
+    println!(
+        "fused   {:8.1} req/s  p50 {:.3}ms p99 {:.3}ms  (mean batch {mean_batch:.1})",
+        fused.throughput_rps, fused.p50_ms, fused.p99_ms
+    );
+    assert!(
+        fused.throughput_rps > cold.throughput_rps,
+        "warm fused serving must beat cold per-request serving"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"walk{app_steps}_ppi\",\n  \"requests\": {requests},\n  \
+         \"samples_per_request\": {samples_per_request},\n  \"max_batch\": {},\n\
+         {},\n{},\n{},\n  \"fused_sim_latency\": {{\n    \"queued_p50_ms\": {:.4},\n    \
+         \"queued_p99_ms\": {:.4},\n    \"service_p50_ms\": {:.4},\n    \
+         \"service_p99_ms\": {:.4}\n  }},\n  \"mean_batch_size\": {mean_batch:.2},\n  \
+         \"bit_identical\": true,\n  \"warm_fused_beats_cold\": true\n}}\n",
+        serve_cfg.max_batch,
+        leg_json("cold_per_request", &cold),
+        leg_json("warm_per_request", &warm),
+        leg_json("warm_fused", &fused),
+        percentile(&sim_queued, 50.0),
+        percentile(&sim_queued, 99.0),
+        percentile(&sim_service, 50.0),
+        percentile(&sim_service, 99.0),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("can write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -384,6 +384,80 @@ impl<'a> NextCtx<'a> {
 }
 
 /// A graph sampling application (paper's Figure 3).
+///
+/// An implementation describes *what* to sample — how many steps, how many
+/// vertices per transit, and how one new vertex is chosen ([`Self::next`]).
+/// *How* it runs is entirely the engines' business: the CPU oracle, the
+/// SP/TP baselines, the transit-parallel GPU engine, and the serving layer
+/// ([`crate::session::SamplerSession`]) all run the same application
+/// unchanged and produce bit-identical samples.
+///
+/// # Example: k-hop neighbourhood sampling
+///
+/// Layer-by-layer neighbourhood expansion (GraphSAGE-style): every vertex
+/// reached at step `i` draws `fanouts[i]` of its neighbours.
+///
+/// ```
+/// use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+/// use nextdoor_core::{initial_samples_random, run_cpu};
+/// use nextdoor_graph::gen::{rmat, RmatParams};
+///
+/// struct KHop { fanouts: Vec<usize> }
+/// impl SamplingApp for KHop {
+///     fn name(&self) -> &'static str { "khop" }
+///     fn steps(&self) -> Steps { Steps::Fixed(self.fanouts.len()) }
+///     fn sample_size(&self, step: usize) -> usize { self.fanouts[step] }
+///     fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+///         let d = ctx.num_edges();
+///         if d == 0 { return None; } // dead end: the paper's NULL
+///         let i = ctx.rand_range(d);
+///         Some(ctx.src_edge(i))
+///     }
+/// }
+///
+/// let graph = rmat(8, 1000, RmatParams::SKEWED, 1);
+/// let init = initial_samples_random(&graph, 16, 1, 3).expect("non-empty graph");
+/// let app = KHop { fanouts: vec![2, 2] };
+/// let res = run_cpu(&graph, &app, &init, 42).expect("valid inputs");
+/// // Each sample grows to at most 1 + 2 + 2*2 vertices (dead ends shrink it).
+/// assert!(res.store.final_samples().iter().all(|s| s.len() <= 7));
+/// ```
+///
+/// # Example: DeepWalk random walks
+///
+/// A fixed-length uniform random walk: one transit per sample, each step
+/// moves it to a uniformly drawn neighbour. The same application run on the
+/// CPU oracle and on the simulated GPU yields bit-identical walks — the
+/// determinism invariant every engine upholds.
+///
+/// ```
+/// use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+/// use nextdoor_core::{initial_samples_random, run_cpu, run_nextdoor};
+/// use nextdoor_gpu::{Gpu, GpuSpec};
+/// use nextdoor_graph::gen::{rmat, RmatParams};
+///
+/// struct DeepWalk { len: usize }
+/// impl SamplingApp for DeepWalk {
+///     fn name(&self) -> &'static str { "deepwalk" }
+///     fn steps(&self) -> Steps { Steps::Fixed(self.len) }
+///     fn sample_size(&self, _step: usize) -> usize { 1 }
+///     fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+///         let d = ctx.num_edges();
+///         if d == 0 { return None; } // stuck walker stops walking
+///         let i = ctx.rand_range(d);
+///         Some(ctx.src_edge(i))
+///     }
+/// }
+///
+/// let graph = rmat(8, 1000, RmatParams::SKEWED, 1);
+/// let init = initial_samples_random(&graph, 32, 1, 7).expect("non-empty graph");
+/// let app = DeepWalk { len: 5 };
+/// let cpu = run_cpu(&graph, &app, &init, 7).expect("valid inputs");
+/// let mut gpu = Gpu::new(GpuSpec::small());
+/// let gpu_res = run_nextdoor(&mut gpu, &graph, &app, &init, 7)
+///     .expect("inputs are valid and the graph fits");
+/// assert_eq!(cpu.store.final_samples(), gpu_res.store.final_samples());
+/// ```
 pub trait SamplingApp: Sync {
     /// Human-readable name used in logs and benchmark tables.
     fn name(&self) -> &'static str;

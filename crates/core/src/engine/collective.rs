@@ -252,9 +252,10 @@ pub(crate) fn run_collective_next_kernel(
                 let j = gid[l] % m;
                 let (start, len) = combined.ranges[sample];
                 let view = ex.store.view(sample, ex.plan.step);
+                let (seed, local) = ex.keys.key(sample);
                 let mut ctx = NextCtx {
                     step: ex.plan.step,
-                    sample_id: sample,
+                    sample_id: local as usize,
                     slot: j,
                     graph: ex.graph,
                     source: EdgeSource::Combined {
@@ -263,7 +264,7 @@ pub(crate) fn run_collective_next_kernel(
                     },
                     transits: &combined.sample_transits[sample],
                     view: &view,
-                    rng: RngStream::new(ex.seed, sample, ex.plan.step, j),
+                    rng: RngStream::new(seed, local as usize, ex.plan.step, j),
                     cost: crate::api::EdgeCost::Global,
                     cached_len: 0,
                     trace: Some(&mut traces[l]),

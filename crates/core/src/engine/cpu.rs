@@ -9,7 +9,7 @@ use std::time::Instant;
 use crate::api::{EdgeCost, SamplingApp, SamplingType, NULL_VERTEX};
 use crate::engine::{
     build_combined, finish_step, plan_step, run_next_collective, run_next_individual, step_budget,
-    unique, EngineStats, RunResult,
+    unique, EngineStats, RunResult, SampleKeys,
 };
 use crate::error::{validate_run, NextDoorError};
 use crate::store::SampleStore;
@@ -27,12 +27,27 @@ pub fn run_cpu(
     init: &[Vec<VertexId>],
     seed: u64,
 ) -> Result<RunResult, NextDoorError> {
+    run_cpu_keyed(graph, app, init, &SampleKeys::uniform(seed))
+}
+
+/// [`run_cpu`] with an explicit per-sample RNG keying, the host-side oracle
+/// for fused session batches (see [`SampleKeys`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_cpu`].
+pub fn run_cpu_keyed(
+    graph: &Csr,
+    app: &dyn SamplingApp,
+    init: &[Vec<VertexId>],
+    keys: &SampleKeys,
+) -> Result<RunResult, NextDoorError> {
     validate_run(graph, app, init)?;
     let mut store = SampleStore::new(init.to_vec());
     let t0 = Instant::now();
     let mut steps_run = 0;
     for step in 0..step_budget(app) {
-        let plan = plan_step(app, &store, step, seed);
+        let plan = plan_step(app, &store, step, keys);
         if plan.live == 0 {
             break;
         }
@@ -55,7 +70,7 @@ pub fn run_cpu(
                                 s,
                                 t,
                                 j,
-                                seed,
+                                keys,
                                 EdgeCost::Global,
                                 0,
                                 0,
@@ -86,7 +101,7 @@ pub fn run_cpu(
                             &combined,
                             0,
                             &sample_transits,
-                            seed,
+                            keys,
                             None,
                         );
                         values[s * plan.slots + j] = v;

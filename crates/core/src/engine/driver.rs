@@ -34,7 +34,7 @@ use crate::engine::kernels::{
 };
 use crate::engine::scheduling::{build_scheduling_index, partition_kernel_classes};
 use crate::engine::{
-    finish_step, plan_step, step_budget, unique, EngineStats, RunResult, StepPlan,
+    finish_step, plan_step, step_budget, unique, EngineStats, RunResult, SampleKeys, StepPlan,
 };
 use crate::error::{FaultReport, NextDoorError};
 use crate::gpu_graph::GpuGraph;
@@ -196,7 +196,7 @@ pub(crate) fn run_step_loop(
     gg: &GpuGraph,
     app: &dyn SamplingApp,
     init: &[Vec<VertexId>],
-    seed: u64,
+    keys: &SampleKeys,
     kind: GpuEngineKind,
     residency: Option<&GraphPartitions>,
 ) -> Result<StepLoopOut, NextDoorError> {
@@ -228,7 +228,7 @@ pub(crate) fn run_step_loop(
         }
     };
     for step in 0..step_budget(app) {
-        let plan = plan_step(app, &store, step, seed);
+        let plan = plan_step(app, &store, step, keys);
         if plan.live == 0 {
             break;
         }
@@ -281,7 +281,7 @@ pub(crate) fn run_step_loop(
                     app,
                     store: &store,
                     plan: &plan,
-                    seed,
+                    keys,
                 };
                 let res = exec_step(gpu, &ex, kind, &transit_buf, &mut out);
                 let Some(cycles) = absorb_alloc_fault(gpu, &mut report, res)? else {
@@ -340,6 +340,35 @@ pub(crate) fn run_step_loop(
     })
 }
 
+/// Folds a finished step loop into a [`RunResult`]: counter deltas since
+/// `counters0`, the per-kernel profile of launches since `launch0`, and the
+/// simulated-time breakdown. Shared by the one-shot entry points and the
+/// persistent [`SamplerSession`](crate::session::SamplerSession).
+pub(crate) fn finish_run(
+    gpu: &Gpu,
+    counters0: &nextdoor_gpu::Counters,
+    launch0: u64,
+    out: StepLoopOut,
+) -> RunResult {
+    let counters = gpu.counters().diff(counters0);
+    let profile = crate::engine::profile::RunProfile::from_device(gpu, launch0, &out.step_marks);
+    let spec = gpu.spec();
+    let total_ms = spec.cycles_to_ms(counters.cycles);
+    let scheduling_ms = spec.cycles_to_ms(out.sched_cycles);
+    RunResult {
+        store: out.store,
+        stats: EngineStats {
+            total_ms,
+            sampling_ms: total_ms - scheduling_ms,
+            scheduling_ms,
+            counters,
+            steps_run: out.steps_run,
+            profile,
+        },
+        report: out.report,
+    }
+}
+
 /// Runs `app` to completion with the chosen engine on `gpu`.
 ///
 /// Validates inputs up front, recovers from transient faults by retrying
@@ -362,25 +391,9 @@ pub(crate) fn run_gpu_engine(
     let launch0 = gpu.launches_issued();
     match GpuGraph::upload(gpu, graph) {
         Ok(gg) => {
-            let out = run_step_loop(gpu, graph, &gg, app, init, seed, kind, None)?;
-            let counters = gpu.counters().diff(&counters0);
-            let profile =
-                crate::engine::profile::RunProfile::from_device(gpu, launch0, &out.step_marks);
-            let spec = gpu.spec();
-            let total_ms = spec.cycles_to_ms(counters.cycles);
-            let scheduling_ms = spec.cycles_to_ms(out.sched_cycles);
-            Ok(RunResult {
-                store: out.store,
-                stats: EngineStats {
-                    total_ms,
-                    sampling_ms: total_ms - scheduling_ms,
-                    scheduling_ms,
-                    counters,
-                    steps_run: out.steps_run,
-                    profile,
-                },
-                report: out.report,
-            })
+            let keys = SampleKeys::uniform(seed);
+            let out = run_step_loop(gpu, graph, &gg, app, init, &keys, kind, None)?;
+            Ok(finish_run(gpu, &counters0, launch0, out))
         }
         Err(oom) => {
             let mut report = FaultReport::default();

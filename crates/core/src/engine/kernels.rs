@@ -8,7 +8,7 @@
 
 use crate::api::{EdgeCost, SamplingApp, SamplingType, NULL_VERTEX};
 use crate::engine::scheduling::SchedulingIndex;
-use crate::engine::{run_next_individual, StepPlan};
+use crate::engine::{run_next_individual, SampleKeys, StepPlan};
 use crate::gpu_graph::GpuGraph;
 use crate::store::SampleStore;
 use nextdoor_gpu::lane::LaneTrace;
@@ -25,7 +25,7 @@ pub(crate) struct StepExec<'a> {
     pub app: &'a dyn SamplingApp,
     pub store: &'a SampleStore,
     pub plan: &'a StepPlan,
-    pub seed: u64,
+    pub keys: &'a SampleKeys,
 }
 
 impl StepExec<'_> {
@@ -182,7 +182,7 @@ fn execute_lanes(
             lw.sample,
             lw.tidx,
             lw.j,
-            ex.seed,
+            ex.keys,
             cost,
             lw.cached_len,
             ex.gg.cols_base(),
@@ -627,14 +627,15 @@ mod tests {
         let mut gpu = Gpu::new(GpuSpec::small());
         let gg = GpuGraph::upload(&mut gpu, &graph).unwrap();
         let store = SampleStore::new(vec![vec![0]]);
-        let plan = plan_step(&Walk, &store, 0, 0);
+        let keys = SampleKeys::uniform(0);
+        let plan = plan_step(&Walk, &store, 0, &keys);
         let ex = StepExec {
             graph: &graph,
             gg: &gg,
             app: &Walk,
             store: &store,
             plan: &plan,
-            seed: 0,
+            keys: &keys,
         };
         let mut values = vec![NULL_VERTEX; plan.slots];
         let values = SyncSlice::new(&mut values);

@@ -1,6 +1,6 @@
 //! Sampling engines.
 //!
-//! Four engines execute the same [`SamplingApp`](crate::api::SamplingApp):
+//! Four engines execute the same [`SamplingApp`]:
 //!
 //! * [`nextdoor`] — the paper's contribution: transit-parallel execution
 //!   with a GPU-built scheduling index, three load-balanced kernel classes
@@ -36,6 +36,56 @@ use nextdoor_graph::{Csr, VertexId};
 /// Salt mixed into the seed for `stepTransits` draws so that they never
 /// collide with `next` draws.
 pub(crate) const TRANSIT_SEED_SALT: u64 = 0x7452_414E_5349_5453; // "TRANSITS"
+
+/// Per-sample RNG keying of a (possibly fused) run.
+///
+/// Every random draw in the runtime is keyed by the logical coordinate
+/// `(seed, sample, step, slot)`. A standalone run keys sample `s` simply as
+/// `(seed, s)` — that is [`SampleKeys::uniform`], and it is what every
+/// `run_*` entry point uses. When a [`SamplerSession`](crate::session)
+/// fuses several queries into one batch, the fused store's *global* sample
+/// index differs from the index the same sample holds when its query runs
+/// alone; [`SampleKeys::fused`] maps each global index back to the
+/// `(seed, local id)` pair its standalone run would use, which is what
+/// makes fused execution bit-identical to per-query execution.
+#[derive(Debug, Clone)]
+pub struct SampleKeys {
+    seed: u64,
+    /// Per-sample `(seed, local id)` overrides; `None` keys sample `s` as
+    /// `(self.seed, s)`.
+    map: Option<Vec<(u64, u64)>>,
+}
+
+impl SampleKeys {
+    /// Keys every sample `s` as `(seed, s)` — the standalone-run layout.
+    pub fn uniform(seed: u64) -> Self {
+        SampleKeys { seed, map: None }
+    }
+
+    /// Keys sample `s` of a fused batch as `map[s]`, the `(seed, local id)`
+    /// pair the sample holds in its own query.
+    pub fn fused(map: Vec<(u64, u64)>) -> Self {
+        SampleKeys {
+            seed: 0,
+            map: Some(map),
+        }
+    }
+
+    /// The `(seed, local sample id)` keying RNG streams of sample `sample`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fused table is shorter than the store it keys (an
+    /// internal invariant: the session builds the table from the same
+    /// initial samples it runs).
+    #[inline]
+    pub fn key(&self, sample: usize) -> (u64, u64) {
+        match &self.map {
+            Some(m) => m[sample],
+            None => (self.seed, sample as u64),
+        }
+    }
+}
 
 /// Result of running a sampling application on an engine.
 pub struct RunResult {
@@ -91,7 +141,7 @@ pub(crate) fn plan_step(
     app: &dyn SamplingApp,
     store: &SampleStore,
     step: usize,
-    seed: u64,
+    keys: &SampleKeys,
 ) -> StepPlan {
     let init_len = store.initial(0).len();
     // `tps` sizes the transit array for *every* sample, so this derivation
@@ -113,8 +163,9 @@ pub(crate) fn plan_step(
     let mut live = 0;
     for s in 0..ns {
         let view = store.view(s, step);
+        let (seed, local) = keys.key(s);
         for t in 0..tps {
-            let mut rng = RngStream::new(seed ^ TRANSIT_SEED_SALT, s, step, t);
+            let mut rng = RngStream::new(seed ^ TRANSIT_SEED_SALT, local as usize, step, t);
             let v = app.step_transit(step, &view, t, &mut rng);
             if v != NULL_VERTEX {
                 live += 1;
@@ -151,7 +202,7 @@ pub(crate) fn run_next_individual(
     sample: usize,
     tidx: usize,
     j: usize,
-    seed: u64,
+    keys: &SampleKeys,
     cost: EdgeCost,
     cached_len: usize,
     cols_base: u64,
@@ -162,15 +213,16 @@ pub(crate) fn run_next_individual(
     let slot = tidx * plan.m + j;
     let view = store.view(sample, plan.step);
     let transit_slice = [transit];
+    let (seed, local) = keys.key(sample);
     let mut ctx = NextCtx {
         step: plan.step,
-        sample_id: sample,
+        sample_id: local as usize,
         slot,
         graph,
         source: EdgeSource::Transit { transit },
         transits: &transit_slice,
         view: &view,
-        rng: RngStream::new(seed, sample, plan.step, slot),
+        rng: RngStream::new(seed, local as usize, plan.step, slot),
         cost,
         cached_len,
         trace,
@@ -195,13 +247,14 @@ pub(crate) fn run_next_collective(
     combined: &[VertexId],
     combined_base: u64,
     transits: &[VertexId],
-    seed: u64,
+    keys: &SampleKeys,
     trace: Option<&mut LaneTrace>,
 ) -> (VertexId, Vec<(VertexId, VertexId)>) {
     let view = store.view(sample, plan.step);
+    let (seed, local) = keys.key(sample);
     let mut ctx = NextCtx {
         step: plan.step,
-        sample_id: sample,
+        sample_id: local as usize,
         slot: j,
         graph,
         source: EdgeSource::Combined {
@@ -210,7 +263,7 @@ pub(crate) fn run_next_collective(
         },
         transits,
         view: &view,
-        rng: RngStream::new(seed, sample, plan.step, j),
+        rng: RngStream::new(seed, local as usize, plan.step, j),
         cost: EdgeCost::Global,
         cached_len: 0,
         trace,
@@ -332,7 +385,7 @@ mod tests {
     fn plan_step_counts_live_transits() {
         let g = ring_lattice(16, 2, 0);
         let store = SampleStore::new(vec![vec![0], vec![5]]);
-        let plan = plan_step(&UniformWalk, &store, 0, 42);
+        let plan = plan_step(&UniformWalk, &store, 0, &SampleKeys::uniform(42));
         assert_eq!(plan.tps, 1);
         assert_eq!(plan.m, 1);
         assert_eq!(plan.slots, 1);
@@ -345,7 +398,8 @@ mod tests {
     fn run_next_is_deterministic_across_cost_classes() {
         let g = ring_lattice(16, 2, 0);
         let store = SampleStore::new(vec![vec![0]]);
-        let plan = plan_step(&UniformWalk, &store, 0, 42);
+        let plan = plan_step(&UniformWalk, &store, 0, &SampleKeys::uniform(42));
+        let keys = SampleKeys::uniform(7);
         let (v1, _) = run_next_individual(
             &UniformWalk,
             &g,
@@ -354,7 +408,7 @@ mod tests {
             0,
             0,
             0,
-            7,
+            &keys,
             EdgeCost::Global,
             0,
             0,
@@ -368,7 +422,7 @@ mod tests {
             0,
             0,
             0,
-            7,
+            &keys,
             EdgeCost::Shared,
             999,
             0,
@@ -376,6 +430,49 @@ mod tests {
         );
         assert_eq!(v1, v2, "cost class must not affect the sampled value");
         assert!(g.neighbors(0).contains(&v1));
+    }
+
+    #[test]
+    fn fused_keys_reproduce_standalone_draws() {
+        // A fused store whose second sample belongs to another query (seed
+        // 99, local id 0) must draw exactly what that query's standalone
+        // run draws for its sample 0.
+        let g = ring_lattice(16, 2, 0);
+        let fused_store = SampleStore::new(vec![vec![0], vec![5]]);
+        let fused_keys = SampleKeys::fused(vec![(7, 0), (99, 0)]);
+        let fused_plan = plan_step(&UniformWalk, &fused_store, 0, &fused_keys);
+        let (fused_v, _) = run_next_individual(
+            &UniformWalk,
+            &g,
+            &fused_store,
+            &fused_plan,
+            1,
+            0,
+            0,
+            &fused_keys,
+            EdgeCost::Global,
+            0,
+            0,
+            None,
+        );
+        let solo_store = SampleStore::new(vec![vec![5]]);
+        let solo_keys = SampleKeys::uniform(99);
+        let solo_plan = plan_step(&UniformWalk, &solo_store, 0, &solo_keys);
+        let (solo_v, _) = run_next_individual(
+            &UniformWalk,
+            &g,
+            &solo_store,
+            &solo_plan,
+            0,
+            0,
+            0,
+            &solo_keys,
+            EdgeCost::Global,
+            0,
+            0,
+            None,
+        );
+        assert_eq!(fused_v, solo_v);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! builds, post-processing), and a [`RunProfile`] aggregates the records
 //! per kernel for the whole run and per executed step. The per-kernel
 //! counter deltas sum exactly to the run's global
-//! [`Counters`](nextdoor_gpu::Counters) — tests assert this conservation
+//! [`Counters`] — tests assert this conservation
 //! property for every engine.
 
 use nextdoor_gpu::profile::KernelRecord;

@@ -14,8 +14,8 @@
 //!
 //! This engine is also the degraded mode the in-core NextDoor engine falls
 //! back to when the graph upload does not fit in device memory (see
-//! [`crate::engine::driver::run_gpu_engine`]); it produces byte-identical
-//! samples because both modes share [`run_step_loop`].
+//! `engine::driver::run_gpu_engine`); it produces byte-identical
+//! samples because both modes share `run_step_loop`.
 
 use crate::api::SamplingApp;
 use crate::engine::driver::{run_step_loop, GpuEngineKind};
@@ -124,13 +124,14 @@ pub(crate) fn out_of_core_run(
     gpu.set_charge_transfers(true);
     let counters0 = *gpu.counters();
     let launch0 = gpu.launches_issued();
+    let keys = crate::engine::SampleKeys::uniform(seed);
     let loop_res = run_step_loop(
         gpu,
         graph,
         &gg,
         app,
         init,
-        seed,
+        &keys,
         GpuEngineKind::NextDoor,
         Some(&parts),
     );

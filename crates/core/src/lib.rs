@@ -56,6 +56,7 @@
 //! assert!(result.report.is_clean());
 //! ```
 
+#![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod api;
@@ -64,15 +65,17 @@ pub mod error;
 pub mod gpu_graph;
 pub mod large_graph;
 pub mod multi_gpu;
+pub mod session;
 pub mod store;
 
 pub use api::{NextCtx, SampleView, SamplingApp, SamplingType, Steps, NULL_VERTEX};
-pub use engine::cpu::run_cpu;
+pub use engine::cpu::{run_cpu, run_cpu_keyed};
 pub use engine::nextdoor::run_nextdoor;
 pub use engine::profile::{classify_kernel, KernelBreakdown, KernelPhase, RunProfile, StepProfile};
 pub use engine::sp::run_sample_parallel;
 pub use engine::tp::run_vanilla_tp;
-pub use engine::{initial_samples_random, EngineStats, RunResult};
+pub use engine::{initial_samples_random, EngineStats, RunResult, SampleKeys};
 pub use error::{validate_run, FaultReport, NextDoorError};
 pub use gpu_graph::GpuGraph;
+pub use session::{FusedResult, SamplerSession, SessionQuery};
 pub use store::SampleStore;

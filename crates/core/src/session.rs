@@ -1,0 +1,402 @@
+//! Persistent sampling sessions: upload once, query many times.
+//!
+//! The paper's end-to-end win comes from amortising GPU state across
+//! sampling invocations — NextDoor keeps the graph resident on the device
+//! and answers sampling requests from a training loop rather than paying
+//! setup per call (§8, Table 1). The one-shot `run_*` entry points re-upload
+//! the graph and rebuild everything per call; a [`SamplerSession`] uploads
+//! the graph and the per-app constant state once and then answers many
+//! *queries* (caller-supplied seed sets) against the resident graph.
+//!
+//! Sessions also support **fused** execution: several queries are
+//! concatenated into one store and run as a single transit-parallel batch,
+//! which is how the micro-batching scheduler of `nextdoor-serve` coalesces
+//! concurrent requests. Fused execution is bit-identical to running each
+//! query alone because the engines key every RNG draw through a
+//! [`SampleKeys`] table mapping each fused sample back to the
+//! `(seed, local id)` pair of its standalone run.
+//!
+//! ```
+//! use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+//! use nextdoor_core::session::{SamplerSession, SessionQuery};
+//! use nextdoor_core::{initial_samples_random, run_nextdoor};
+//! use nextdoor_gpu::{Gpu, GpuSpec};
+//! use nextdoor_graph::gen::{rmat, RmatParams};
+//!
+//! struct Walk;
+//! impl SamplingApp for Walk {
+//!     fn name(&self) -> &'static str { "walk" }
+//!     fn steps(&self) -> Steps { Steps::Fixed(3) }
+//!     fn sample_size(&self, _step: usize) -> usize { 1 }
+//!     fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+//!         let d = ctx.num_edges();
+//!         if d == 0 { return None; }
+//!         let i = ctx.rand_range(d);
+//!         Some(ctx.src_edge(i))
+//!     }
+//! }
+//!
+//! let graph = rmat(8, 1200, RmatParams::SKEWED, 1);
+//! let init = initial_samples_random(&graph, 16, 1, 3).expect("non-empty graph");
+//!
+//! // Warm session: the graph is uploaded once...
+//! let mut session = SamplerSession::new(GpuSpec::small(), graph.clone(), Box::new(Walk))
+//!     .expect("graph fits on the device");
+//! let warm = session.query(&init, 42).expect("valid query");
+//!
+//! // ...and produces exactly the samples a cold one-shot run produces.
+//! let mut gpu = Gpu::new(GpuSpec::small());
+//! let cold = run_nextdoor(&mut gpu, &graph, &Walk, &init, 42).unwrap();
+//! assert_eq!(warm.store.final_samples(), cold.store.final_samples());
+//!
+//! // Fused: two queries in one launch, sliced back per request.
+//! let q = |seed| SessionQuery { init: init.clone(), seed };
+//! let fused = session.query_fused(&[q(42), q(43)]).expect("compatible queries");
+//! assert_eq!(fused.per_query[0].final_samples(), cold.store.final_samples());
+//! ```
+
+use crate::api::SamplingApp;
+use crate::engine::driver::{finish_run, run_step_loop, GpuEngineKind};
+use crate::engine::{RunResult, SampleKeys};
+use crate::error::{validate_run, NextDoorError};
+use crate::gpu_graph::GpuGraph;
+use crate::store::SampleStore;
+use nextdoor_gpu::{Gpu, GpuSpec};
+use nextdoor_graph::{Csr, VertexId};
+
+/// One sampling request against a session: the initial samples (seed sets)
+/// to grow and the RNG seed keying every draw of the query.
+#[derive(Debug, Clone)]
+pub struct SessionQuery {
+    /// Initial vertices of each sample (all samples must have equal width).
+    pub init: Vec<Vec<VertexId>>,
+    /// Seed of the query's RNG streams. Two queries with the same
+    /// `(init, seed)` produce identical samples, fused or not.
+    pub seed: u64,
+}
+
+/// Result of a fused batch: one sliced store per query, in submission
+/// order, plus the batch-level statistics and fault report shared by all
+/// of them (the batch ran as one launch sequence, so its cost cannot be
+/// attributed to a single query).
+pub struct FusedResult {
+    /// Per-query sample stores, bit-identical to each query's standalone
+    /// run.
+    pub per_query: Vec<SampleStore>,
+    /// Statistics of the fused batch as a whole.
+    pub stats: crate::engine::EngineStats,
+    /// Faults the fused batch observed and survived.
+    pub report: crate::error::FaultReport,
+}
+
+/// A persistent sampling session: a device with the graph resident, bound
+/// to one sampling application, answering many queries without re-upload.
+///
+/// Created with [`SamplerSession::new`] (fresh device) or
+/// [`SamplerSession::with_gpu`] (caller-configured device, e.g. with an
+/// injected [`FaultPlan`](nextdoor_gpu::FaultPlan)). Queries run the
+/// NextDoor transit-parallel engine against the uploaded graph; the
+/// session's simulated clock ([`SamplerSession::sim_ms`]) accumulates
+/// across queries, which is what the serving layer's per-request deadlines
+/// are measured against.
+pub struct SamplerSession {
+    gpu: Gpu,
+    graph: Csr,
+    gg: GpuGraph,
+    app: Box<dyn SamplingApp + Send>,
+    queries_served: u64,
+}
+
+impl SamplerSession {
+    /// Creates a session on a fresh device of `spec`, uploading `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NextDoorError::EmptyGraph`] for a vertex-less graph and
+    /// [`NextDoorError::OutOfMemory`] when the graph does not fit in device
+    /// memory (a session keeps the graph resident, so unlike the one-shot
+    /// [`run_nextdoor`](crate::run_nextdoor) it does not degrade to the
+    /// out-of-core engine).
+    pub fn new(
+        spec: GpuSpec,
+        graph: Csr,
+        app: Box<dyn SamplingApp + Send>,
+    ) -> Result<Self, NextDoorError> {
+        Self::with_gpu(Gpu::new(spec), graph, app)
+    }
+
+    /// Creates a session on a caller-configured device (fault plans,
+    /// profile capacity and thread counts are all set on the `Gpu` before
+    /// it is handed over).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SamplerSession::new`].
+    pub fn with_gpu(
+        mut gpu: Gpu,
+        graph: Csr,
+        app: Box<dyn SamplingApp + Send>,
+    ) -> Result<Self, NextDoorError> {
+        if graph.num_vertices() == 0 {
+            return Err(NextDoorError::EmptyGraph);
+        }
+        if gpu.device_lost() {
+            return Err(NextDoorError::DeviceLost { device: 0 });
+        }
+        let gg = GpuGraph::upload(&mut gpu, &graph)?;
+        Ok(SamplerSession {
+            gpu,
+            graph,
+            gg,
+            app,
+            queries_served: 0,
+        })
+    }
+
+    /// Answers one query against the resident graph.
+    ///
+    /// Produces exactly the samples a cold one-shot
+    /// [`run_nextdoor`](crate::run_nextdoor) call with the same
+    /// `(graph, app, init, seed)` produces — the session only removes the
+    /// per-call upload, it never changes the samples.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_nextdoor`](crate::run_nextdoor), minus the
+    /// upload paths (the graph is already resident).
+    pub fn query(&mut self, init: &[Vec<VertexId>], seed: u64) -> Result<RunResult, NextDoorError> {
+        validate_run(&self.graph, self.app.as_ref(), init)?;
+        let keys = SampleKeys::uniform(seed);
+        self.run_batch(init, &keys)
+            .inspect(|_| self.queries_served += 1)
+    }
+
+    /// Runs several queries as **one fused transit-parallel batch** and
+    /// slices the results back per query.
+    ///
+    /// The fused batch produces, for every query, samples bit-identical to
+    /// running that query alone via [`SamplerSession::query`] — the engines
+    /// key each fused sample's RNG by its query's `(seed, local id)` (see
+    /// [`SampleKeys`]). Fusing amortises the per-launch fixed costs
+    /// (scheduling index, kernel launch overhead) across queries, which is
+    /// the serving layer's throughput lever.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NextDoorError::EmptyInit`] for an empty batch, any
+    /// [`validate_run`] error for an individual query, and
+    /// [`NextDoorError::FusedWidthMismatch`] when the queries do not share
+    /// one initial width (the step planner sizes the shared transit array
+    /// from it). Runtime errors are as for [`SamplerSession::query`].
+    pub fn query_fused(&mut self, queries: &[SessionQuery]) -> Result<FusedResult, NextDoorError> {
+        if queries.is_empty() {
+            return Err(NextDoorError::EmptyInit);
+        }
+        let width = queries[0].init.first().map_or(0, Vec::len);
+        for (qi, q) in queries.iter().enumerate() {
+            validate_run(&self.graph, self.app.as_ref(), &q.init)?;
+            let got = q.init[0].len();
+            if got != width {
+                return Err(NextDoorError::FusedWidthMismatch {
+                    expected: width,
+                    got,
+                    query: qi,
+                });
+            }
+        }
+        let mut init = Vec::new();
+        let mut map = Vec::new();
+        let mut ranges = Vec::with_capacity(queries.len());
+        for q in queries {
+            ranges.push((init.len(), q.init.len()));
+            for (local, s) in q.init.iter().enumerate() {
+                init.push(s.clone());
+                map.push((q.seed, local as u64));
+            }
+        }
+        let keys = SampleKeys::fused(map);
+        let res = self.run_batch(&init, &keys)?;
+        self.queries_served += queries.len() as u64;
+        let per_query = ranges
+            .into_iter()
+            .map(|(start, len)| res.store.slice(start, len))
+            .collect();
+        Ok(FusedResult {
+            per_query,
+            stats: res.stats,
+            report: res.report,
+        })
+    }
+
+    /// The shared body of single and fused queries: snapshot the device,
+    /// run the fault-tolerant step loop against the resident graph, and
+    /// fold counters and profile into a result.
+    fn run_batch(
+        &mut self,
+        init: &[Vec<VertexId>],
+        keys: &SampleKeys,
+    ) -> Result<RunResult, NextDoorError> {
+        let counters0 = *self.gpu.counters();
+        let launch0 = self.gpu.launches_issued();
+        let out = run_step_loop(
+            &mut self.gpu,
+            &self.graph,
+            &self.gg,
+            self.app.as_ref(),
+            init,
+            keys,
+            GpuEngineKind::NextDoor,
+            None,
+        )?;
+        Ok(finish_run(&self.gpu, &counters0, launch0, out))
+    }
+
+    /// Simulated milliseconds the session's device has accumulated across
+    /// all queries so far. The serving layer measures per-request latency
+    /// and deadlines on this clock.
+    pub fn sim_ms(&self) -> f64 {
+        self.gpu.spec().cycles_to_ms(self.gpu.counters().cycles)
+    }
+
+    /// Queries answered so far (each fused query counts individually).
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The application this session serves.
+    pub fn app(&self) -> &dyn SamplingApp {
+        self.app.as_ref()
+    }
+
+    /// Device bytes occupied by the resident graph.
+    pub fn graph_bytes(&self) -> usize {
+        self.gg.size_bytes()
+    }
+
+    /// The session's device (counters, profile ring, launch index).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Mutable access to the session's device, e.g. to inject a
+    /// [`FaultPlan`](nextdoor_gpu::FaultPlan) or resize the profile ring
+    /// between queries.
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{NextCtx, Steps};
+    use crate::engine::nextdoor::run_nextdoor;
+    use nextdoor_graph::gen::{rmat, RmatParams};
+
+    struct Walk(usize);
+    impl SamplingApp for Walk {
+        fn name(&self) -> &'static str {
+            "walk"
+        }
+        fn steps(&self) -> Steps {
+            Steps::Fixed(self.0)
+        }
+        fn sample_size(&self, _: usize) -> usize {
+            1
+        }
+        fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+            let d = ctx.num_edges();
+            if d == 0 {
+                return None;
+            }
+            let i = ctx.rand_range(d);
+            Some(ctx.src_edge(i))
+        }
+    }
+
+    fn workload() -> (Csr, Vec<Vec<u32>>) {
+        let g = rmat(8, 2000, RmatParams::SKEWED, 3);
+        let init: Vec<Vec<u32>> = (0..24).map(|i| vec![i * 5 % 256]).collect();
+        (g, init)
+    }
+
+    #[test]
+    fn warm_queries_match_cold_runs() {
+        let (g, init) = workload();
+        let mut session =
+            SamplerSession::new(GpuSpec::small(), g.clone(), Box::new(Walk(6))).unwrap();
+        for seed in [7u64, 8, 9] {
+            let warm = session.query(&init, seed).unwrap();
+            let mut gpu = Gpu::new(GpuSpec::small());
+            let cold = run_nextdoor(&mut gpu, &g, &Walk(6), &init, seed).unwrap();
+            assert_eq!(warm.store.final_samples(), cold.store.final_samples());
+        }
+        assert_eq!(session.queries_served(), 3);
+        assert!(session.sim_ms() > 0.0);
+        assert!(session.graph_bytes() > 0);
+    }
+
+    #[test]
+    fn fused_batch_matches_per_query_runs() {
+        let (g, init) = workload();
+        let mut session =
+            SamplerSession::new(GpuSpec::small(), g.clone(), Box::new(Walk(5))).unwrap();
+        let queries: Vec<SessionQuery> = (0..3)
+            .map(|i| SessionQuery {
+                init: init[i * 8..(i + 1) * 8].to_vec(),
+                seed: 100 + i as u64,
+            })
+            .collect();
+        let fused = session.query_fused(&queries).unwrap();
+        assert_eq!(fused.per_query.len(), 3);
+        for (q, sliced) in queries.iter().zip(&fused.per_query) {
+            let solo = session.query(&q.init, q.seed).unwrap();
+            assert_eq!(sliced.final_samples(), solo.store.final_samples());
+        }
+        assert!(fused.report.is_clean());
+    }
+
+    #[test]
+    fn fused_width_mismatch_is_typed() {
+        let (g, _) = workload();
+        let mut session = SamplerSession::new(GpuSpec::small(), g, Box::new(Walk(2))).unwrap();
+        let res = session.query_fused(&[
+            SessionQuery {
+                init: vec![vec![0]],
+                seed: 1,
+            },
+            SessionQuery {
+                init: vec![vec![1, 2]],
+                seed: 2,
+            },
+        ]);
+        assert!(matches!(
+            res.err(),
+            Some(NextDoorError::FusedWidthMismatch {
+                expected: 1,
+                got: 2,
+                query: 1
+            })
+        ));
+        assert!(matches!(
+            session.query_fused(&[]).err(),
+            Some(NextDoorError::EmptyInit)
+        ));
+    }
+
+    #[test]
+    fn session_rejects_oversized_graph() {
+        let mut spec = GpuSpec::small();
+        spec.device_memory = 64;
+        let (g, _) = workload();
+        assert!(matches!(
+            SamplerSession::new(spec, g, Box::new(Walk(1))).err(),
+            Some(NextDoorError::OutOfMemory(_))
+        ));
+    }
+}

@@ -136,6 +136,40 @@ impl SampleStore {
         &self.edges[s]
     }
 
+    /// The sub-store holding samples `start..start + len`, with every step,
+    /// root set and application edge sliced to that range.
+    ///
+    /// This is how a fused session batch is handed back per request: the
+    /// batch runs on one concatenated store, and each request receives the
+    /// slice covering its own samples (see
+    /// [`SamplerSession::query_fused`](crate::session::SamplerSession::query_fused)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds [`SampleStore::num_samples`].
+    pub fn slice(&self, start: usize, len: usize) -> SampleStore {
+        assert!(
+            start + len <= self.num_samples(),
+            "slice {start}..{} out of range for {} samples",
+            start + len,
+            self.num_samples()
+        );
+        SampleStore {
+            init: self.init[start..start + len].to_vec(),
+            steps: self
+                .steps
+                .iter()
+                .map(|st| StepData {
+                    slots: st.slots,
+                    values: st.values[start * st.slots..(start + len) * st.slots].to_vec(),
+                })
+                .collect(),
+            roots: self.roots[start..start + len].to_vec(),
+            edges: self.edges[start..start + len].to_vec(),
+            lens: self.lens[start..start + len].to_vec(),
+        }
+    }
+
     /// A [`SampleView`] of sample `s` as of the start of step
     /// `current_step` (i.e. seeing steps `0..current_step`).
     pub fn view(&self, s: usize, current_step: usize) -> StoreView<'_> {
@@ -284,6 +318,28 @@ mod tests {
         st.add_edges(1, vec![(1, 2), (1, 3)]);
         assert_eq!(st.edges_of(1), &[(1, 2), (1, 3)]);
         assert!(st.edges_of(0).is_empty());
+    }
+
+    #[test]
+    fn slice_carries_every_per_sample_field() {
+        let mut st = store2();
+        st.add_edges(1, vec![(9, 3)]);
+        st.roots_of_mut(1)[0] = 77;
+        let sub = st.slice(1, 1);
+        assert_eq!(sub.num_samples(), 1);
+        assert_eq!(sub.final_samples(), vec![vec![9, 3, 20, 22, 23]]);
+        assert_eq!(sub.len_of(0), st.len_of(1));
+        assert_eq!(sub.edges_of(0), st.edges_of(1));
+        assert_eq!(sub.roots_of(0), st.roots_of(1));
+        assert_eq!(sub.step_values(0).slots, 2);
+        assert_eq!(sub.step_values(1).values, &st.step_values(1).values[4..8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rejects_out_of_range() {
+        let st = store2();
+        let _ = st.slice(1, 2);
     }
 
     #[test]

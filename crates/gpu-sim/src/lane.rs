@@ -4,7 +4,7 @@
 //! function in warp-vectorised form — it is arbitrary per-lane code (e.g.
 //! node2vec's rejection-sampling loop runs a data-dependent number of
 //! iterations). Instead, each lane records the operations it performed as a
-//! [`LaneTrace`]; [`replay_traces`] then aligns the traces of the 32 lanes
+//! [`LaneTrace`]; `replay_traces` then aligns the traces of the 32 lanes
 //! position by position, coalescing memory operations that line up and
 //! charging divergence where they do not — which is precisely how lock-step
 //! SIMT hardware behaves.

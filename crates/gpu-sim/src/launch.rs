@@ -6,7 +6,7 @@
 //! simulator runs (randomness is keyed by logical coordinates, not
 //! execution order), so [`Gpu::launch`] may execute them concurrently on a
 //! host worker pool. Determinism is preserved by construction: each worker
-//! accumulates per-block [`crate::block::BlockStats`] shards for a
+//! accumulates per-block `block::BlockStats` shards for a
 //! *contiguous* chunk of blocks, the shards are concatenated in canonical
 //! block order, and every reduction (counter merge, block-time vector, SM
 //! schedule) then runs over that ordered sequence — exactly the arithmetic

@@ -59,6 +59,8 @@
 //! let _ = WARP_SIZE;
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod algorithms;
 pub mod block;
 pub mod counters;

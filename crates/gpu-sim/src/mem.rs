@@ -12,7 +12,7 @@
 //! different host threads — write through those shared references. As on
 //! CUDA hardware, two blocks of one launch writing the same element without
 //! atomics is a kernel bug; the simulator's kernels only ever write disjoint
-//! elements or use [`DeviceBuffer::atomic_add`].
+//! elements or use `DeviceBuffer::atomic_add`.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -159,7 +159,7 @@ impl<T: Copy> SyncCell<T> {
 /// Device-side writes go through `&self`, because a parallel launch executes
 /// blocks on several host threads at once. The contract is CUDA's: within a
 /// single launch, elements written by more than one block (except via
-/// [`DeviceBuffer::atomic_add`]) are a data race in the *simulated* program,
+/// `DeviceBuffer::atomic_add`) are a data race in the *simulated* program,
 /// and the simulator's kernels are structured so this never happens.
 pub struct DeviceBuffer<T: Copy> {
     base: u64,

@@ -1,0 +1,409 @@
+//! Request micro-batching over a persistent [`SamplerSession`].
+//!
+//! The batcher is the deterministic core of the serving layer: it admits
+//! requests into a bounded FIFO queue and, on every drain, coalesces the
+//! longest run of fusable requests (equal initial width, up to
+//! [`ServeConfig::max_batch`]) into **one** fused transit-parallel launch
+//! via [`SamplerSession::query_fused`], then slices results back per
+//! request. Fusion is a pure throughput lever — each request's samples are
+//! bit-identical to running it alone.
+//!
+//! All admission control and scheduling is synchronous and deterministic
+//! here; the thread that makes it a service lives in [`crate::server`].
+
+use std::collections::VecDeque;
+
+use crate::error::ServeError;
+use nextdoor_core::session::{SamplerSession, SessionQuery};
+use nextdoor_core::{validate_run, EngineStats, FaultReport, SampleStore};
+use nextdoor_graph::VertexId;
+
+/// Scheduling knobs of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Most requests fused into a single launch.
+    pub max_batch: usize,
+    /// Bound on admitted-but-unserved requests; submissions past it are
+    /// rejected with [`ServeError::QueueFull`].
+    pub max_queue: usize,
+    /// Deadline applied to requests that do not carry their own, in
+    /// simulated milliseconds from admission to batch completion. `None`
+    /// means no deadline.
+    pub default_deadline_ms: Option<f64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_queue: 64,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// One sampling request as submitted by a client.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Initial vertices of each requested sample (equal widths required
+    /// within the request; requests of different widths are still served,
+    /// they just cannot share a fused launch).
+    pub init: Vec<Vec<VertexId>>,
+    /// RNG seed of the request — the samples are exactly those of a
+    /// standalone `run_nextdoor` call with this seed.
+    pub seed: u64,
+    /// Per-request deadline in simulated milliseconds, overriding
+    /// [`ServeConfig::default_deadline_ms`].
+    pub deadline_ms: Option<f64>,
+}
+
+impl Request {
+    /// A request with no deadline of its own.
+    pub fn new(init: Vec<Vec<VertexId>>, seed: u64) -> Self {
+        Request {
+            init,
+            seed,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Identifies an admitted request across `submit`/`drain` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Per-request latency, measured on the device's simulated clock (the
+/// same counter/profile machinery that times engine runs — see
+/// [`SamplerSession::sim_ms`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestLatency {
+    /// Simulated ms the request waited between admission and its batch
+    /// starting.
+    pub queued_ms: f64,
+    /// Simulated ms of the fused batch that served the request.
+    pub service_ms: f64,
+    /// Admission-to-completion simulated ms (`queued_ms + service_ms`).
+    pub total_ms: f64,
+    /// Requests fused into the launch that served this one.
+    pub batch_size: usize,
+}
+
+/// A served request: its sliced sample store plus how it was served.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's samples — bit-identical to a standalone run with the
+    /// request's `(init, seed)`.
+    pub store: SampleStore,
+    /// Latency breakdown on the simulated clock.
+    pub latency: RequestLatency,
+    /// Engine statistics of the fused batch (shared by every request in
+    /// it; the profile within is the batch's kernel-launch ring slice).
+    pub batch_stats: EngineStats,
+    /// Faults the fused batch observed and survived.
+    pub report: FaultReport,
+}
+
+struct Pending {
+    id: RequestId,
+    req: Request,
+    admit_ms: f64,
+}
+
+/// Admits sampling requests into a bounded queue and serves them in fused
+/// batches from a persistent session. See the [module docs](self).
+pub struct MicroBatcher {
+    session: SamplerSession,
+    cfg: ServeConfig,
+    pending: VecDeque<Pending>,
+    next_id: u64,
+}
+
+impl MicroBatcher {
+    /// Wraps a warm session in a batcher with the given scheduling knobs.
+    pub fn new(session: SamplerSession, cfg: ServeConfig) -> Self {
+        MicroBatcher {
+            session,
+            cfg,
+            pending: VecDeque::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Admits a request, or rejects it with backpressure.
+    ///
+    /// Admission is where a request can be refused without touching the
+    /// device: a full queue returns [`ServeError::QueueFull`] and invalid
+    /// inputs (empty/ragged initial samples, out-of-range roots) return
+    /// [`ServeError::Sampling`] immediately, so only runnable requests
+    /// ever occupy queue slots.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] and [`ServeError::Sampling`], as above.
+    pub fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
+        if self.pending.len() >= self.cfg.max_queue {
+            return Err(ServeError::QueueFull {
+                capacity: self.cfg.max_queue,
+            });
+        }
+        validate_run(self.session.graph(), self.session.app(), &req.init)?;
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(Pending {
+            id,
+            req,
+            admit_ms: self.session.sim_ms(),
+        });
+        Ok(id)
+    }
+
+    /// Serves every pending request and returns the outcomes in completion
+    /// order.
+    ///
+    /// Requests are taken strictly FIFO; each batch is the longest prefix
+    /// sharing one initial width, capped at [`ServeConfig::max_batch`],
+    /// run as a single fused launch. A request that finishes past its
+    /// deadline gets [`ServeError::DeadlineExceeded`] while the rest of
+    /// its batch completes normally; a batch whose fused run fails at
+    /// runtime fans the same typed error out to each of its requests and
+    /// later batches are still attempted.
+    pub fn drain(&mut self) -> Vec<(RequestId, Result<Response, ServeError>)> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            let batch = self.take_batch();
+            self.run_batch(batch, &mut out);
+        }
+        out
+    }
+
+    /// Pops the longest FIFO prefix of equal-width requests, up to
+    /// `max_batch`.
+    fn take_batch(&mut self) -> Vec<Pending> {
+        let width = self.pending[0].req.init[0].len();
+        let mut batch = Vec::new();
+        while batch.len() < self.cfg.max_batch.max(1)
+            && self
+                .pending
+                .front()
+                .is_some_and(|p| p.req.init[0].len() == width)
+        {
+            batch.extend(self.pending.pop_front());
+        }
+        batch
+    }
+
+    fn run_batch(
+        &mut self,
+        batch: Vec<Pending>,
+        out: &mut Vec<(RequestId, Result<Response, ServeError>)>,
+    ) {
+        let queries: Vec<SessionQuery> = batch
+            .iter()
+            .map(|p| SessionQuery {
+                init: p.req.init.clone(),
+                seed: p.req.seed,
+            })
+            .collect();
+        let start_ms = self.session.sim_ms();
+        match self.session.query_fused(&queries) {
+            Ok(fused) => {
+                let end_ms = self.session.sim_ms();
+                let batch_size = batch.len();
+                for (p, store) in batch.into_iter().zip(fused.per_query) {
+                    let observed_ms = end_ms - p.admit_ms;
+                    let deadline = p.req.deadline_ms.or(self.cfg.default_deadline_ms);
+                    let result = match deadline {
+                        Some(d) if observed_ms > d => Err(ServeError::DeadlineExceeded {
+                            deadline_ms: d,
+                            observed_ms,
+                        }),
+                        _ => Ok(Response {
+                            store,
+                            latency: RequestLatency {
+                                queued_ms: start_ms - p.admit_ms,
+                                service_ms: end_ms - start_ms,
+                                total_ms: observed_ms,
+                                batch_size,
+                            },
+                            batch_stats: fused.stats.clone(),
+                            report: fused.report.clone(),
+                        }),
+                    };
+                    out.push((p.id, result));
+                }
+            }
+            Err(e) => {
+                for p in batch {
+                    out.push((p.id, Err(ServeError::Sampling(e.clone()))));
+                }
+            }
+        }
+    }
+
+    /// Requests admitted but not yet served.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The batcher's scheduling knobs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The underlying warm session.
+    pub fn session(&self) -> &SamplerSession {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (e.g. to inject a fault
+    /// plan between drains).
+    pub fn session_mut(&mut self) -> &mut SamplerSession {
+        &mut self.session
+    }
+
+    /// Tears the batcher down, recovering the warm session.
+    pub fn into_session(self) -> SamplerSession {
+        self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nextdoor_apps::KHop;
+    use nextdoor_core::NextDoorError;
+    use nextdoor_gpu::GpuSpec;
+    use nextdoor_graph::gen::{rmat, RmatParams};
+
+    fn batcher(cfg: ServeConfig) -> MicroBatcher {
+        let g = rmat(8, 1500, RmatParams::SKEWED, 11);
+        let session =
+            SamplerSession::new(GpuSpec::small(), g, Box::new(KHop::new(vec![2, 2]))).unwrap();
+        MicroBatcher::new(session, cfg)
+    }
+
+    fn req(width: usize, seed: u64) -> Request {
+        Request::new((0..6).map(|i| vec![i as u32; width]).collect(), seed)
+    }
+
+    #[test]
+    fn equal_width_requests_fuse_and_match_solo_runs() {
+        let mut b = batcher(ServeConfig::default());
+        let ids: Vec<_> = (0..3).map(|s| b.submit(req(1, 50 + s)).unwrap()).collect();
+        assert_eq!(b.pending_len(), 3);
+        let served = b.drain();
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(served.len(), 3);
+        for ((id, res), want_id) in served.iter().zip(&ids) {
+            assert_eq!(id, want_id);
+            let resp = res.as_ref().unwrap();
+            assert_eq!(resp.latency.batch_size, 3);
+            assert!(resp.latency.service_ms > 0.0);
+            assert!(resp.report.is_clean());
+        }
+        // Bit-identity: each response equals the same query served alone.
+        for (i, (_, res)) in served.into_iter().enumerate() {
+            let solo = b
+                .session_mut()
+                .query(&req(1, 50 + i as u64).init, 50 + i as u64)
+                .unwrap();
+            assert_eq!(
+                res.unwrap().store.final_samples(),
+                solo.store.final_samples()
+            );
+        }
+    }
+
+    #[test]
+    fn width_change_breaks_the_batch_fifo() {
+        let mut b = batcher(ServeConfig::default());
+        b.submit(req(1, 1)).unwrap();
+        b.submit(req(1, 2)).unwrap();
+        b.submit(req(2, 3)).unwrap();
+        b.submit(req(1, 4)).unwrap();
+        let served = b.drain();
+        let sizes: Vec<usize> = served
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().latency.batch_size)
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 1, 1], "widths 1,1 | 2 | 1 in FIFO order");
+    }
+
+    #[test]
+    fn max_batch_caps_fusion() {
+        let mut b = batcher(ServeConfig {
+            max_batch: 2,
+            ..ServeConfig::default()
+        });
+        for s in 0..5 {
+            b.submit(req(1, s)).unwrap();
+        }
+        let served = b.drain();
+        let sizes: Vec<usize> = served
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().latency.batch_size)
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let mut b = batcher(ServeConfig {
+            max_queue: 2,
+            ..ServeConfig::default()
+        });
+        b.submit(req(1, 1)).unwrap();
+        b.submit(req(1, 2)).unwrap();
+        assert_eq!(
+            b.submit(req(1, 3)).err(),
+            Some(ServeError::QueueFull { capacity: 2 })
+        );
+        b.drain();
+        b.submit(req(1, 3)).expect("drained queue admits again");
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_admission() {
+        let mut b = batcher(ServeConfig::default());
+        let bad = Request::new(vec![vec![u32::MAX]], 0);
+        assert!(matches!(
+            b.submit(bad),
+            Err(ServeError::Sampling(NextDoorError::RootOutOfRange { .. }))
+        ));
+        assert_eq!(b.pending_len(), 0, "rejected requests hold no queue slot");
+    }
+
+    #[test]
+    fn missed_deadline_is_typed_while_batchmates_complete() {
+        let mut b = batcher(ServeConfig::default());
+        b.submit(req(1, 1)).unwrap();
+        let mut strict = req(1, 2);
+        strict.deadline_ms = Some(0.0); // any positive service time misses
+        b.submit(strict).unwrap();
+        let served = b.drain();
+        assert!(served[0].1.is_ok());
+        assert!(matches!(
+            served[1].1,
+            Err(ServeError::DeadlineExceeded { deadline_ms, .. }) if deadline_ms == 0.0
+        ));
+    }
+
+    #[test]
+    fn queue_wait_shows_up_in_latency() {
+        let mut b = batcher(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        b.submit(req(1, 1)).unwrap();
+        b.submit(req(1, 2)).unwrap();
+        let served = b.drain();
+        let first = served[0].1.as_ref().unwrap().latency;
+        let second = served[1].1.as_ref().unwrap().latency;
+        assert_eq!(first.queued_ms, 0.0, "first batch starts immediately");
+        assert!(
+            second.queued_ms > 0.0,
+            "second request waited for the first batch"
+        );
+        assert!((second.total_ms - second.queued_ms - second.service_ms).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed serving-layer errors.
+//!
+//! The serving layer never panics on a request: every way a request can
+//! fail to produce samples is a [`ServeError`] variant delivered to that
+//! request's submitter, while unrelated requests in the same batch keep
+//! their results.
+
+use nextdoor_core::NextDoorError;
+
+/// Why a request admitted to (or rejected by) the serving layer did not
+/// produce samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue was full; the request was never admitted
+    /// (backpressure — resubmit after the queue drains).
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request completed later (on the simulated clock) than its
+    /// deadline allowed; its samples were discarded.
+    DeadlineExceeded {
+        /// Simulated-millisecond budget the request carried.
+        deadline_ms: f64,
+        /// Simulated milliseconds from admission to batch completion.
+        observed_ms: f64,
+    },
+    /// The sampling engine rejected the request, or the fused batch it was
+    /// part of failed at runtime (the same typed error fans out to every
+    /// request of the failed batch).
+    Sampling(NextDoorError),
+    /// The server thread shut down before answering.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue is full ({capacity} pending)")
+            }
+            ServeError::DeadlineExceeded {
+                deadline_ms,
+                observed_ms,
+            } => write!(
+                f,
+                "request completed in {observed_ms:.3} simulated ms, past its \
+                 {deadline_ms:.3} ms deadline"
+            ),
+            ServeError::Sampling(e) => write!(f, "sampling failed: {e}"),
+            ServeError::Disconnected => write!(f, "the sampling server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sampling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NextDoorError> for ServeError {
+    fn from(e: NextDoorError) -> Self {
+        ServeError::Sampling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(ServeError::QueueFull { capacity: 4 }
+            .to_string()
+            .contains("full"));
+        assert!(ServeError::DeadlineExceeded {
+            deadline_ms: 1.0,
+            observed_ms: 2.0
+        }
+        .to_string()
+        .contains("deadline"));
+        let e: ServeError = NextDoorError::EmptyInit.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ServeError::Disconnected.to_string().contains("shut down"));
+    }
+}

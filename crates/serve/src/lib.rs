@@ -1,0 +1,69 @@
+//! Sampling-as-a-service over the NextDoor engine.
+//!
+//! Graph-ML training loops ask for samples continuously; paying graph
+//! upload and engine setup per call wastes most of the GPU's time (the
+//! paper's end-to-end integration keeps sampling state resident across
+//! training iterations, §8). This crate serves sampling queries from
+//! persistent state, in three layers:
+//!
+//! 1. [`SamplerSession`](nextdoor_core::session::SamplerSession)
+//!    (in `nextdoor-core`) — uploads the graph once and answers many
+//!    queries, including *fused* multi-query batches that are bit-identical
+//!    to standalone runs.
+//! 2. [`MicroBatcher`] — deterministic admission control (bounded queue,
+//!    eager input validation), FIFO equal-width fusion up to a batch cap,
+//!    per-request deadlines on the simulated clock, typed per-request
+//!    errors ([`ServeError`]).
+//! 3. [`SampleServer`] — a scheduler thread that burst-collects concurrent
+//!    client requests into the batcher and mails each result back through
+//!    a [`Ticket`].
+//!
+//! ```
+//! use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
+//! use nextdoor_core::session::SamplerSession;
+//! use nextdoor_gpu::GpuSpec;
+//! use nextdoor_graph::gen::{rmat, RmatParams};
+//! use nextdoor_serve::{MicroBatcher, Request, SampleServer, ServeConfig};
+//!
+//! struct Walk;
+//! impl SamplingApp for Walk {
+//!     fn name(&self) -> &'static str { "walk" }
+//!     fn steps(&self) -> Steps { Steps::Fixed(3) }
+//!     fn sample_size(&self, _step: usize) -> usize { 1 }
+//!     fn next(&self, ctx: &mut NextCtx<'_>) -> Option<u32> {
+//!         let d = ctx.num_edges();
+//!         if d == 0 { return None; }
+//!         let i = ctx.rand_range(d);
+//!         Some(ctx.src_edge(i))
+//!     }
+//! }
+//!
+//! let graph = rmat(8, 1200, RmatParams::SKEWED, 1);
+//! let session = SamplerSession::new(GpuSpec::small(), graph, Box::new(Walk))
+//!     .expect("graph fits on the device");
+//! let server = SampleServer::start(MicroBatcher::new(session, ServeConfig::default()));
+//!
+//! let client = server.client();
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|seed| {
+//!         let init = (0..8).map(|i| vec![i as u32]).collect();
+//!         client.submit(Request::new(init, seed)).expect("server is up")
+//!     })
+//!     .collect();
+//! for t in tickets {
+//!     let resp = t.wait().expect("valid request, no deadline");
+//!     assert_eq!(resp.store.num_samples(), 8);
+//! }
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batcher;
+pub mod error;
+pub mod server;
+
+pub use batcher::{MicroBatcher, Request, RequestId, RequestLatency, Response, ServeConfig};
+pub use error::ServeError;
+pub use server::{RequestOutcome, SampleServer, ServeClient, Ticket};

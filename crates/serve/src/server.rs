@@ -1,0 +1,243 @@
+//! The asynchronous face of the serving layer: a scheduler thread that
+//! owns the [`MicroBatcher`] and answers concurrent clients.
+//!
+//! [`SampleServer::start`] moves a batcher onto a dedicated host thread.
+//! Clients ([`ServeClient`]) submit requests from any thread and get a
+//! [`Ticket`] back immediately; the scheduler **burst-collects** whatever
+//! requests arrived while the device was busy (up to
+//! [`ServeConfig::max_batch`](crate::ServeConfig::max_batch)), admits them
+//! through the batcher's bounded queue, serves them as fused launches and
+//! mails each result to its ticket. Under concurrent load this is what
+//! coalesces independent requests into shared launches; a lone request is
+//! simply a batch of one.
+//!
+//! The scheduler applies no timers: the simulator's clock is virtual, so
+//! waiting wall-clock time for more requests would add latency without
+//! adding determinism. Batches form from queue pressure alone, exactly as
+//! the batcher's FIFO/equal-width rule dictates.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::batcher::{MicroBatcher, Request, Response};
+use crate::error::ServeError;
+
+/// What a client eventually receives for one request.
+pub type RequestOutcome = Result<Response, ServeError>;
+
+enum Msg {
+    Query(Request, Sender<RequestOutcome>),
+    Shutdown,
+}
+
+/// A pending reply for one submitted request. Obtain the outcome with
+/// [`Ticket::wait`]; dropping the ticket abandons the request's result
+/// without disturbing the server.
+pub struct Ticket {
+    rx: Receiver<RequestOutcome>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served (or rejected) and returns the
+    /// outcome. Returns [`ServeError::Disconnected`] if the server shut
+    /// down before answering.
+    pub fn wait(self) -> RequestOutcome {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// A cloneable, `Send` handle for submitting requests to a running
+/// [`SampleServer`] from any thread.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: Sender<Msg>,
+}
+
+impl ServeClient {
+    /// Submits a request and returns its [`Ticket`] without blocking on
+    /// the sampling work itself.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] if the server has shut down. Admission
+    /// errors ([`ServeError::QueueFull`], invalid inputs) arrive through
+    /// the ticket.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let (tx, rx) = channel();
+        self.tx
+            .send(Msg::Query(req, tx))
+            .map_err(|_| ServeError::Disconnected)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a request and blocks until its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`], including admission rejections.
+    pub fn query(&self, req: Request) -> RequestOutcome {
+        self.submit(req)?.wait()
+    }
+}
+
+/// A sampling service: one scheduler thread owning a warm session and its
+/// micro-batcher. See the [module docs](self).
+pub struct SampleServer {
+    tx: Sender<Msg>,
+    join: Option<JoinHandle<MicroBatcher>>,
+}
+
+impl SampleServer {
+    /// Starts the scheduler thread around `batcher`.
+    pub fn start(batcher: MicroBatcher) -> Self {
+        let (tx, rx) = channel::<Msg>();
+        let join = std::thread::spawn(move || scheduler_loop(batcher, &rx));
+        SampleServer {
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// A new client handle; clone it freely across threads.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Stops the scheduler after it answers everything already submitted,
+    /// and recovers the batcher (and through it the warm session).
+    pub fn shutdown(mut self) -> MicroBatcher {
+        let _ = self.tx.send(Msg::Shutdown);
+        match self.join.take() {
+            // A panic in the scheduler thread would already have poisoned
+            // the run; surface it instead of fabricating a batcher.
+            Some(join) => match join.join() {
+                Ok(b) => b,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            None => unreachable!("shutdown consumes self"),
+        }
+    }
+}
+
+impl Drop for SampleServer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The scheduler body: block for one message, burst-collect the rest of
+/// the waiting queue, admit + serve, mail results.
+fn scheduler_loop(mut batcher: MicroBatcher, rx: &Receiver<Msg>) -> MicroBatcher {
+    let mut waiting: Vec<(Request, Sender<RequestOutcome>)> = Vec::new();
+    'serve: loop {
+        // Block until at least one request (or shutdown) arrives.
+        match rx.recv() {
+            Ok(Msg::Query(req, reply)) => waiting.push((req, reply)),
+            Ok(Msg::Shutdown) | Err(_) => break 'serve,
+        }
+        // Burst-collect whatever else is already queued on the channel.
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::Query(req, reply) => waiting.push((req, reply)),
+                Msg::Shutdown => {
+                    serve_waiting(&mut batcher, &mut waiting);
+                    break 'serve;
+                }
+            }
+        }
+        serve_waiting(&mut batcher, &mut waiting);
+    }
+    batcher
+}
+
+/// Admits the collected burst and drains the batcher, routing each
+/// outcome to its submitter.
+fn serve_waiting(batcher: &mut MicroBatcher, waiting: &mut Vec<(Request, Sender<RequestOutcome>)>) {
+    let mut replies = Vec::with_capacity(waiting.len());
+    for (req, reply) in waiting.drain(..) {
+        match batcher.submit(req) {
+            Ok(id) => replies.push((id, reply)),
+            // Rejected at admission: the outcome is already known.
+            Err(e) => {
+                let _ = reply.send(Err(e));
+            }
+        }
+    }
+    for (id, outcome) in batcher.drain() {
+        if let Some(pos) = replies.iter().position(|(rid, _)| *rid == id) {
+            let (_, reply) = replies.swap_remove(pos);
+            let _ = reply.send(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::ServeConfig;
+    use nextdoor_apps::KHop;
+    use nextdoor_core::session::SamplerSession;
+    use nextdoor_gpu::GpuSpec;
+    use nextdoor_graph::gen::{rmat, RmatParams};
+
+    fn server() -> SampleServer {
+        let g = rmat(8, 1500, RmatParams::SKEWED, 11);
+        let session =
+            SamplerSession::new(GpuSpec::small(), g, Box::new(KHop::new(vec![2, 2]))).unwrap();
+        SampleServer::start(MicroBatcher::new(session, ServeConfig::default()))
+    }
+
+    fn req(seed: u64) -> Request {
+        Request::new((0..4).map(|i| vec![i as u32]).collect(), seed)
+    }
+
+    #[test]
+    fn concurrent_clients_get_their_own_samples() {
+        let server = server();
+        let handles: Vec<_> = (0..4)
+            .map(|s| {
+                let client = server.client();
+                std::thread::spawn(move || client.query(req(s)).unwrap())
+            })
+            .collect();
+        let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut batcher = server.shutdown();
+        for (s, resp) in responses.iter().enumerate() {
+            let solo = batcher
+                .session_mut()
+                .query(&req(s as u64).init, s as u64)
+                .unwrap();
+            assert_eq!(resp.store.final_samples(), solo.store.final_samples());
+        }
+        assert!(batcher.session().queries_served() >= 4);
+    }
+
+    #[test]
+    fn tickets_resolve_in_submission_order_results() {
+        let server = server();
+        let client = server.client();
+        let tickets: Vec<_> = (0..6).map(|s| client.submit(req(s)).unwrap()).collect();
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert!(resp.latency.batch_size >= 1);
+        }
+        drop(server); // Drop also shuts the scheduler down cleanly.
+    }
+
+    #[test]
+    fn shutdown_disconnects_clients() {
+        let server = server();
+        let client = server.client();
+        let batcher = server.shutdown();
+        assert!(matches!(
+            client.query(req(0)),
+            Err(ServeError::Disconnected)
+        ));
+        drop(batcher);
+    }
+}

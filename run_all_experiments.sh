@@ -1,7 +1,14 @@
-#!/bin/sh
-# Regenerates every table and figure of the paper into results/.
+#!/bin/bash
+# Regenerates every table and figure of the paper into results/, plus the
+# serving-layer datapoint (BENCH_serve.json).
 # Usage: ./run_all_experiments.sh [extra flags passed to every binary]
-set -e
+#
+# set -euo pipefail (hence bash, not sh): -e aborts on the first failing
+# binary, -u rejects unset variables, and -o pipefail makes a bench
+# failure fatal even though every invocation is piped through tee —
+# under plain `set -e` the pipe's exit status is tee's, so a crashed
+# binary would otherwise scroll by as a half-written results file.
+set -euo pipefail
 cargo build -q --release -p nextdoor-bench
 BIN=target/release
 $BIN/table1 --samples 1024 "$@"        | tee results/table1.txt
@@ -14,3 +21,4 @@ $BIN/fig9   --samples 2048 "$@"        | tee results/fig9.txt
 $BIN/fig10  --samples 8192 "$@"        | tee results/fig10.txt
 $BIN/table5 --samples 512  "$@"        | tee results/table5.txt
 $BIN/large_graphs --samples 4096 "$@"  | tee results/large_graphs.txt
+$BIN/serve_bench --samples 4096 "$@"   | tee results/serve_bench.txt

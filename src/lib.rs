@@ -12,6 +12,8 @@
 //! * [`baselines`] — KnightKing, CPU samplers, frontier and message-passing
 //!   engines ([`nextdoor_baselines`]).
 //! * [`gnn`] — the GNN training substrate ([`nextdoor_gnn`]).
+//! * [`serve`] — sampling-as-a-service: persistent sessions and request
+//!   micro-batching ([`nextdoor_serve`]).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -21,3 +23,4 @@ pub use nextdoor_core as core;
 pub use nextdoor_gnn as gnn;
 pub use nextdoor_gpu as gpu;
 pub use nextdoor_graph as graph;
+pub use nextdoor_serve as serve;

@@ -160,6 +160,45 @@ fn multi_gpu_failover_is_thread_count_invariant() {
 }
 
 #[test]
+fn fused_session_serving_is_thread_count_invariant() {
+    // The serving path — a warm session answering a fused micro-batch —
+    // layers new machinery (fused RNG keying, store slicing, simulated-
+    // clock latency accounting) over the engines; all of it must reduce
+    // identically at any worker count, down to the latency split.
+    let (graph, init, _) = workload();
+    assert_thread_invariant("serve_fused", |spec| {
+        let session = nextdoor::core::SamplerSession::new(
+            spec,
+            graph.clone(),
+            Box::new(KHop::new(vec![3, 2])),
+        )
+        .unwrap();
+        let mut batcher =
+            nextdoor::serve::MicroBatcher::new(session, nextdoor::serve::ServeConfig::default());
+        for (r, chunk) in init.chunks(16).enumerate() {
+            batcher
+                .submit(nextdoor::serve::Request::new(chunk.to_vec(), 7 + r as u64))
+                .unwrap();
+        }
+        let served = batcher.drain();
+        let mut out = String::new();
+        for (id, outcome) in &served {
+            let resp = outcome.as_ref().unwrap();
+            out.push_str(&format!(
+                "{id:?} samples: {:?}\nlatency: {:?}\n",
+                resp.store.final_samples(),
+                resp.latency,
+            ));
+        }
+        out.push_str(&format!(
+            "counters: {:?}\n",
+            batcher.session().gpu().counters()
+        ));
+        out
+    });
+}
+
+#[test]
 fn cpu_oracle_matches_gpu_samples() {
     // The CPU reference has no simulator state; pin down that its samples
     // (the oracle every engine is compared against) are golden-stable too.

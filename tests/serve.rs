@@ -1,0 +1,204 @@
+//! End-to-end guarantees of the serving layer: micro-batch fusion and
+//! session reuse are pure throughput levers — every request's samples must
+//! be bit-identical to a standalone run of the same `(init, seed)`, under
+//! fault plans and deadline rejections included.
+
+use nextdoor::apps::KHop;
+use nextdoor::core::session::{SamplerSession, SessionQuery};
+use nextdoor::core::{initial_samples_random, run_nextdoor, NextDoorError, SampleStore};
+use nextdoor::gpu::{FaultPlan, Gpu, GpuSpec};
+use nextdoor::graph::{Csr, Dataset, VertexId};
+use nextdoor::serve::{MicroBatcher, Request, SampleServer, ServeConfig, ServeError};
+
+fn workload() -> (Csr, Vec<Vec<Vec<VertexId>>>) {
+    let graph = Dataset::Ppi.generate(0.02, 5);
+    let inits = (0..4)
+        .map(|r| initial_samples_random(&graph, 24, 1, 100 + r).unwrap())
+        .collect();
+    (graph, inits)
+}
+
+fn session(graph: &Csr) -> SamplerSession {
+    SamplerSession::new(
+        GpuSpec::small(),
+        graph.clone(),
+        Box::new(KHop::new(vec![3, 2])),
+    )
+    .unwrap()
+}
+
+/// Everything a request observes of its own samples.
+fn digest(store: &SampleStore) -> String {
+    let edges: Vec<_> = (0..store.num_samples())
+        .map(|s| store.edges_of(s).to_vec())
+        .collect();
+    format!("samples: {:?}\nedges: {edges:?}\n", store.final_samples())
+}
+
+#[test]
+fn fused_batch_is_bit_identical_to_sequential_requests() {
+    let (graph, inits) = workload();
+
+    // Sequential reference: each request served alone, one per fresh device.
+    let sequential: Vec<String> = inits
+        .iter()
+        .enumerate()
+        .map(|(r, init)| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            let res =
+                run_nextdoor(&mut gpu, &graph, &KHop::new(vec![3, 2]), init, r as u64).unwrap();
+            digest(&res.store)
+        })
+        .collect();
+
+    // The same requests fused into one launch by the batcher.
+    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default());
+    for (r, init) in inits.iter().enumerate() {
+        batcher
+            .submit(Request::new(init.clone(), r as u64))
+            .unwrap();
+    }
+    let served = batcher.drain();
+    assert_eq!(served.len(), inits.len());
+    for ((_, outcome), want) in served.iter().zip(&sequential) {
+        let resp = outcome.as_ref().unwrap();
+        assert_eq!(resp.latency.batch_size, inits.len(), "requests did fuse");
+        assert_eq!(&digest(&resp.store), want);
+    }
+}
+
+#[test]
+fn warm_session_reuse_is_identical_to_cold_one_shot_runs() {
+    let (graph, inits) = workload();
+    let mut warm = session(&graph);
+    for (r, init) in inits.iter().enumerate() {
+        let seed = 40 + r as u64;
+        let warm_res = warm.query(init, seed).unwrap();
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let cold = run_nextdoor(&mut gpu, &graph, &KHop::new(vec![3, 2]), init, seed).unwrap();
+        assert_eq!(digest(&warm_res.store), digest(&cold.store));
+    }
+    assert_eq!(warm.queries_served(), inits.len() as u64);
+}
+
+#[test]
+fn direct_fused_session_queries_match_solo_queries() {
+    let (graph, inits) = workload();
+    let mut s = session(&graph);
+    let queries: Vec<SessionQuery> = inits
+        .iter()
+        .enumerate()
+        .map(|(r, init)| SessionQuery {
+            init: init.clone(),
+            seed: 70 + r as u64,
+        })
+        .collect();
+    let fused = s.query_fused(&queries).unwrap();
+    for (q, sliced) in queries.iter().zip(&fused.per_query) {
+        let solo = s.query(&q.init, q.seed).unwrap();
+        assert_eq!(digest(sliced), digest(&solo.store));
+    }
+}
+
+#[test]
+fn faulted_batch_misses_one_deadline_while_batchmates_complete_identically() {
+    let (graph, inits) = workload();
+
+    // Clean pass: what the fused batch produces and how long it takes on
+    // the simulated clock when nothing goes wrong.
+    let mut clean = MicroBatcher::new(session(&graph), ServeConfig::default());
+    for (r, init) in inits.iter().enumerate() {
+        clean.submit(Request::new(init.clone(), r as u64)).unwrap();
+    }
+    let clean_served = clean.drain();
+    let clean_total_ms = clean_served[0].1.as_ref().unwrap().latency.total_ms;
+
+    // Faulty pass: a transient kernel fault forces a step retry, inflating
+    // the batch on the simulated clock. Request 1 carries a deadline sized
+    // for the clean batch, so the fault pushes it — and only it — over.
+    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default());
+    batcher
+        .session_mut()
+        .gpu_mut()
+        .inject_faults(FaultPlan::new().transient_at_launch(3));
+    for (r, init) in inits.iter().enumerate() {
+        let mut req = Request::new(init.clone(), r as u64);
+        if r == 1 {
+            req.deadline_ms = Some(clean_total_ms * 1.05);
+        }
+        batcher.submit(req).unwrap();
+    }
+    let served = batcher.drain();
+    assert_eq!(served.len(), inits.len());
+    for (r, ((_, outcome), (_, clean_outcome))) in served.iter().zip(&clean_served).enumerate() {
+        if r == 1 {
+            match outcome {
+                Err(ServeError::DeadlineExceeded {
+                    deadline_ms,
+                    observed_ms,
+                }) => assert!(observed_ms > deadline_ms),
+                other => panic!("request 1 should miss its deadline, got {other:?}"),
+            }
+        } else {
+            let resp = outcome.as_ref().unwrap();
+            assert!(
+                resp.report.transient_faults >= 1 && resp.report.step_retries >= 1,
+                "fault plan did not fire: {}",
+                resp.report
+            );
+            assert_eq!(
+                digest(&resp.store),
+                digest(&clean_outcome.as_ref().unwrap().store),
+                "surviving request {r} must reproduce the fault-free samples"
+            );
+        }
+    }
+}
+
+#[test]
+fn admission_control_rejects_with_typed_errors() {
+    let (graph, inits) = workload();
+    let mut batcher = MicroBatcher::new(
+        session(&graph),
+        ServeConfig {
+            max_queue: 2,
+            ..ServeConfig::default()
+        },
+    );
+    batcher.submit(Request::new(inits[0].clone(), 1)).unwrap();
+    batcher.submit(Request::new(inits[1].clone(), 2)).unwrap();
+    assert_eq!(
+        batcher.submit(Request::new(inits[2].clone(), 3)).err(),
+        Some(ServeError::QueueFull { capacity: 2 }),
+        "bounded queue applies backpressure"
+    );
+    let served = batcher.drain();
+    assert_eq!(served.len(), 2, "rejected requests never reach the device");
+    assert!(matches!(
+        batcher.submit(Request::new(vec![vec![u32::MAX]], 4)).err(),
+        Some(ServeError::Sampling(NextDoorError::RootOutOfRange { .. }))
+    ));
+    batcher.submit(Request::new(inits[2].clone(), 3)).unwrap();
+}
+
+#[test]
+fn threaded_server_serves_concurrent_clients_bit_identically() {
+    let (graph, inits) = workload();
+    let server = SampleServer::start(MicroBatcher::new(session(&graph), ServeConfig::default()));
+    let handles: Vec<_> = inits
+        .iter()
+        .enumerate()
+        .map(|(r, init)| {
+            let client = server.client();
+            let init = init.clone();
+            std::thread::spawn(move || client.query(Request::new(init, r as u64)).unwrap())
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    server.shutdown();
+    for (r, (resp, init)) in responses.iter().zip(&inits).enumerate() {
+        let mut gpu = Gpu::new(GpuSpec::small());
+        let solo = run_nextdoor(&mut gpu, &graph, &KHop::new(vec![3, 2]), init, r as u64).unwrap();
+        assert_eq!(digest(&resp.store), digest(&solo.store));
+    }
+}

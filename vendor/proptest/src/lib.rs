@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access to crates.io, so this crate
 //! vendors the *subset* of the proptest API the workspace uses: the
-//! [`proptest!`] macro (with `#![proptest_config(...)]`), [`Strategy`] with
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), [`strategy::Strategy`] with
 //! `prop_map`, integer/float range strategies, tuple strategies,
 //! [`collection::vec`], [`option::weighted`], [`bool::ANY`], and the
 //! `prop_assert*` macros.
@@ -23,7 +23,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// The accepted size specifications for [`vec`].
+    /// The accepted size specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,
@@ -67,7 +67,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
