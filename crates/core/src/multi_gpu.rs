@@ -51,6 +51,20 @@ impl MultiGpuResult {
     }
 }
 
+/// Picks the least-loaded live device: among indices where `alive` is
+/// `true`, the one with the smallest accumulated `load_ms`, ties broken
+/// towards the lowest index. Returns `None` when nothing is alive.
+///
+/// This is the failover routing rule shared by the multi-GPU shard layer
+/// (re-running a lost device's shard on a survivor) and the serving tier's
+/// replica pool (routing a micro-batch around unhealthy replicas) — both
+/// need the same deterministic "cheapest survivor" choice.
+pub fn least_loaded_alive(alive: &[bool], load_ms: &[f64]) -> Option<usize> {
+    (0..alive.len())
+        .filter(|&d| alive[d])
+        .min_by(|&a, &b| load_ms[a].total_cmp(&load_ms[b]).then(a.cmp(&b)))
+}
+
 /// Runs `app` across `num_gpus` simulated devices of identical `spec`,
 /// partitioning `init` contiguously.
 ///
@@ -173,11 +187,7 @@ pub fn run_nextdoor_multi_gpu_with_faults(
         // mid-shard), re-run on the least-loaded survivor. The shard seed
         // is device-independent, so the survivor reproduces exactly the
         // samples the lost device would have produced.
-        let pick_survivor = |alive: &[bool], device_ms: &[f64]| {
-            (0..num_gpus)
-                .filter(|&d| alive[d])
-                .min_by(|&a, &b| device_ms[a].total_cmp(&device_ms[b]).then(a.cmp(&b)))
-        };
+        let pick_survivor = least_loaded_alive;
         let mut dev = if alive[shard] {
             shard
         } else {

@@ -278,6 +278,24 @@ impl SamplerSession {
         self.gg.size_bytes()
     }
 
+    /// Schedules additional faults **relative to now**: every allocation
+    /// and launch index in `plan` is shifted by the device's current
+    /// monotonic counters and merged into the installed plan, so a script
+    /// like "lose the device on the 3rd launch from here" lands mid-stream
+    /// regardless of how much traffic the session has already served. This
+    /// is the chaos-harness entry point for per-replica fault scheduling.
+    pub fn schedule_faults(&mut self, plan: nextdoor_gpu::FaultPlan) {
+        let shifted = plan.shifted(self.gpu.allocs_issued(), self.gpu.launches_issued());
+        self.gpu.extend_faults(shifted);
+    }
+
+    /// Whether the session's device has been lost. A lost session can no
+    /// longer answer queries ([`SamplerSession::query`] returns
+    /// [`NextDoorError::DeviceLost`]); a replica pool routes around it.
+    pub fn device_lost(&self) -> bool {
+        self.gpu.device_lost()
+    }
+
     /// The session's device (counters, profile ring, launch index).
     pub fn gpu(&self) -> &Gpu {
         &self.gpu
@@ -387,6 +405,21 @@ mod tests {
             session.query_fused(&[]).err(),
             Some(NextDoorError::EmptyInit)
         ));
+    }
+
+    #[test]
+    fn scheduled_faults_land_relative_to_current_traffic() {
+        let (g, init) = workload();
+        let mut session = SamplerSession::new(GpuSpec::small(), g, Box::new(Walk(4))).unwrap();
+        session.query(&init, 1).unwrap(); // traffic behind us
+        assert!(!session.device_lost());
+        // "Lose the device at the next launch", scheduled after the fact.
+        session.schedule_faults(nextdoor_gpu::FaultPlan::new().lose_device_at_launch(0));
+        assert!(matches!(
+            session.query(&init, 2),
+            Err(NextDoorError::DeviceLost { .. })
+        ));
+        assert!(session.device_lost());
     }
 
     #[test]

@@ -91,6 +91,48 @@ impl FaultPlan {
             && self.watchdog_cycles.is_none()
             && self.device_lost_at_launch.is_none()
     }
+
+    /// The plan with every scripted index shifted forward: allocation
+    /// indices by `alloc_delta`, launch indices by `launch_delta`.
+    ///
+    /// This is the scheduling hook for per-replica chaos harnesses: a plan
+    /// written relative to "now" (e.g. *lose the device on the 3rd launch
+    /// from here*) is shifted by the device's current
+    /// [`allocs_issued`](crate::Gpu::allocs_issued) /
+    /// [`launches_issued`](crate::Gpu::launches_issued) counters and then
+    /// installed, so the same script lands mid-stream on a device with any
+    /// amount of prior traffic. The watchdog budget is index-free and is
+    /// unaffected.
+    pub fn shifted(mut self, alloc_delta: u64, launch_delta: u64) -> Self {
+        for a in &mut self.alloc_oom {
+            *a = a.saturating_add(alloc_delta);
+        }
+        for l in &mut self.transient_launches {
+            *l = l.saturating_add(launch_delta);
+        }
+        if let Some(l) = &mut self.device_lost_at_launch {
+            *l = l.saturating_add(launch_delta);
+        }
+        self
+    }
+
+    /// Folds `other` into this plan: fault indices are unioned, the
+    /// watchdog budget and the device-loss launch each take the *earliest*
+    /// (smallest) of the two when both are set.
+    pub fn merge(&mut self, other: &FaultPlan) {
+        self.alloc_oom.extend_from_slice(&other.alloc_oom);
+        self.transient_launches
+            .extend_from_slice(&other.transient_launches);
+        self.watchdog_cycles = match (self.watchdog_cycles, other.watchdog_cycles) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.device_lost_at_launch = match (self.device_lost_at_launch, other.device_lost_at_launch)
+        {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
 }
 
 /// The category of an injected fault.
@@ -175,6 +217,31 @@ mod tests {
         assert_eq!(p.device_lost_at_launch, Some(7));
         assert!(!p.is_empty());
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn shifted_moves_every_index_and_merge_unions() {
+        let p = FaultPlan::new()
+            .fail_alloc(1)
+            .transient_at_launch(2)
+            .watchdog_cycles(5e5)
+            .lose_device_at_launch(4)
+            .shifted(10, 100);
+        assert_eq!(p.alloc_oom, vec![11]);
+        assert_eq!(p.transient_launches, vec![102]);
+        assert_eq!(p.watchdog_cycles, Some(5e5), "watchdog is index-free");
+        assert_eq!(p.device_lost_at_launch, Some(104));
+
+        let mut a = FaultPlan::new().fail_alloc(1).lose_device_at_launch(9);
+        let b = FaultPlan::new()
+            .transient_at_launch(3)
+            .watchdog_cycles(1e6)
+            .lose_device_at_launch(5);
+        a.merge(&b);
+        assert_eq!(a.alloc_oom, vec![1]);
+        assert_eq!(a.transient_launches, vec![3]);
+        assert_eq!(a.watchdog_cycles, Some(1e6));
+        assert_eq!(a.device_lost_at_launch, Some(5), "earliest loss wins");
     }
 
     #[test]

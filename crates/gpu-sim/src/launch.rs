@@ -137,8 +137,21 @@ impl Gpu {
 
     /// Installs a [`FaultPlan`]; faults fire at the scripted allocation and
     /// launch indices (see [`crate::fault`] for the exact semantics).
+    /// Replaces any previously installed plan; use [`Gpu::extend_faults`]
+    /// to compose plans mid-run.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
         self.fault_plan = Some(plan);
+    }
+
+    /// Merges `plan` into the device's installed fault plan (installing it
+    /// if none is present). Together with [`FaultPlan::shifted`] this lets
+    /// a chaos harness schedule additional faults relative to "now" on a
+    /// device that already has traffic — and possibly a plan — behind it.
+    pub fn extend_faults(&mut self, plan: FaultPlan) {
+        match &mut self.fault_plan {
+            Some(existing) => existing.merge(&plan),
+            None => self.fault_plan = Some(plan),
+        }
     }
 
     /// Drains the fault events recorded since the last call.
@@ -470,6 +483,13 @@ impl Gpu {
     /// of any code region by `launch_idx`.
     pub fn launches_issued(&self) -> u64 {
         self.launch_seq
+    }
+
+    /// Buffer allocations issued so far (the counter [`FaultPlan`] keys
+    /// allocation faults off). Monotonic over the device's lifetime, like
+    /// [`Gpu::launches_issued`].
+    pub fn allocs_issued(&self) -> u64 {
+        self.alloc_seq.get()
     }
 
     /// Total simulated time so far, in milliseconds.

@@ -42,6 +42,23 @@ impl Default for ServeConfig {
     }
 }
 
+/// Scheduling priority of a request. The single-replica [`MicroBatcher`]
+/// ignores it (strict FIFO); the replicated tier
+/// ([`FleetBatcher`](crate::replica::FleetBatcher)) sheds strictly
+/// lowest-priority-first when healthy capacity drops below demand, so
+/// `Low` traffic absorbs degradation before `Normal`, and `Normal` before
+/// `High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Best-effort traffic: first to be shed under degraded capacity.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Latency-critical traffic: shed only after everything else.
+    High,
+}
+
 /// One sampling request as submitted by a client.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -55,16 +72,25 @@ pub struct Request {
     /// Per-request deadline in simulated milliseconds, overriding
     /// [`ServeConfig::default_deadline_ms`].
     pub deadline_ms: Option<f64>,
+    /// Shedding priority under degraded capacity (see [`Priority`]).
+    pub priority: Priority,
 }
 
 impl Request {
-    /// A request with no deadline of its own.
+    /// A request with no deadline of its own and [`Priority::Normal`].
     pub fn new(init: Vec<Vec<VertexId>>, seed: u64) -> Self {
         Request {
             init,
             seed,
             deadline_ms: None,
+            priority: Priority::Normal,
         }
+    }
+
+    /// The same request at a different shedding priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 

@@ -31,6 +31,28 @@ pub enum ServeError {
     Sampling(NextDoorError),
     /// The server thread shut down before answering.
     Disconnected,
+    /// The server's worker thread vanished — it panicked, or the server was
+    /// dropped — while this request was still unanswered. Unlike
+    /// [`ServeError::Disconnected`] (refused at submission), the request
+    /// may have been admitted and partially processed; its result is gone.
+    ServerGone,
+    /// The serving tier shed this request under degraded capacity: healthy
+    /// replicas dropped below demand and this request was among the lowest
+    /// priority admitted (see
+    /// [`Priority`](crate::batcher::Priority)). Resubmit once the fleet
+    /// recovers, or resubmit at a higher priority.
+    Overloaded {
+        /// Replicas currently healthy (routable).
+        healthy: usize,
+        /// Total replicas in the pool.
+        replicas: usize,
+    },
+    /// Every replica in the pool is permanently gone (device loss); the
+    /// fleet can no longer serve anything.
+    NoHealthyReplica {
+        /// Total replicas in the pool, all of them lost.
+        replicas: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -49,6 +71,17 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::Sampling(e) => write!(f, "sampling failed: {e}"),
             ServeError::Disconnected => write!(f, "the sampling server shut down"),
+            ServeError::ServerGone => write!(
+                f,
+                "the sampling server's worker thread vanished before answering"
+            ),
+            ServeError::Overloaded { healthy, replicas } => write!(
+                f,
+                "request shed under degraded capacity ({healthy}/{replicas} replicas healthy)"
+            ),
+            ServeError::NoHealthyReplica { replicas } => {
+                write!(f, "all {replicas} replicas in the pool are lost")
+            }
         }
     }
 }
@@ -86,5 +119,15 @@ mod tests {
         let e: ServeError = NextDoorError::EmptyInit.into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(ServeError::Disconnected.to_string().contains("shut down"));
+        assert!(ServeError::ServerGone.to_string().contains("vanished"));
+        assert!(ServeError::Overloaded {
+            healthy: 1,
+            replicas: 3
+        }
+        .to_string()
+        .contains("1/3"));
+        assert!(ServeError::NoHealthyReplica { replicas: 2 }
+            .to_string()
+            .contains("all 2"));
     }
 }

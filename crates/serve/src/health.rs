@@ -1,0 +1,254 @@
+//! Per-replica health: a deterministic circuit breaker.
+//!
+//! Replicated serving must stop routing traffic to a replica that keeps
+//! failing — every request sent to it burns a retry budget and inflates
+//! tail latency — but must also *re-probe* it, because many failure modes
+//! (a transient-fault storm, a watchdog-heavy workload phase) pass. The
+//! classic answer is a circuit breaker: **closed** (healthy, traffic
+//! flows) → **open** after a run of consecutive failures (no traffic, a
+//! cool-down runs) → **half-open** after the cool-down (a single probe
+//! dispatch) → closed again on a probe success, or straight back to open
+//! on a probe failure.
+//!
+//! Everything here is keyed off the serving tier's *fleet clock* — the
+//! deterministic simulated-millisecond timeline maintained by
+//! [`ReplicaPool`](crate::replica::ReplicaPool) — never off wall time, so
+//! a chaos run trips and recovers breakers at bit-identical instants
+//! regardless of host thread count or machine speed.
+
+/// Tuning knobs of a per-replica [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive dispatch failures that trip the breaker open.
+    pub trip_after: u32,
+    /// Simulated milliseconds (fleet clock) an open breaker waits before
+    /// allowing a half-open probe.
+    pub cooldown_ms: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 2,
+            cooldown_ms: 1.0,
+        }
+    }
+}
+
+/// Observable state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: dispatches flow, tracking consecutive failures.
+    Closed {
+        /// Consecutive failures recorded so far (resets on success).
+        consecutive_failures: u32,
+    },
+    /// Tripped: no dispatches until the cool-down elapses on the fleet
+    /// clock.
+    Open {
+        /// Fleet-clock instant at which a half-open probe becomes allowed.
+        until_ms: f64,
+    },
+    /// Cooling down finished: exactly one probe dispatch is in flight; its
+    /// outcome closes or re-trips the breaker.
+    HalfOpen,
+    /// Permanently out: the replica's device was lost. No probe can bring
+    /// it back.
+    Dead,
+}
+
+/// A deterministic circuit breaker for one replica. See the
+/// [module docs](self) for the state machine; all transitions are driven
+/// by the pool handing in the current fleet-clock time.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Times the breaker tripped open (including half-open probes that
+    /// failed and re-tripped it).
+    pub trips: u64,
+    /// Half-open probe dispatches allowed through.
+    pub probes: u64,
+    /// Times a half-open probe succeeded and closed the breaker again.
+    pub recoveries: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker with the given knobs.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+            trips: 0,
+            probes: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the replica is permanently gone.
+    pub fn is_dead(&self) -> bool {
+        self.state == BreakerState::Dead
+    }
+
+    /// Whether a dispatch may be routed here at fleet time `now_ms`
+    /// (closed, half-open, or open with the cool-down elapsed).
+    pub fn available(&self, now_ms: f64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_ms } => now_ms >= until_ms,
+            BreakerState::Dead => false,
+        }
+    }
+
+    /// If the breaker is open, the fleet-clock instant at which it would
+    /// allow a probe again; `None` for every other state.
+    pub fn reopen_at(&self) -> Option<f64> {
+        match self.state {
+            BreakerState::Open { until_ms } => Some(until_ms),
+            _ => None,
+        }
+    }
+
+    /// Marks the start of a dispatch at fleet time `now_ms`. An open
+    /// breaker whose cool-down has elapsed transitions to half-open and
+    /// counts the probe. Callers must have checked
+    /// [`CircuitBreaker::available`] first.
+    pub fn begin_dispatch(&mut self, now_ms: f64) {
+        debug_assert!(self.available(now_ms), "dispatch to unavailable breaker");
+        if let BreakerState::Open { until_ms } = self.state {
+            if now_ms >= until_ms {
+                self.state = BreakerState::HalfOpen;
+                self.probes += 1;
+            }
+        }
+    }
+
+    /// Records a successful dispatch: closes a half-open breaker (a
+    /// recovery) and resets the consecutive-failure run.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.recoveries += 1;
+                self.state = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            BreakerState::Closed { .. } => {
+                self.state = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            BreakerState::Open { .. } | BreakerState::Dead => {}
+        }
+    }
+
+    /// Records a failed dispatch at fleet time `now_ms`: a half-open probe
+    /// re-trips immediately; a closed breaker trips once the consecutive
+    /// run reaches [`BreakerConfig::trip_after`].
+    pub fn record_failure(&mut self, now_ms: f64) {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(now_ms),
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let run = consecutive_failures + 1;
+                if run >= self.cfg.trip_after {
+                    self.trip(now_ms);
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: run,
+                    };
+                }
+            }
+            BreakerState::Open { .. } | BreakerState::Dead => {}
+        }
+    }
+
+    /// Permanently removes the replica from service (device lost).
+    pub fn kill(&mut self) {
+        self.state = BreakerState::Dead;
+    }
+
+    fn trip(&mut self, now_ms: f64) {
+        self.trips += 1;
+        self.state = BreakerState::Open {
+            until_ms: now_ms + self.cfg.cooldown_ms,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 2,
+            cooldown_ms: 10.0,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_cools_down() {
+        let mut b = breaker();
+        assert!(b.available(0.0));
+        b.record_failure(0.0);
+        assert!(b.available(0.0), "one failure is below the trip threshold");
+        b.record_failure(1.0);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 11.0 });
+        assert_eq!(b.trips, 1);
+        assert!(!b.available(5.0));
+        assert_eq!(b.reopen_at(), Some(11.0));
+        assert!(b.available(11.0), "cool-down elapsed on the fleet clock");
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = breaker();
+        b.record_failure(0.0);
+        b.record_success();
+        b.record_failure(1.0);
+        assert!(b.available(1.0), "run was reset by the success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_retrips() {
+        let mut b = breaker();
+        b.record_failure(0.0);
+        b.record_failure(0.0);
+        b.begin_dispatch(10.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.probes, 1);
+        b.record_failure(10.5);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 20.5 });
+        assert_eq!(b.trips, 2, "failed probe re-trips");
+
+        b.begin_dispatch(20.5);
+        b.record_success();
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_failures: 0
+            }
+        );
+        assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn dead_is_forever() {
+        let mut b = breaker();
+        b.kill();
+        assert!(b.is_dead());
+        assert!(!b.available(f64::MAX));
+        b.record_success();
+        assert!(b.is_dead(), "no probe revives a lost device");
+        assert_eq!(b.reopen_at(), None);
+    }
+}

@@ -16,7 +16,15 @@
 //!    errors ([`ServeError`]).
 //! 3. [`SampleServer`] — a scheduler thread that burst-collects concurrent
 //!    client requests into the batcher and mails each result back through
-//!    a [`Ticket`].
+//!    a [`Ticket`]. It is generic over a [`BatchEngine`], so the same
+//!    server fronts a lone session or a replicated pool.
+//! 4. [`ReplicaPool`] + [`FleetBatcher`] — the fault-tolerant tier: N
+//!    session replicas of the same graph behind a deterministic router
+//!    with retry/backoff, hedging, per-replica circuit breakers
+//!    ([`CircuitBreaker`]), graceful degradation with priority shedding,
+//!    and a per-run [`FleetReport`] of every recovery decision. All of it
+//!    runs on the simulated fleet clock, so chaos runs are bit-identical
+//!    at any host thread count.
 //!
 //! ```
 //! use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
@@ -62,8 +70,14 @@
 
 pub mod batcher;
 pub mod error;
+pub mod health;
+pub mod replica;
 pub mod server;
 
-pub use batcher::{MicroBatcher, Request, RequestId, RequestLatency, Response, ServeConfig};
+pub use batcher::{
+    MicroBatcher, Priority, Request, RequestId, RequestLatency, Response, ServeConfig,
+};
 pub use error::ServeError;
-pub use server::{RequestOutcome, SampleServer, ServeClient, Ticket};
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use replica::{FleetBatcher, FleetReport, PoolConfig, PoolResponse, ReplicaPool, ReplicaStats};
+pub use server::{BatchEngine, RequestOutcome, SampleServer, ServeClient, Ticket};

@@ -1,0 +1,1051 @@
+//! Fault-tolerant replicated serving: the [`ReplicaPool`] and the
+//! [`FleetBatcher`] on top of it.
+//!
+//! One [`SamplerSession`] is one device — one watchdog kill, one
+//! out-of-memory storm or one device loss away from dropping every request
+//! in flight. The replicated tier owns **N sessions over the same graph**
+//! (independent simulated devices, possibly carrying independent
+//! [`FaultPlan`]s) and composes four recovery
+//! mechanisms around them:
+//!
+//! * **Routing**: every micro-batch goes to the least-loaded *healthy*
+//!   replica (the same deterministic rule the multi-GPU shard layer uses
+//!   for failover, [`least_loaded_alive`]). Replica choice never changes
+//!   the samples — engines key all randomness through
+//!   [`SampleKeys`](nextdoor_core::engine::SampleKeys), not device state.
+//! * **Retry with backoff**: a failed dispatch is retried on the next
+//!   healthy replica, up to a budget, with exponential backoff charged to
+//!   the *fleet clock* (a deterministic simulated-ms timeline), never to
+//!   wall time.
+//! * **Circuit breaking**: consecutive failures trip a per-replica
+//!   [`CircuitBreaker`]; the replica cools down on the fleet clock, then a
+//!   half-open probe either recovers it or re-trips it. Device loss kills
+//!   the breaker permanently.
+//! * **Hedging**: optionally, a batch whose service time exceeded a
+//!   latency budget is re-dispatched to a second healthy replica; the
+//!   earlier completion wins. Results are bit-identical either way, so
+//!   hedging only ever improves the latency accounting.
+//!
+//! When healthy capacity drops below demand the [`FleetBatcher`] degrades
+//! gracefully instead of queueing without bound: the fused batch cap
+//! shrinks proportionally to surviving capacity, and excess pending
+//! requests are shed **lowest priority first** with a typed
+//! [`ServeError::Overloaded`] rejection. Every decision — retries, hedges,
+//! trips, probes, recoveries, sheds, degraded intervals — is surfaced in
+//! the per-run [`FleetReport`].
+//!
+//! Determinism: the pool runs on one scheduler thread; each replica's
+//! device is internally deterministic at any host worker-thread count, and
+//! every recovery decision keys off the fleet clock (derived from device
+//! sim clocks) and the request stream alone. A chaos run therefore
+//! produces bit-identical samples *and* a bit-identical `FleetReport` at
+//! any `NEXTDOOR_SIM_THREADS`.
+
+use std::collections::VecDeque;
+
+use crate::batcher::{Request, RequestId, RequestLatency, Response, ServeConfig};
+use crate::error::ServeError;
+use crate::health::{BreakerConfig, CircuitBreaker};
+use crate::server::RequestOutcome;
+use nextdoor_core::api::SamplingApp;
+use nextdoor_core::multi_gpu::least_loaded_alive;
+use nextdoor_core::session::{FusedResult, SamplerSession, SessionQuery};
+use nextdoor_core::{validate_run, FaultReport, NextDoorError};
+use nextdoor_gpu::{FaultPlan, Gpu, GpuSpec};
+use nextdoor_graph::Csr;
+
+/// Recovery knobs of a [`ReplicaPool`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Re-dispatch attempts after a failed one (0 = fail on first error).
+    pub max_retries: usize,
+    /// Simulated-ms backoff before retry `k`: `backoff_base_ms * 2^k`,
+    /// charged to the fleet clock.
+    pub backoff_base_ms: f64,
+    /// Latency budget in simulated ms above which a completed batch is
+    /// hedged onto a second healthy replica. `None` disables hedging.
+    pub hedge_after_ms: Option<f64>,
+    /// Per-replica circuit-breaker knobs.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_retries: 3,
+            backoff_base_ms: 0.05,
+            hedge_after_ms: None,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Per-replica slice of a [`FleetReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicaStats {
+    /// Fused batches dispatched to this replica (probes and hedges
+    /// included).
+    pub dispatches: u64,
+    /// Dispatches that returned a typed error.
+    pub failures: u64,
+    /// Hedged re-dispatches served by this replica.
+    pub hedges: u64,
+    /// Breaker trips (consecutive-failure and failed-probe trips).
+    pub trips: u64,
+    /// Half-open probe dispatches.
+    pub probes: u64,
+    /// Probes that succeeded and closed the breaker.
+    pub recoveries: u64,
+    /// Whether the replica's device was permanently lost.
+    pub lost: bool,
+    /// Faults this replica's device observed during *successful*
+    /// dispatches and recovered from internally (step retries etc.).
+    pub faults: FaultReport,
+}
+
+/// Everything a chaos run observes of the fleet's recovery behaviour, in
+/// one serializable report. Deterministic: a scripted run reproduces this
+/// bit-for-bit at any host worker-thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetReport {
+    /// Per-replica counters, indexed by replica id.
+    pub replicas: Vec<ReplicaStats>,
+    /// Fused batches the pool dispatched (first attempts only).
+    pub batches: u64,
+    /// Requests inside those batches.
+    pub requests: u64,
+    /// Serving-level re-dispatches after a failed attempt.
+    pub retries: u64,
+    /// Batches hedged onto a second replica.
+    pub hedges: u64,
+    /// Hedges that completed before the primary would have.
+    pub hedge_wins: u64,
+    /// Requests shed with [`ServeError::Overloaded`] under degraded
+    /// capacity.
+    pub shed: u64,
+    /// Times the fleet clock was advanced to the earliest breaker reopen
+    /// because no replica was routable.
+    pub cooldown_waits: u64,
+    /// Closed `[start_ms, end_ms)` fleet-clock intervals during which
+    /// healthy capacity was below the full pool (an interval still open at
+    /// report time is closed at the current fleet clock).
+    pub degraded_intervals: Vec<(f64, f64)>,
+    /// Fleet clock at report time, simulated ms.
+    pub fleet_ms: f64,
+}
+
+impl FleetReport {
+    /// A canonical multi-line rendering of the report, suitable for golden
+    /// comparisons (`f64` values print round-trip-exact).
+    pub fn digest(&self) -> String {
+        format!("{self:#?}\n")
+    }
+}
+
+struct Replica {
+    session: SamplerSession,
+    breaker: CircuitBreaker,
+    dispatches: u64,
+    failures: u64,
+    hedges: u64,
+    lost: bool,
+    faults: FaultReport,
+}
+
+/// A successfully dispatched batch, with the pool's fleet-clock
+/// bracketing of it.
+pub struct PoolResponse {
+    /// The fused result (per-query stores, batch stats, fault report).
+    pub fused: FusedResult,
+    /// Replica whose result is being returned (the hedge replica when the
+    /// hedge won).
+    pub replica: usize,
+    /// Fleet clock when the dispatch (first attempt) began.
+    pub start_ms: f64,
+    /// Fleet clock when the batch completed, retries/backoff/hedging
+    /// included.
+    pub end_ms: f64,
+    /// Re-dispatches this batch needed.
+    pub retries: usize,
+    /// Whether the batch was hedged onto a second replica.
+    pub hedged: bool,
+}
+
+impl PoolResponse {
+    /// Service span of the batch on the fleet clock.
+    pub fn service_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Whether a dispatch failure may be masked by retrying elsewhere (runtime
+/// faults), as opposed to a request error no replica can serve.
+fn retryable(e: &NextDoorError) -> bool {
+    matches!(
+        e,
+        NextDoorError::KernelFault { .. }
+            | NextDoorError::DeviceLost { .. }
+            | NextDoorError::OutOfMemory(_)
+    )
+}
+
+/// N [`SamplerSession`] replicas of the same graph behind one deterministic
+/// router. See the [module docs](self) for the recovery mechanisms.
+pub struct ReplicaPool {
+    replicas: Vec<Replica>,
+    cfg: PoolConfig,
+    fleet_ms: f64,
+    batches: u64,
+    requests: u64,
+    retries: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    cooldown_waits: u64,
+}
+
+impl ReplicaPool {
+    /// Builds a pool from caller-configured devices (one per replica; this
+    /// is where per-replica [`FaultPlan`]s are
+    /// installed) and one sampling app instance per replica, all over the
+    /// same `graph`.
+    ///
+    /// # Errors
+    ///
+    /// [`NextDoorError::NoGpus`] for an empty pool, and any session
+    /// creation error ([`NextDoorError::EmptyGraph`], upload
+    /// [`NextDoorError::OutOfMemory`], a device already lost).
+    pub fn new(
+        gpus: Vec<Gpu>,
+        graph: &Csr,
+        apps: Vec<Box<dyn SamplingApp + Send>>,
+        cfg: PoolConfig,
+    ) -> Result<Self, NextDoorError> {
+        if gpus.is_empty() {
+            return Err(NextDoorError::NoGpus);
+        }
+        assert_eq!(
+            gpus.len(),
+            apps.len(),
+            "one sampling app instance per replica device"
+        );
+        let mut replicas = Vec::with_capacity(gpus.len());
+        for (gpu, app) in gpus.into_iter().zip(apps) {
+            replicas.push(Replica {
+                session: SamplerSession::with_gpu(gpu, graph.clone(), app)?,
+                breaker: CircuitBreaker::new(cfg.breaker),
+                dispatches: 0,
+                failures: 0,
+                hedges: 0,
+                lost: false,
+                faults: FaultReport::default(),
+            });
+        }
+        Ok(ReplicaPool {
+            replicas,
+            cfg,
+            fleet_ms: 0.0,
+            batches: 0,
+            requests: 0,
+            retries: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            cooldown_waits: 0,
+        })
+    }
+
+    /// Convenience constructor: `n` fault-free replicas of identical
+    /// `spec`, with `make_app` invoked once per replica.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReplicaPool::new`].
+    pub fn replicate(
+        spec: &GpuSpec,
+        n: usize,
+        graph: &Csr,
+        make_app: impl Fn() -> Box<dyn SamplingApp + Send>,
+        cfg: PoolConfig,
+    ) -> Result<Self, NextDoorError> {
+        let gpus = (0..n).map(|_| Gpu::new(spec.clone())).collect();
+        let apps = (0..n).map(|_| make_app()).collect();
+        Self::new(gpus, graph, apps, cfg)
+    }
+
+    /// Replicas in the pool (healthy or not).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Replicas currently routable: breaker closed or half-open-eligible,
+    /// device not lost.
+    pub fn healthy_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.breaker.available(self.fleet_ms))
+            .count()
+    }
+
+    /// The deterministic fleet clock, in simulated milliseconds: advanced
+    /// by dispatched batches' device time, retry backoffs and cool-down
+    /// waits — never by wall time.
+    pub fn fleet_ms(&self) -> f64 {
+        self.fleet_ms
+    }
+
+    /// The shared resident graph (replica 0's copy).
+    pub fn graph(&self) -> &Csr {
+        self.replicas[0].session.graph()
+    }
+
+    /// The sampling application served (replica 0's instance).
+    pub fn app(&self) -> &dyn SamplingApp {
+        self.replicas[0].session.app()
+    }
+
+    /// Replica `i`'s session (e.g. to inspect its device counters).
+    pub fn session(&self, i: usize) -> &SamplerSession {
+        &self.replicas[i].session
+    }
+
+    /// Schedules faults on replica `i` relative to its current traffic
+    /// (see [`SamplerSession::schedule_faults`]) — the chaos-harness hook
+    /// for killing or degrading a specific replica mid-stream.
+    pub fn schedule_faults(&mut self, i: usize, plan: FaultPlan) {
+        self.replicas[i].session.schedule_faults(plan);
+    }
+
+    /// Per-replica breaker state, for tests and monitoring.
+    pub fn breaker(&self, i: usize) -> &CircuitBreaker {
+        &self.replicas[i].breaker
+    }
+
+    /// The pool-level slice of the [`FleetReport`] (the batcher above adds
+    /// shedding and degraded intervals).
+    pub fn report_core(&self) -> FleetReport {
+        FleetReport {
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| ReplicaStats {
+                    dispatches: r.dispatches,
+                    failures: r.failures,
+                    hedges: r.hedges,
+                    trips: r.breaker.trips,
+                    probes: r.breaker.probes,
+                    recoveries: r.breaker.recoveries,
+                    lost: r.lost,
+                    faults: r.faults.clone(),
+                })
+                .collect(),
+            batches: self.batches,
+            requests: self.requests,
+            retries: self.retries,
+            hedges: self.hedges,
+            hedge_wins: self.hedge_wins,
+            shed: 0,
+            cooldown_waits: self.cooldown_waits,
+            degraded_intervals: Vec::new(),
+            fleet_ms: self.fleet_ms,
+        }
+    }
+
+    /// The least-loaded routable replica (load = accumulated device sim
+    /// time), excluding `exclude` — the shared failover rule of
+    /// [`least_loaded_alive`].
+    fn pick(&self, exclude: Option<usize>) -> Option<usize> {
+        let alive: Vec<bool> = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Some(i) != exclude && r.breaker.available(self.fleet_ms))
+            .collect();
+        let load: Vec<f64> = self.replicas.iter().map(|r| r.session.sim_ms()).collect();
+        least_loaded_alive(&alive, &load)
+    }
+
+    /// Earliest fleet-clock instant at which some tripped (but live)
+    /// breaker reopens.
+    fn earliest_reopen(&self) -> Option<f64> {
+        self.replicas
+            .iter()
+            .filter_map(|r| r.breaker.reopen_at())
+            .min_by(f64::total_cmp)
+    }
+
+    /// Runs `queries` on replica `dev`, charging its device time to the
+    /// fleet clock and updating its breaker and stats.
+    fn attempt(
+        &mut self,
+        dev: usize,
+        queries: &[SessionQuery],
+    ) -> Result<FusedResult, NextDoorError> {
+        let r = &mut self.replicas[dev];
+        r.breaker.begin_dispatch(self.fleet_ms);
+        r.dispatches += 1;
+        let t0 = r.session.sim_ms();
+        let res = r.session.query_fused(queries);
+        self.fleet_ms += r.session.sim_ms() - t0;
+        match res {
+            Ok(fused) => {
+                r.breaker.record_success();
+                r.faults.merge(&fused.report);
+                Ok(fused)
+            }
+            Err(e) => {
+                r.failures += 1;
+                if matches!(e, NextDoorError::DeviceLost { .. }) || r.session.device_lost() {
+                    r.breaker.kill();
+                    r.lost = true;
+                } else {
+                    r.breaker.record_failure(self.fleet_ms);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Dispatches one fused batch to the fleet: routes to the least-loaded
+    /// healthy replica, retries with fleet-clock backoff on runtime
+    /// failures, waits out breaker cool-downs when nobody is routable, and
+    /// optionally hedges slow batches onto a second replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoHealthyReplica`] once every replica is permanently
+    /// lost; [`ServeError::Sampling`] for request errors (immediately) and
+    /// for runtime errors that survived the retry budget.
+    pub fn dispatch(&mut self, queries: &[SessionQuery]) -> Result<PoolResponse, ServeError> {
+        self.batches += 1;
+        self.requests += queries.len() as u64;
+        let start_ms = self.fleet_ms;
+        let mut retries = 0usize;
+        loop {
+            let Some(dev) = self.pick(None) else {
+                // Nobody is routable right now. If some breaker merely
+                // cools down, advance the fleet clock to its reopen
+                // instant (a deterministic "wait"); otherwise the fleet
+                // is gone.
+                match self.earliest_reopen() {
+                    Some(t) => {
+                        self.fleet_ms = self.fleet_ms.max(t);
+                        self.cooldown_waits += 1;
+                        continue;
+                    }
+                    None => {
+                        return Err(ServeError::NoHealthyReplica {
+                            replicas: self.replicas.len(),
+                        })
+                    }
+                }
+            };
+            match self.attempt(dev, queries) {
+                Ok(fused) => {
+                    let end_ms = self.fleet_ms;
+                    return Ok(self.maybe_hedge(queries, fused, dev, start_ms, end_ms, retries));
+                }
+                Err(e) => {
+                    if !retryable(&e) || retries >= self.cfg.max_retries {
+                        return Err(ServeError::Sampling(e));
+                    }
+                    // Exponential backoff on the fleet clock before the
+                    // next attempt (which the router may send elsewhere).
+                    self.fleet_ms += self.cfg.backoff_base_ms * (1u64 << retries) as f64;
+                    retries += 1;
+                    self.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies the hedging policy to a completed primary attempt: when its
+    /// service time exceeded the budget and another healthy replica
+    /// exists, re-dispatch there and keep the earlier completion. The
+    /// hedge is modelled as overlapping the primary's tail — it starts at
+    /// `primary start + budget` — so the batch completes at the minimum of
+    /// the two completion instants; the fleet clock is rewound to it.
+    fn maybe_hedge(
+        &mut self,
+        queries: &[SessionQuery],
+        primary: FusedResult,
+        dev: usize,
+        start_ms: f64,
+        primary_end_ms: f64,
+        retries: usize,
+    ) -> PoolResponse {
+        let primary_dt = primary_end_ms - start_ms;
+        let Some(budget) = self.cfg.hedge_after_ms else {
+            return self.pool_response(primary, dev, start_ms, primary_end_ms, retries, false);
+        };
+        if primary_dt <= budget {
+            return self.pool_response(primary, dev, start_ms, primary_end_ms, retries, false);
+        }
+        let Some(hedge_dev) = self.pick(Some(dev)) else {
+            return self.pool_response(primary, dev, start_ms, primary_end_ms, retries, false);
+        };
+        self.hedges += 1;
+        self.replicas[hedge_dev].hedges += 1;
+        match self.attempt(hedge_dev, queries) {
+            Ok(hedged) => {
+                let hedge_dt = self.fleet_ms - primary_end_ms;
+                let hedge_end_ms = start_ms + budget + hedge_dt;
+                if hedge_end_ms < primary_end_ms {
+                    self.hedge_wins += 1;
+                    // Both results are bit-identical (counter-keyed RNG);
+                    // keep the winner's and its earlier completion.
+                    debug_assert_eq!(
+                        hedged.per_query.len(),
+                        primary.per_query.len(),
+                        "hedge must mirror the primary batch"
+                    );
+                    self.fleet_ms = hedge_end_ms;
+                    return self.pool_response(
+                        hedged,
+                        hedge_dev,
+                        start_ms,
+                        hedge_end_ms,
+                        retries,
+                        true,
+                    );
+                }
+                // The primary would still have finished first: its
+                // completion stands, the hedge only burned spare capacity.
+                self.fleet_ms = primary_end_ms;
+                self.pool_response(primary, dev, start_ms, primary_end_ms, retries, true)
+            }
+            Err(_) => {
+                // A failed hedge never hurts the already-complete primary;
+                // the failure is recorded against the hedge replica.
+                self.fleet_ms = primary_end_ms;
+                self.pool_response(primary, dev, start_ms, primary_end_ms, retries, true)
+            }
+        }
+    }
+
+    fn pool_response(
+        &self,
+        fused: FusedResult,
+        replica: usize,
+        start_ms: f64,
+        end_ms: f64,
+        retries: usize,
+        hedged: bool,
+    ) -> PoolResponse {
+        PoolResponse {
+            fused,
+            replica,
+            start_ms,
+            end_ms,
+            retries,
+            hedged,
+        }
+    }
+}
+
+struct FleetPending {
+    id: RequestId,
+    req: Request,
+    admit_ms: f64,
+}
+
+/// The replicated counterpart of
+/// [`MicroBatcher`](crate::batcher::MicroBatcher): same bounded admission
+/// and FIFO equal-width fusion, but batches are dispatched through a
+/// [`ReplicaPool`] — and under degraded capacity the batch cap shrinks and
+/// excess pending requests are shed lowest-priority-first with
+/// [`ServeError::Overloaded`].
+pub struct FleetBatcher {
+    pool: ReplicaPool,
+    cfg: ServeConfig,
+    pending: VecDeque<FleetPending>,
+    next_id: u64,
+    shed: u64,
+    degraded_since: Option<f64>,
+    degraded_intervals: Vec<(f64, f64)>,
+}
+
+impl FleetBatcher {
+    /// Wraps a replica pool in a batcher with the given scheduling knobs.
+    pub fn new(pool: ReplicaPool, cfg: ServeConfig) -> Self {
+        FleetBatcher {
+            pool,
+            cfg,
+            pending: VecDeque::new(),
+            next_id: 0,
+            shed: 0,
+            degraded_since: None,
+            degraded_intervals: Vec::new(),
+        }
+    }
+
+    /// Admits a request, or rejects it with backpressure — the same
+    /// contract as [`MicroBatcher::submit`](crate::MicroBatcher::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] past the queue bound,
+    /// [`ServeError::Sampling`] for invalid inputs.
+    pub fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
+        if self.pending.len() >= self.cfg.max_queue {
+            return Err(ServeError::QueueFull {
+                capacity: self.cfg.max_queue,
+            });
+        }
+        validate_run(self.pool.graph(), self.pool.app(), &req.init)?;
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(FleetPending {
+            id,
+            req,
+            admit_ms: self.pool.fleet_ms(),
+        });
+        Ok(id)
+    }
+
+    /// Serves every pending request through the pool and returns the
+    /// outcomes in completion order (shed requests appear with
+    /// [`ServeError::Overloaded`]).
+    pub fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        loop {
+            self.update_degradation();
+            self.shed_excess(&mut out);
+            if self.pending.is_empty() {
+                break;
+            }
+            let batch = self.take_batch();
+            self.run_batch(batch, &mut out);
+        }
+        out
+    }
+
+    /// Healthy fraction of the fused-batch cap (full when healthy).
+    fn effective_max_batch(&self) -> usize {
+        let total = self.pool.num_replicas();
+        let healthy = self.pool.healthy_count();
+        if healthy >= total {
+            self.cfg.max_batch.max(1)
+        } else {
+            (self.cfg.max_batch * healthy / total).max(1)
+        }
+    }
+
+    /// Opens/closes the degraded-mode interval as healthy capacity crosses
+    /// the full pool size.
+    fn update_degradation(&mut self) {
+        let degraded = self.pool.healthy_count() < self.pool.num_replicas();
+        match (degraded, self.degraded_since) {
+            (true, None) => self.degraded_since = Some(self.pool.fleet_ms()),
+            (false, Some(start)) => {
+                self.degraded_intervals.push((start, self.pool.fleet_ms()));
+                self.degraded_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Under degraded capacity, sheds pending requests beyond the scaled
+    /// queue budget: strictly lowest priority first, latest-admitted first
+    /// within a priority. Deterministic, and it never touches a request
+    /// that fits the surviving capacity.
+    fn shed_excess(&mut self, out: &mut Vec<(RequestId, RequestOutcome)>) {
+        let total = self.pool.num_replicas();
+        let healthy = self.pool.healthy_count();
+        if healthy >= total {
+            return;
+        }
+        let capacity = (self.cfg.max_queue * healthy / total).max(1);
+        while self.pending.len() > capacity {
+            let victim = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| (p.req.priority, std::cmp::Reverse(p.id)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let Some(p) = self.pending.remove(victim) else {
+                break;
+            };
+            self.shed += 1;
+            out.push((
+                p.id,
+                Err(ServeError::Overloaded {
+                    healthy,
+                    replicas: total,
+                }),
+            ));
+        }
+    }
+
+    /// Pops the longest FIFO prefix of equal-width requests, up to the
+    /// degradation-scaled batch cap.
+    fn take_batch(&mut self) -> Vec<FleetPending> {
+        let width = self.pending[0].req.init[0].len();
+        let cap = self.effective_max_batch();
+        let mut batch = Vec::new();
+        while batch.len() < cap
+            && self
+                .pending
+                .front()
+                .is_some_and(|p| p.req.init[0].len() == width)
+        {
+            batch.extend(self.pending.pop_front());
+        }
+        batch
+    }
+
+    fn run_batch(&mut self, batch: Vec<FleetPending>, out: &mut Vec<(RequestId, RequestOutcome)>) {
+        let queries: Vec<SessionQuery> = batch
+            .iter()
+            .map(|p| SessionQuery {
+                init: p.req.init.clone(),
+                seed: p.req.seed,
+            })
+            .collect();
+        match self.pool.dispatch(&queries) {
+            Ok(pr) => {
+                let batch_size = batch.len();
+                for (p, store) in batch.into_iter().zip(pr.fused.per_query) {
+                    let observed_ms = pr.end_ms - p.admit_ms;
+                    let deadline = p.req.deadline_ms.or(self.cfg.default_deadline_ms);
+                    let result = match deadline {
+                        Some(d) if observed_ms > d => Err(ServeError::DeadlineExceeded {
+                            deadline_ms: d,
+                            observed_ms,
+                        }),
+                        _ => Ok(Response {
+                            store,
+                            latency: RequestLatency {
+                                queued_ms: pr.start_ms - p.admit_ms,
+                                service_ms: pr.end_ms - pr.start_ms,
+                                total_ms: observed_ms,
+                                batch_size,
+                            },
+                            batch_stats: pr.fused.stats.clone(),
+                            report: pr.fused.report.clone(),
+                        }),
+                    };
+                    out.push((p.id, result));
+                }
+            }
+            Err(e) => {
+                for p in batch {
+                    out.push((p.id, Err(e.clone())));
+                }
+            }
+        }
+    }
+
+    /// Requests admitted but not yet served or shed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The batcher's scheduling knobs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &ReplicaPool {
+        &self.pool
+    }
+
+    /// Mutable access to the pool (e.g. to schedule chaos mid-run).
+    pub fn pool_mut(&mut self) -> &mut ReplicaPool {
+        &mut self.pool
+    }
+
+    /// The full fleet report: the pool's dispatch/recovery counters plus
+    /// this batcher's shedding and degraded-mode intervals (an interval
+    /// still open is closed at the current fleet clock).
+    pub fn report(&self) -> FleetReport {
+        let mut rep = self.pool.report_core();
+        rep.shed = self.shed;
+        rep.degraded_intervals = self.degraded_intervals.clone();
+        if let Some(start) = self.degraded_since {
+            rep.degraded_intervals.push((start, self.pool.fleet_ms()));
+        }
+        rep
+    }
+
+    /// Tears the batcher down, recovering the pool.
+    pub fn into_pool(self) -> ReplicaPool {
+        self.pool
+    }
+}
+
+impl crate::server::BatchEngine for FleetBatcher {
+    fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
+        FleetBatcher::submit(self, req)
+    }
+
+    fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
+        FleetBatcher::drain(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::Priority;
+    use crate::health::BreakerState;
+    use nextdoor_apps::KHop;
+    use nextdoor_graph::gen::{rmat, RmatParams};
+
+    fn graph() -> Csr {
+        rmat(8, 1500, RmatParams::SKEWED, 11)
+    }
+
+    fn app() -> Box<dyn SamplingApp + Send> {
+        Box::new(KHop::new(vec![2, 2]))
+    }
+
+    fn pool_with_plans(plans: Vec<FaultPlan>, cfg: PoolConfig) -> ReplicaPool {
+        let g = graph();
+        let gpus = plans
+            .into_iter()
+            .map(|p| {
+                let mut gpu = Gpu::new(GpuSpec::small());
+                if !p.is_empty() {
+                    gpu.inject_faults(p);
+                }
+                gpu
+            })
+            .collect::<Vec<_>>();
+        let apps = (0..gpus.len()).map(|_| app()).collect();
+        ReplicaPool::new(gpus, &g, apps, cfg).unwrap()
+    }
+
+    fn req(seed: u64) -> Request {
+        Request::new((0..4).map(|i| vec![i as u32]).collect(), seed)
+    }
+
+    fn queries(seed: u64) -> Vec<SessionQuery> {
+        vec![SessionQuery {
+            init: (0..4).map(|i| vec![i as u32]).collect(),
+            seed,
+        }]
+    }
+
+    #[test]
+    fn routes_to_least_loaded_replica() {
+        let mut pool = pool_with_plans(
+            vec![FaultPlan::new(), FaultPlan::new()],
+            PoolConfig::default(),
+        );
+        let a = pool.dispatch(&queries(1)).unwrap();
+        let b = pool.dispatch(&queries(2)).unwrap();
+        assert_ne!(
+            a.replica, b.replica,
+            "second batch goes to the idle replica"
+        );
+        let rep = pool.report_core();
+        assert_eq!(rep.batches, 2);
+        assert_eq!(rep.requests, 2);
+        assert_eq!(rep.retries, 0);
+        assert!(rep.fleet_ms > 0.0);
+    }
+
+    #[test]
+    fn device_loss_fails_over_with_identical_samples() {
+        let mut clean = pool_with_plans(vec![FaultPlan::new()], PoolConfig::default());
+        let want = clean.dispatch(&queries(7)).unwrap();
+
+        let mut pool = pool_with_plans(
+            vec![FaultPlan::new().lose_device_at_launch(0), FaultPlan::new()],
+            PoolConfig::default(),
+        );
+        let got = pool.dispatch(&queries(7)).unwrap();
+        assert_eq!(got.replica, 1, "survivor served the batch");
+        assert_eq!(got.retries, 1);
+        assert_eq!(
+            got.fused.per_query[0].final_samples(),
+            want.fused.per_query[0].final_samples(),
+            "replica choice never changes the samples"
+        );
+        let rep = pool.report_core();
+        assert!(rep.replicas[0].lost);
+        assert_eq!(rep.replicas[0].failures, 1);
+        assert_eq!(rep.retries, 1);
+    }
+
+    #[test]
+    fn all_replicas_lost_is_typed() {
+        let mut pool = pool_with_plans(
+            vec![
+                FaultPlan::new().lose_device_at_launch(0),
+                FaultPlan::new().lose_device_at_launch(0),
+            ],
+            PoolConfig::default(),
+        );
+        assert_eq!(
+            pool.dispatch(&queries(1)).err(),
+            Some(ServeError::NoHealthyReplica { replicas: 2 })
+        );
+        assert_eq!(pool.healthy_count(), 0);
+    }
+
+    #[test]
+    fn transient_storm_trips_breaker_then_recovers_on_fleet_clock() {
+        // A dense transient range makes every step attempt fault until the
+        // launch counter escapes it, so single-replica dispatches fail with
+        // KernelFault, trip the breaker, and probes eventually recover it.
+        // (A clean fused query here is ~20 launches; a failed dispatch
+        // burns ~40 across its internal step retries, so 200 storm
+        // launches force several consecutive dispatch failures.)
+        let storm = FaultPlan {
+            transient_launches: (0..200).collect(),
+            ..FaultPlan::new()
+        };
+        let cfg = PoolConfig {
+            max_retries: 50,
+            backoff_base_ms: 0.01,
+            hedge_after_ms: None,
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cooldown_ms: 0.5,
+            },
+        };
+        let mut pool = pool_with_plans(vec![storm], cfg);
+        let res = pool.dispatch(&queries(3)).unwrap();
+        assert!(res.retries > 0, "the storm forced serving-level retries");
+        let rep = pool.report_core();
+        assert!(rep.replicas[0].trips >= 1, "breaker tripped");
+        assert!(rep.replicas[0].probes >= 1, "half-open probes happened");
+        assert_eq!(
+            rep.replicas[0].recoveries, 1,
+            "a probe finally closed the breaker"
+        );
+        assert!(rep.cooldown_waits >= 1, "the pool waited out a cool-down");
+        assert!(matches!(
+            pool.breaker(0).state(),
+            BreakerState::Closed { .. }
+        ));
+
+        // The recovered samples equal a fault-free run's.
+        let mut clean = pool_with_plans(vec![FaultPlan::new()], PoolConfig::default());
+        let want = clean.dispatch(&queries(3)).unwrap();
+        assert_eq!(
+            res.fused.per_query[0].final_samples(),
+            want.fused.per_query[0].final_samples()
+        );
+    }
+
+    #[test]
+    fn hedging_counts_and_keeps_samples_identical() {
+        let cfg = PoolConfig {
+            hedge_after_ms: Some(0.0), // hedge every batch
+            ..PoolConfig::default()
+        };
+        let mut pool = pool_with_plans(vec![FaultPlan::new(), FaultPlan::new()], cfg);
+        let res = pool.dispatch(&queries(9)).unwrap();
+        assert!(res.hedged);
+        let rep = pool.report_core();
+        assert_eq!(rep.hedges, 1);
+        assert_eq!(
+            rep.replicas[0].dispatches + rep.replicas[1].dispatches,
+            2,
+            "primary plus hedge"
+        );
+        let mut clean = pool_with_plans(vec![FaultPlan::new()], PoolConfig::default());
+        let want = clean.dispatch(&queries(9)).unwrap();
+        assert_eq!(
+            res.fused.per_query[0].final_samples(),
+            want.fused.per_query[0].final_samples()
+        );
+    }
+
+    #[test]
+    fn degraded_fleet_shrinks_batches_and_sheds_lowest_priority() {
+        let serve_cfg = ServeConfig {
+            max_batch: 4,
+            max_queue: 8,
+            default_deadline_ms: None,
+        };
+        let pool = pool_with_plans(
+            vec![
+                FaultPlan::new(),
+                FaultPlan::new().lose_device_at_launch(0),
+                FaultPlan::new().lose_device_at_launch(0),
+            ],
+            PoolConfig::default(),
+        );
+        let mut fb = FleetBatcher::new(pool, serve_cfg);
+        // Kill two of three replicas first: the opening batch lands on
+        // replica 0 (all idle, lowest index wins), the second routes to
+        // idle replica 1, dies, fails over through replica 2 (dies too)
+        // and completes on replica 0.
+        for s in [100, 101] {
+            fb.submit(req(s)).unwrap();
+            let probe = fb.drain();
+            assert!(probe.iter().all(|(_, r)| r.is_ok()));
+        }
+        assert_eq!(fb.pool().healthy_count(), 1);
+
+        // Fill the queue: 8 requests, one of them Low priority. The two
+        // probe submissions took ids 0 and 1, so these are ids 2..=9.
+        let mut ids = Vec::new();
+        for s in 1..=8 {
+            let mut r = req(s);
+            if s == 5 {
+                r = r.with_priority(Priority::Low);
+            }
+            ids.push(fb.submit(r).unwrap());
+        }
+        let low_id = ids[4];
+        let served = fb.drain();
+        // Capacity scaled to 8 * 1/3 = 2: six requests shed, Low first.
+        let shed: Vec<RequestId> = served
+            .iter()
+            .filter(|(_, r)| matches!(r, Err(ServeError::Overloaded { .. })))
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(shed.len(), 6);
+        assert_eq!(
+            shed[0], low_id,
+            "the Low-priority request is shed before any Normal one"
+        );
+        let ok: Vec<RequestId> = served
+            .iter()
+            .filter(|(_, r)| r.is_ok())
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ok, vec![ids[0], ids[1]], "FIFO survivors");
+        for (_, r) in served.iter().filter(|(_, r)| r.is_ok()) {
+            assert!(
+                r.as_ref().unwrap().latency.batch_size <= 1,
+                "batch cap scaled 4 -> 1 with one of three replicas healthy"
+            );
+        }
+        let rep = fb.report();
+        assert_eq!(rep.shed, 6);
+        assert_eq!(rep.degraded_intervals.len(), 1);
+        assert!(rep.degraded_intervals[0].1 > rep.degraded_intervals[0].0);
+    }
+
+    #[test]
+    fn fleet_batcher_matches_single_session_samples() {
+        let pool = pool_with_plans(
+            vec![FaultPlan::new(), FaultPlan::new()],
+            PoolConfig::default(),
+        );
+        let mut fb = FleetBatcher::new(pool, ServeConfig::default());
+        let ids: Vec<_> = (0..3).map(|s| fb.submit(req(50 + s)).unwrap()).collect();
+        let served = fb.drain();
+        assert_eq!(served.len(), 3);
+        assert_eq!(
+            served.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            ids,
+            "FIFO completion order"
+        );
+        // Bit-identity per request against a standalone session.
+        let mut solo = SamplerSession::new(GpuSpec::small(), graph(), app()).unwrap();
+        for (i, (_, res)) in served.into_iter().enumerate() {
+            let seed = 50 + i as u64;
+            let resp = res.unwrap();
+            assert!(resp.latency.batch_size >= 1);
+            let want = solo.query(&req(seed).init, seed).unwrap();
+            assert_eq!(resp.store.final_samples(), want.store.final_samples());
+        }
+    }
+}

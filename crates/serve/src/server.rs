@@ -19,11 +19,39 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use crate::batcher::{MicroBatcher, Request, Response};
+use crate::batcher::{MicroBatcher, Request, RequestId, Response};
 use crate::error::ServeError;
 
 /// What a client eventually receives for one request.
 pub type RequestOutcome = Result<Response, ServeError>;
+
+/// Anything the scheduler thread can drive: a bounded admission step plus
+/// a drain step that serves everything admitted. Implemented by the
+/// single-session [`MicroBatcher`] and the replicated
+/// [`FleetBatcher`](crate::replica::FleetBatcher), so the same
+/// [`SampleServer`] fronts either a lone device or a fault-tolerant pool.
+pub trait BatchEngine: Send + 'static {
+    /// Admits a request, or rejects it with a typed admission error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] for backpressure, [`ServeError::Sampling`]
+    /// for invalid inputs — both without touching a device.
+    fn submit(&mut self, req: Request) -> Result<RequestId, ServeError>;
+
+    /// Serves everything admitted and returns each request's outcome.
+    fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)>;
+}
+
+impl BatchEngine for MicroBatcher {
+    fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
+        MicroBatcher::submit(self, req)
+    }
+
+    fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
+        MicroBatcher::drain(self)
+    }
+}
 
 enum Msg {
     Query(Request, Sender<RequestOutcome>),
@@ -39,10 +67,14 @@ pub struct Ticket {
 
 impl Ticket {
     /// Blocks until the request is served (or rejected) and returns the
-    /// outcome. Returns [`ServeError::Disconnected`] if the server shut
-    /// down before answering.
+    /// outcome. If the server's worker thread vanished — it panicked, or
+    /// the server was dropped — before answering, the wait ends with
+    /// [`ServeError::ServerGone`] instead of hanging forever.
     pub fn wait(self) -> RequestOutcome {
-        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(ServeError::ServerGone),
+        }
     }
 }
 
@@ -80,18 +112,20 @@ impl ServeClient {
     }
 }
 
-/// A sampling service: one scheduler thread owning a warm session and its
-/// micro-batcher. See the [module docs](self).
-pub struct SampleServer {
+/// A sampling service: one scheduler thread owning a [`BatchEngine`] — a
+/// warm session's [`MicroBatcher`] by default, or a replicated
+/// [`FleetBatcher`](crate::replica::FleetBatcher). See the
+/// [module docs](self).
+pub struct SampleServer<E: BatchEngine = MicroBatcher> {
     tx: Sender<Msg>,
-    join: Option<JoinHandle<MicroBatcher>>,
+    join: Option<JoinHandle<E>>,
 }
 
-impl SampleServer {
-    /// Starts the scheduler thread around `batcher`.
-    pub fn start(batcher: MicroBatcher) -> Self {
+impl<E: BatchEngine> SampleServer<E> {
+    /// Starts the scheduler thread around `engine`.
+    pub fn start(engine: E) -> Self {
         let (tx, rx) = channel::<Msg>();
-        let join = std::thread::spawn(move || scheduler_loop(batcher, &rx));
+        let join = std::thread::spawn(move || scheduler_loop(engine, &rx));
         SampleServer {
             tx,
             join: Some(join),
@@ -106,12 +140,12 @@ impl SampleServer {
     }
 
     /// Stops the scheduler after it answers everything already submitted,
-    /// and recovers the batcher (and through it the warm session).
-    pub fn shutdown(mut self) -> MicroBatcher {
+    /// and recovers the engine (and through it the warm session or pool).
+    pub fn shutdown(mut self) -> E {
         let _ = self.tx.send(Msg::Shutdown);
         match self.join.take() {
             // A panic in the scheduler thread would already have poisoned
-            // the run; surface it instead of fabricating a batcher.
+            // the run; surface it instead of fabricating an engine.
             Some(join) => match join.join() {
                 Ok(b) => b,
                 Err(p) => std::panic::resume_unwind(p),
@@ -121,7 +155,7 @@ impl SampleServer {
     }
 }
 
-impl Drop for SampleServer {
+impl<E: BatchEngine> Drop for SampleServer<E> {
     fn drop(&mut self) {
         let _ = self.tx.send(Msg::Shutdown);
         if let Some(join) = self.join.take() {
@@ -132,7 +166,7 @@ impl Drop for SampleServer {
 
 /// The scheduler body: block for one message, burst-collect the rest of
 /// the waiting queue, admit + serve, mail results.
-fn scheduler_loop(mut batcher: MicroBatcher, rx: &Receiver<Msg>) -> MicroBatcher {
+fn scheduler_loop<E: BatchEngine>(mut engine: E, rx: &Receiver<Msg>) -> E {
     let mut waiting: Vec<(Request, Sender<RequestOutcome>)> = Vec::new();
     'serve: loop {
         // Block until at least one request (or shutdown) arrives.
@@ -145,22 +179,25 @@ fn scheduler_loop(mut batcher: MicroBatcher, rx: &Receiver<Msg>) -> MicroBatcher
             match msg {
                 Msg::Query(req, reply) => waiting.push((req, reply)),
                 Msg::Shutdown => {
-                    serve_waiting(&mut batcher, &mut waiting);
+                    serve_waiting(&mut engine, &mut waiting);
                     break 'serve;
                 }
             }
         }
-        serve_waiting(&mut batcher, &mut waiting);
+        serve_waiting(&mut engine, &mut waiting);
     }
-    batcher
+    engine
 }
 
-/// Admits the collected burst and drains the batcher, routing each
-/// outcome to its submitter.
-fn serve_waiting(batcher: &mut MicroBatcher, waiting: &mut Vec<(Request, Sender<RequestOutcome>)>) {
+/// Admits the collected burst and drains the engine, routing each outcome
+/// to its submitter.
+fn serve_waiting<E: BatchEngine>(
+    engine: &mut E,
+    waiting: &mut Vec<(Request, Sender<RequestOutcome>)>,
+) {
     let mut replies = Vec::with_capacity(waiting.len());
     for (req, reply) in waiting.drain(..) {
-        match batcher.submit(req) {
+        match engine.submit(req) {
             Ok(id) => replies.push((id, reply)),
             // Rejected at admission: the outcome is already known.
             Err(e) => {
@@ -168,11 +205,17 @@ fn serve_waiting(batcher: &mut MicroBatcher, waiting: &mut Vec<(Request, Sender<
             }
         }
     }
-    for (id, outcome) in batcher.drain() {
+    for (id, outcome) in engine.drain() {
         if let Some(pos) = replies.iter().position(|(rid, _)| *rid == id) {
             let (_, reply) = replies.swap_remove(pos);
             let _ = reply.send(outcome);
         }
+    }
+    // An engine that lost an admitted id (it should not) must still answer
+    // the submitter: dropping the reply sender here surfaces as
+    // `ServerGone` at the ticket rather than a hang — but be explicit.
+    for (_, reply) in replies {
+        let _ = reply.send(Err(ServeError::ServerGone));
     }
 }
 

@@ -4,10 +4,13 @@ use proptest::prelude::*;
 
 use nextdoor::apps::{DeepWalk, KHop};
 use nextdoor::core::engine::unique::dedup_values;
+use nextdoor::core::session::SamplerSession;
 use nextdoor::core::{run_cpu, run_nextdoor, SamplingApp, NULL_VERTEX};
 use nextdoor::gpu::algorithms::{compact, exclusive_scan, histogram, radix_sort_pairs};
 use nextdoor::gpu::{FaultPlan, Gpu, GpuSpec};
+use nextdoor::graph::gen::{rmat, RmatParams};
 use nextdoor::graph::{GraphBuilder, VertexId};
+use nextdoor::serve::{FleetBatcher, PoolConfig, ReplicaPool, Request, ServeConfig};
 
 /// An arbitrary fault script: any combination of a failed allocation, a
 /// transient kernel fault and a whole-device loss, at arbitrary points.
@@ -182,6 +185,62 @@ proptest! {
                 prop_assert_eq!(res.store.final_samples(), clean.store.final_samples());
             }
         }
+    }
+
+    #[test]
+    fn served_faulty_fleet_successes_match_fault_free_runs(
+        seed in 0u64..500,
+        plan in arb_fault_plan()
+    ) {
+        // The serving-tier robustness contract, end to end: under ANY
+        // scripted fault plan on one replica of a two-replica pool, every
+        // request the fleet reports as successful carries samples
+        // byte-identical to a fault-free run — at any simulator worker
+        // count. Failures may only be typed errors, never different
+        // samples and never a panic.
+        let g = rmat(7, 900, RmatParams::SKEWED, 5);
+        let init: Vec<Vec<VertexId>> = (0..6).map(|i| vec![i * 13 % 128]).collect();
+        let app = || -> Box<dyn SamplingApp + Send> { Box::new(KHop::new(vec![3, 2])) };
+        let mut outcome_digests: Vec<Vec<Option<String>>> = Vec::new();
+        for host_threads in [1usize, 4] {
+            let mut spec = GpuSpec::small();
+            spec.host_threads = host_threads;
+            let mut solo = SamplerSession::new(spec.clone(), g.clone(), app()).unwrap();
+            let gpus = vec![Gpu::new(spec.clone()), Gpu::new(spec.clone())];
+            let pool = ReplicaPool::new(gpus, &g, vec![app(), app()], PoolConfig::default())
+                .unwrap();
+            let mut fleet = FleetBatcher::new(pool, ServeConfig::default());
+            // Scheduled relative to current traffic, after the graph
+            // uploads — so every generated plan lands on live serving
+            // traffic instead of being swallowed by session setup.
+            fleet.pool_mut().schedule_faults(0, plan.clone());
+            for r in 0..4u64 {
+                fleet.submit(Request::new(init.clone(), seed + r)).unwrap();
+            }
+            let served = fleet.drain();
+            // Every admitted request got an outcome.
+            prop_assert_eq!(served.len(), 4);
+            let mut digests = Vec::new();
+            for (_, outcome) in served.iter() {
+                match outcome {
+                    Ok(resp) => {
+                        let q = seed + digests.len() as u64;
+                        let clean = solo.query(&init, q).unwrap();
+                        // A successful response must match the
+                        // fault-free samples.
+                        prop_assert_eq!(
+                            resp.store.final_samples(),
+                            clean.store.final_samples()
+                        );
+                        digests.push(Some(format!("{:?}", resp.store.final_samples())));
+                    }
+                    Err(_) => digests.push(None),
+                }
+            }
+            outcome_digests.push(digests);
+        }
+        // Fleet outcomes are identical across simulator worker counts.
+        prop_assert_eq!(&outcome_digests[0], &outcome_digests[1]);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use nextdoor::core::session::{SamplerSession, SessionQuery};
 use nextdoor::core::{initial_samples_random, run_nextdoor, NextDoorError, SampleStore};
 use nextdoor::gpu::{FaultPlan, Gpu, GpuSpec};
 use nextdoor::graph::{Csr, Dataset, VertexId};
-use nextdoor::serve::{MicroBatcher, Request, SampleServer, ServeConfig, ServeError};
+use nextdoor::serve::{
+    BatchEngine, MicroBatcher, Request, RequestId, RequestOutcome, SampleServer, ServeConfig,
+    ServeError,
+};
 
 fn workload() -> (Csr, Vec<Vec<Vec<VertexId>>>) {
     let graph = Dataset::Ppi.generate(0.02, 5);
@@ -179,6 +182,108 @@ fn admission_control_rejects_with_typed_errors() {
         Some(ServeError::Sampling(NextDoorError::RootOutOfRange { .. }))
     ));
     batcher.submit(Request::new(inits[2].clone(), 3)).unwrap();
+}
+
+#[test]
+fn sustained_overload_backpressure_is_deterministic_and_lossless() {
+    // Drive the batcher well past `max_queue` for many rounds. The
+    // regression contract: backpressure is *deterministic* (the same
+    // submissions are rejected every round), *bounded* (never more than
+    // `max_queue` admitted), and *lossless* for admitted requests (every
+    // admitted id is served exactly once, in order, successfully).
+    let (graph, inits) = workload();
+    let mut batcher = MicroBatcher::new(
+        session(&graph),
+        ServeConfig {
+            max_batch: 2,
+            max_queue: 4,
+            default_deadline_ms: None,
+        },
+    );
+    let mut next_seed = 0u64;
+    let mut last_served_id: Option<RequestId> = None;
+    for round in 0..20 {
+        let mut admitted = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..8 {
+            match batcher.submit(Request::new(inits[0].clone(), next_seed)) {
+                Ok(id) => admitted.push(id),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 4);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+            next_seed += 1;
+        }
+        assert_eq!(
+            admitted.len(),
+            4,
+            "round {round}: exactly max_queue admitted"
+        );
+        assert_eq!(rejected, 4, "round {round}: the rest rejected, not dropped");
+
+        let served = batcher.drain();
+        assert_eq!(batcher.pending_len(), 0);
+        let served_ids: Vec<RequestId> = served.iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            served_ids, admitted,
+            "round {round}: every admitted request served once, in order"
+        );
+        for (id, outcome) in &served {
+            assert!(
+                outcome.is_ok(),
+                "round {round}: admitted request {id:?} must not be dropped: {outcome:?}"
+            );
+        }
+        // Ids keep growing monotonically across rounds — nothing is
+        // recycled or silently swallowed by the overload.
+        if let Some(prev) = last_served_id {
+            assert!(served_ids[0] > prev);
+        }
+        last_served_id = served_ids.last().copied();
+    }
+}
+
+/// A [`BatchEngine`] whose worker dies mid-request, standing in for any
+/// panic inside the scheduler thread.
+struct PanickingEngine {
+    next: u64,
+}
+
+impl BatchEngine for PanickingEngine {
+    fn submit(&mut self, _req: Request) -> Result<RequestId, ServeError> {
+        let id = RequestId(self.next);
+        self.next += 1;
+        Ok(id)
+    }
+
+    fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
+        panic!("worker thread dies while serving");
+    }
+}
+
+#[test]
+fn dead_worker_thread_yields_server_gone_instead_of_hanging() {
+    // Regression: `Ticket::wait` used to block forever if the scheduler
+    // thread panicked (or the server was dropped) after admitting the
+    // request. Now the vanished reply channel surfaces as a typed
+    // `ServerGone`.
+    let server = SampleServer::start(PanickingEngine { next: 0 });
+    let client = server.client();
+    let ticket = client
+        .submit(Request::new(vec![vec![0]], 1))
+        .expect("server was up at submission");
+    assert_eq!(ticket.wait().err(), Some(ServeError::ServerGone));
+    // Later traffic sees a typed refusal too (Disconnected at submission
+    // or ServerGone from an abandoned reply, depending on shutdown
+    // interleaving) — never a hang.
+    assert!(matches!(
+        client.query(Request::new(vec![vec![0]], 2)),
+        Err(ServeError::Disconnected) | Err(ServeError::ServerGone)
+    ));
+    // Drop (not shutdown) reaps the panicked thread without re-raising.
+    drop(server);
 }
 
 #[test]
