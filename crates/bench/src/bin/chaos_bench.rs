@@ -59,6 +59,7 @@ fn fleet(spec: &GpuSpec, graph: &Csr, max_queue: usize, cooldown_ms: f64) -> Fle
             default_deadline_ms: None,
         },
     )
+    .expect("bench serve config is valid")
 }
 
 /// One clean fused batch's simulated milliseconds on `spec` — the scale
@@ -79,7 +80,8 @@ fn calibrate_batch_ms(spec: &GpuSpec, graph: &Csr, inits: &[Vec<Vec<VertexId>>],
             max_queue: 4,
             default_deadline_ms: None,
         },
-    );
+    )
+    .expect("calibration serve config is valid");
     for (i, init) in inits.iter().take(4).enumerate() {
         probe
             .submit(Request::new(init.clone(), seed + i as u64))

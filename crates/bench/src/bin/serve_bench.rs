@@ -150,7 +150,9 @@ fn main() {
         max_queue: requests,
         default_deadline_ms: None,
     };
-    let server = SampleServer::start(MicroBatcher::new(session, serve_cfg));
+    let server = SampleServer::start(
+        MicroBatcher::new(session, serve_cfg).expect("bench serve config is valid"),
+    );
     let client = server.client();
     let fused_t0 = Instant::now();
     let tickets: Vec<(Instant, _)> = inits

@@ -42,17 +42,6 @@ pub enum NextDoorError {
     },
     /// The application declares `Steps::Fixed(0)`, so no step could run.
     ZeroSteps,
-    /// Queries fused into one batch must carry the same number of initial
-    /// vertices per sample (the step planner sizes the shared transit array
-    /// from that width).
-    FusedWidthMismatch {
-        /// Vertices per sample of the batch's first query.
-        expected: usize,
-        /// Vertices per sample of the offending query.
-        got: usize,
-        /// Index of the offending query within the batch.
-        query: usize,
-    },
     /// A multi-GPU run was requested with zero devices.
     NoGpus,
     /// More devices than samples: some devices would receive no work.
@@ -113,15 +102,6 @@ impl std::fmt::Display for NextDoorError {
                  {num_vertices} vertices"
             ),
             NextDoorError::ZeroSteps => write!(f, "application declares zero steps"),
-            NextDoorError::FusedWidthMismatch {
-                expected,
-                got,
-                query,
-            } => write!(
-                f,
-                "fused queries must have equal initial widths: query {query} has {got} \
-                 vertices per sample, expected {expected}"
-            ),
             NextDoorError::NoGpus => write!(f, "need at least one GPU"),
             NextDoorError::TooManyGpus { gpus, samples } => {
                 write!(

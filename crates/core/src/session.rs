@@ -57,8 +57,9 @@
 
 use crate::api::SamplingApp;
 use crate::engine::driver::{finish_run, run_step_loop, GpuEngineKind};
-use crate::engine::{RunResult, SampleKeys};
-use crate::error::{validate_run, NextDoorError};
+use crate::engine::profile::RunProfile;
+use crate::engine::{EngineStats, RunResult, SampleKeys};
+use crate::error::{validate_run, FaultReport, NextDoorError};
 use crate::gpu_graph::GpuGraph;
 use crate::store::SampleStore;
 use nextdoor_gpu::{Gpu, GpuSpec};
@@ -77,16 +78,21 @@ pub struct SessionQuery {
 
 /// Result of a fused batch: one sliced store per query, in submission
 /// order, plus the batch-level statistics and fault report shared by all
-/// of them (the batch ran as one launch sequence, so its cost cannot be
+/// of them (the batch ran as one dispatch, so its cost cannot be
 /// attributed to a single query).
 pub struct FusedResult {
     /// Per-query sample stores, bit-identical to each query's standalone
     /// run.
     pub per_query: Vec<SampleStore>,
-    /// Statistics of the fused batch as a whole.
-    pub stats: crate::engine::EngineStats,
+    /// Fused launch sequences the batch needed: one per *width class*
+    /// (distinct initial-vertices-per-sample count among the queries). An
+    /// equal-width batch runs as a single sequence.
+    pub launches: usize,
+    /// Statistics of the fused batch as a whole (all width classes
+    /// combined).
+    pub stats: EngineStats,
     /// Faults the fused batch observed and survived.
-    pub report: crate::error::FaultReport,
+    pub report: FaultReport,
 }
 
 /// A persistent sampling session: a device with the graph resident, bound
@@ -181,50 +187,99 @@ impl SamplerSession {
     /// (scheduling index, kernel launch overhead) across queries, which is
     /// the serving layer's throughput lever.
     ///
+    /// Queries need **not** share one initial width: the step planner sizes
+    /// the shared transit array from a single vertices-per-sample count, so
+    /// the batch is partitioned into *width classes* (in order of first
+    /// appearance) and each class runs as its own fused launch sequence
+    /// ([`FusedResult::launches`] counts them). Per-sample RNG keying makes
+    /// every class bit-identical to standalone runs regardless of how the
+    /// classes are packed; [`FusedResult::stats`] and the fault report
+    /// cover all classes combined.
+    ///
     /// # Errors
     ///
-    /// Returns [`NextDoorError::EmptyInit`] for an empty batch, any
-    /// [`validate_run`] error for an individual query, and
-    /// [`NextDoorError::FusedWidthMismatch`] when the queries do not share
-    /// one initial width (the step planner sizes the shared transit array
-    /// from it). Runtime errors are as for [`SamplerSession::query`].
+    /// Returns [`NextDoorError::EmptyInit`] for an empty batch and any
+    /// [`validate_run`] error for an individual query. Runtime errors are
+    /// as for [`SamplerSession::query`]; a runtime error in any width
+    /// class fails the whole batch.
     pub fn query_fused(&mut self, queries: &[SessionQuery]) -> Result<FusedResult, NextDoorError> {
         if queries.is_empty() {
             return Err(NextDoorError::EmptyInit);
         }
-        let width = queries[0].init.first().map_or(0, Vec::len);
-        for (qi, q) in queries.iter().enumerate() {
-            validate_run(&self.graph, self.app.as_ref(), &q.init)?;
-            let got = q.init[0].len();
-            if got != width {
-                return Err(NextDoorError::FusedWidthMismatch {
-                    expected: width,
-                    got,
-                    query: qi,
-                });
-            }
-        }
-        let mut init = Vec::new();
-        let mut map = Vec::new();
-        let mut ranges = Vec::with_capacity(queries.len());
         for q in queries {
-            ranges.push((init.len(), q.init.len()));
-            for (local, s) in q.init.iter().enumerate() {
-                init.push(s.clone());
-                map.push((q.seed, local as u64));
+            validate_run(&self.graph, self.app.as_ref(), &q.init)?;
+        }
+        // Width classes in order of first appearance, each holding the
+        // submission-order indices of its queries.
+        let mut classes: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let w = q.init[0].len();
+            match classes.iter_mut().find(|(cw, _)| *cw == w) {
+                Some((_, members)) => members.push(qi),
+                None => classes.push((w, vec![qi])),
             }
         }
-        let keys = SampleKeys::fused(map);
-        let res = self.run_batch(&init, &keys)?;
+        // One counter/launch snapshot brackets *all* classes, so the
+        // aggregate stats and profile account for the whole batch exactly
+        // (the same arithmetic as `finish_run`, over the combined span).
+        let counters0 = *self.gpu.counters();
+        let launch0 = self.gpu.launches_issued();
+        let launches = classes.len();
+        let mut report = FaultReport::default();
+        let mut sched_cycles = 0.0f64;
+        let mut steps_run = 0usize;
+        let mut step_marks: Vec<(usize, u64, u64)> = Vec::new();
+        let mut tagged: Vec<(usize, SampleStore)> = Vec::with_capacity(queries.len());
+        for (_, members) in &classes {
+            let mut init = Vec::new();
+            let mut map = Vec::new();
+            let mut ranges = Vec::with_capacity(members.len());
+            for &qi in members {
+                let q = &queries[qi];
+                ranges.push((qi, init.len(), q.init.len()));
+                for (local, s) in q.init.iter().enumerate() {
+                    init.push(s.clone());
+                    map.push((q.seed, local as u64));
+                }
+            }
+            let keys = SampleKeys::fused(map);
+            let out = run_step_loop(
+                &mut self.gpu,
+                &self.graph,
+                &self.gg,
+                self.app.as_ref(),
+                &init,
+                &keys,
+                GpuEngineKind::NextDoor,
+                None,
+            )?;
+            sched_cycles += out.sched_cycles;
+            steps_run += out.steps_run;
+            report.merge(&out.report);
+            step_marks.extend(out.step_marks);
+            for (qi, start, len) in ranges {
+                tagged.push((qi, out.store.slice(start, len)));
+            }
+        }
         self.queries_served += queries.len() as u64;
-        let per_query = ranges
-            .into_iter()
-            .map(|(start, len)| res.store.slice(start, len))
-            .collect();
+        let counters = self.gpu.counters().diff(&counters0);
+        let profile = RunProfile::from_device(&self.gpu, launch0, &step_marks);
+        let spec = self.gpu.spec();
+        let total_ms = spec.cycles_to_ms(counters.cycles);
+        let scheduling_ms = spec.cycles_to_ms(sched_cycles);
+        tagged.sort_by_key(|(qi, _)| *qi);
         Ok(FusedResult {
-            per_query,
-            stats: res.stats,
-            report: res.report,
+            per_query: tagged.into_iter().map(|(_, s)| s).collect(),
+            launches,
+            stats: EngineStats {
+                total_ms,
+                sampling_ms: total_ms - scheduling_ms,
+                scheduling_ms,
+                counters,
+                steps_run,
+                profile,
+            },
+            report,
         })
     }
 
@@ -372,6 +427,7 @@ mod tests {
             .collect();
         let fused = session.query_fused(&queries).unwrap();
         assert_eq!(fused.per_query.len(), 3);
+        assert_eq!(fused.launches, 1, "equal widths fuse into one sequence");
         for (q, sliced) in queries.iter().zip(&fused.per_query) {
             let solo = session.query(&q.init, q.seed).unwrap();
             assert_eq!(sliced.final_samples(), solo.store.final_samples());
@@ -380,27 +436,36 @@ mod tests {
     }
 
     #[test]
-    fn fused_width_mismatch_is_typed() {
+    fn mixed_width_fused_batch_matches_per_query_runs() {
+        // Queries of different initial widths share one fused dispatch:
+        // the session splits them into width classes (one launch sequence
+        // each) and every query still reproduces its standalone samples.
         let (g, _) = workload();
-        let mut session = SamplerSession::new(GpuSpec::small(), g, Box::new(Walk(2))).unwrap();
-        let res = session.query_fused(&[
-            SessionQuery {
-                init: vec![vec![0]],
-                seed: 1,
-            },
-            SessionQuery {
-                init: vec![vec![1, 2]],
-                seed: 2,
-            },
-        ]);
-        assert!(matches!(
-            res.err(),
-            Some(NextDoorError::FusedWidthMismatch {
-                expected: 1,
-                got: 2,
-                query: 1
+        let mut session =
+            SamplerSession::new(GpuSpec::small(), g.clone(), Box::new(Walk(4))).unwrap();
+        let queries: Vec<SessionQuery> = [1usize, 2, 1, 3, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| SessionQuery {
+                init: (0..6).map(|s| vec![(s * 7 + i as u32) % 200; w]).collect(),
+                seed: 500 + i as u64,
             })
-        ));
+            .collect();
+        let fused = session.query_fused(&queries).unwrap();
+        assert_eq!(fused.per_query.len(), queries.len());
+        assert_eq!(fused.launches, 3, "widths {{1,2,3}} form three classes");
+        for (q, sliced) in queries.iter().zip(&fused.per_query) {
+            let solo = SamplerSession::new(GpuSpec::small(), g.clone(), Box::new(Walk(4)))
+                .unwrap()
+                .query(&q.init, q.seed)
+                .unwrap();
+            assert_eq!(sliced.final_samples(), solo.store.final_samples());
+            for s in 0..sliced.num_samples() {
+                assert_eq!(sliced.edges_of(s), solo.store.edges_of(s));
+            }
+        }
+        assert!(fused.stats.total_ms > 0.0);
+        assert!(fused.report.is_clean());
         assert!(matches!(
             session.query_fused(&[]).err(),
             Some(NextDoorError::EmptyInit)

@@ -1,16 +1,31 @@
 //! Request micro-batching over a persistent [`SamplerSession`].
 //!
 //! The batcher is the deterministic core of the serving layer: it admits
-//! requests into a bounded FIFO queue and, on every drain, coalesces the
-//! longest run of fusable requests (equal initial width, up to
-//! [`ServeConfig::max_batch`]) into **one** fused transit-parallel launch
-//! via [`SamplerSession::query_fused`], then slices results back per
-//! request. Fusion is a pure throughput lever — each request's samples are
-//! bit-identical to running it alone.
+//! requests into a bounded queue and, on every drain, forms fused
+//! transit-parallel batches via [`SamplerSession::query_fused`], then
+//! slices results back per request. Fusion is a pure throughput lever —
+//! each request's samples are bit-identical to running it alone, because
+//! the engines key every RNG draw by the request's own `(seed, local id)`
+//! regardless of where the batcher packs it.
+//!
+//! **Batch formation** is width-class and deadline aware, not FIFO: the
+//! step planner sizes the shared transit array from one vertices-per-sample
+//! count, so only requests of equal initial width can share a launch. Each
+//! formation picks the globally most *urgent* pending request (earliest
+//! absolute deadline on the simulated clock; [`Priority`] then admission
+//! order break ties), and batches it with the up-to-
+//! [`ServeConfig::max_batch`] most urgent requests of its width class — a
+//! lone mismatched-width request no longer head-of-line-blocks everything
+//! behind it into singleton launches. Requests whose deadline has already
+//! expired while queued are shed *before* batch formation, without
+//! consuming device time. All of this is a pure function of the queue
+//! contents and the simulated clock, so serving schedules are bit-identical
+//! at any host thread count.
 //!
 //! All admission control and scheduling is synchronous and deterministic
 //! here; the thread that makes it a service lives in [`crate::server`].
 
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 use crate::error::ServeError;
@@ -42,12 +57,48 @@ impl Default for ServeConfig {
     }
 }
 
-/// Scheduling priority of a request. The single-replica [`MicroBatcher`]
-/// ignores it (strict FIFO); the replicated tier
-/// ([`FleetBatcher`](crate::replica::FleetBatcher)) sheds strictly
-/// lowest-priority-first when healthy capacity drops below demand, so
-/// `Low` traffic absorbs degradation before `Normal`, and `Normal` before
-/// `High`.
+impl ServeConfig {
+    /// Checks the knobs for sanity: a zero batch cap or queue bound could
+    /// never serve anything, and a non-positive (or non-finite) default
+    /// deadline would reject every request it applied to.
+    ///
+    /// [`MicroBatcher::new`] and
+    /// [`FleetBatcher::new`](crate::replica::FleetBatcher::new) call this,
+    /// so a nonsensical configuration is a typed construction error rather
+    /// than silently clamped behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_batch must be at least 1",
+            });
+        }
+        if self.max_queue == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_queue must be at least 1",
+            });
+        }
+        if let Some(d) = self.default_deadline_ms {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    reason: "default_deadline_ms must be finite and positive",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scheduling priority of a request. Both batchers use it as the tie-break
+/// between equal deadlines when forming batches (`High` is scheduled
+/// before `Normal` before `Low`); the replicated tier
+/// ([`FleetBatcher`](crate::replica::FleetBatcher)) additionally sheds
+/// strictly lowest-priority-first when healthy capacity drops below
+/// demand, so `Low` traffic absorbs degradation before `Normal`, and
+/// `Normal` before `High`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Best-effort traffic: first to be shed under degraded capacity.
@@ -92,6 +143,13 @@ impl Request {
         self.priority = priority;
         self
     }
+
+    /// The same request with a per-request deadline, in simulated
+    /// milliseconds from admission to batch completion.
+    pub fn with_deadline(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
 }
 
 /// Identifies an admitted request across `submit`/`drain` calls.
@@ -129,10 +187,111 @@ pub struct Response {
     pub report: FaultReport,
 }
 
-struct Pending {
-    id: RequestId,
-    req: Request,
-    admit_ms: f64,
+/// An admitted request waiting to be served, shared by the single-session
+/// [`MicroBatcher`] and the replicated
+/// [`FleetBatcher`](crate::replica::FleetBatcher).
+pub(crate) struct Pending {
+    pub(crate) id: RequestId,
+    pub(crate) req: Request,
+    /// Simulated-clock instant of admission (session clock or fleet clock,
+    /// depending on the batcher).
+    pub(crate) admit_ms: f64,
+}
+
+/// The deadline a pending request is held to, if any (its own, else the
+/// configured default), in simulated ms from admission.
+pub(crate) fn deadline_of(cfg: &ServeConfig, p: &Pending) -> Option<f64> {
+    p.req.deadline_ms.or(cfg.default_deadline_ms)
+}
+
+/// Rejects at admission a request whose own deadline could never be met:
+/// a non-positive budget is already expired before any queueing or
+/// service, and a non-finite one is meaningless.
+pub(crate) fn validate_deadline(req: &Request) -> Result<(), ServeError> {
+    if let Some(d) = req.deadline_ms {
+        if !d.is_finite() {
+            return Err(ServeError::InvalidConfig {
+                reason: "request deadline_ms must be finite",
+            });
+        }
+        if d <= 0.0 {
+            return Err(ServeError::DeadlineExceeded {
+                deadline_ms: d,
+                observed_ms: 0.0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Scheduling urgency order: earliest absolute deadline on the simulated
+/// clock first (no deadline sorts last), [`Priority`] (descending) breaks
+/// deadline ties, admission order breaks the rest — so a stream of
+/// deadline-less equal-priority requests is served strictly FIFO.
+pub(crate) fn urgency(cfg: &ServeConfig, a: &Pending, b: &Pending) -> Ordering {
+    let abs = |p: &Pending| deadline_of(cfg, p).map_or(f64::INFINITY, |d| p.admit_ms + d);
+    abs(a)
+        .total_cmp(&abs(b))
+        .then(b.req.priority.cmp(&a.req.priority))
+        .then(a.id.cmp(&b.id))
+}
+
+/// Sheds every pending request whose deadline has already expired at `now`
+/// (queue wait alone reached the budget), without consuming any device
+/// time. Remaining requests keep their admission order.
+pub(crate) fn shed_expired(
+    cfg: &ServeConfig,
+    pending: &mut VecDeque<Pending>,
+    now: f64,
+    out: &mut Vec<(RequestId, Result<Response, ServeError>)>,
+) {
+    let mut i = 0;
+    while i < pending.len() {
+        let expired = deadline_of(cfg, &pending[i]).is_some_and(|d| now - pending[i].admit_ms >= d);
+        if !expired {
+            i += 1;
+            continue;
+        }
+        if let Some(p) = pending.remove(i) {
+            let d = deadline_of(cfg, &p).unwrap_or(0.0);
+            out.push((
+                p.id,
+                Err(ServeError::DeadlineExceeded {
+                    deadline_ms: d,
+                    observed_ms: now - p.admit_ms,
+                }),
+            ));
+        }
+    }
+}
+
+/// Forms the next batch: the globally most urgent pending request anchors
+/// it, and the batch is the up-to-`cap` most urgent requests of the
+/// anchor's width class, in urgency order. Other width classes stay queued
+/// for later formations. Must be called with a non-empty queue.
+pub(crate) fn form_batch(
+    cfg: &ServeConfig,
+    cap: usize,
+    pending: &mut VecDeque<Pending>,
+) -> Vec<Pending> {
+    let anchor_width = pending
+        .iter()
+        .min_by(|a, b| urgency(cfg, a, b))
+        .map_or(0, |p| p.req.init[0].len());
+    let mut class: Vec<usize> = (0..pending.len())
+        .filter(|&i| pending[i].req.init[0].len() == anchor_width)
+        .collect();
+    class.sort_by(|&a, &b| urgency(cfg, &pending[a], &pending[b]));
+    class.truncate(cap.max(1));
+    // Remove back-to-front so earlier indices stay valid, then restore
+    // urgency order within the batch.
+    class.sort_unstable_by(|a, b| b.cmp(a));
+    let mut batch: Vec<Pending> = class
+        .into_iter()
+        .filter_map(|i| pending.remove(i))
+        .collect();
+    batch.sort_by(|a, b| urgency(cfg, a, b));
+    batch
 }
 
 /// Admits sampling requests into a bounded queue and serves them in fused
@@ -142,36 +301,49 @@ pub struct MicroBatcher {
     cfg: ServeConfig,
     pending: VecDeque<Pending>,
     next_id: u64,
+    launches: u64,
 }
 
 impl MicroBatcher {
     /// Wraps a warm session in a batcher with the given scheduling knobs.
-    pub fn new(session: SamplerSession, cfg: ServeConfig) -> Self {
-        MicroBatcher {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when the knobs fail
+    /// [`ServeConfig::validate`].
+    pub fn new(session: SamplerSession, cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        Ok(MicroBatcher {
             session,
             cfg,
             pending: VecDeque::new(),
             next_id: 0,
-        }
+            launches: 0,
+        })
     }
 
     /// Admits a request, or rejects it with backpressure.
     ///
     /// Admission is where a request can be refused without touching the
-    /// device: a full queue returns [`ServeError::QueueFull`] and invalid
+    /// device: a full queue returns [`ServeError::QueueFull`], invalid
     /// inputs (empty/ragged initial samples, out-of-range roots) return
-    /// [`ServeError::Sampling`] immediately, so only runnable requests
-    /// ever occupy queue slots.
+    /// [`ServeError::Sampling`], and a request whose deadline budget is
+    /// already non-positive (it could never complete in time) returns
+    /// [`ServeError::DeadlineExceeded`] immediately — so only runnable
+    /// requests ever occupy queue slots.
     ///
     /// # Errors
     ///
-    /// [`ServeError::QueueFull`] and [`ServeError::Sampling`], as above.
+    /// [`ServeError::QueueFull`], [`ServeError::Sampling`],
+    /// [`ServeError::DeadlineExceeded`] and [`ServeError::InvalidConfig`]
+    /// (non-finite deadline), as above.
     pub fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
         if self.pending.len() >= self.cfg.max_queue {
             return Err(ServeError::QueueFull {
                 capacity: self.cfg.max_queue,
             });
         }
+        validate_deadline(&req)?;
         validate_run(self.session.graph(), self.session.app(), &req.init)?;
         let id = RequestId(self.next_id);
         self.next_id += 1;
@@ -186,36 +358,33 @@ impl MicroBatcher {
     /// Serves every pending request and returns the outcomes in completion
     /// order.
     ///
-    /// Requests are taken strictly FIFO; each batch is the longest prefix
-    /// sharing one initial width, capped at [`ServeConfig::max_batch`],
-    /// run as a single fused launch. A request that finishes past its
-    /// deadline gets [`ServeError::DeadlineExceeded`] while the rest of
-    /// its batch completes normally; a batch whose fused run fails at
-    /// runtime fans the same typed error out to each of its requests and
-    /// later batches are still attempted.
+    /// Before each batch formation, requests whose deadline already
+    /// expired while queued are shed with [`ServeError::DeadlineExceeded`]
+    /// without touching the device. Each batch is then formed by urgency
+    /// (see [module docs](self)): the most urgent request's width class,
+    /// earliest-deadline-first within it, capped at
+    /// [`ServeConfig::max_batch`], run as a single fused launch. A request
+    /// that finishes past its deadline gets
+    /// [`ServeError::DeadlineExceeded`] while the rest of its batch
+    /// completes normally; a batch whose fused run fails at runtime fans
+    /// the same typed error out to each of its requests and later batches
+    /// are still attempted.
     pub fn drain(&mut self) -> Vec<(RequestId, Result<Response, ServeError>)> {
         let mut out = Vec::with_capacity(self.pending.len());
-        while !self.pending.is_empty() {
-            let batch = self.take_batch();
+        loop {
+            shed_expired(
+                &self.cfg,
+                &mut self.pending,
+                self.session.sim_ms(),
+                &mut out,
+            );
+            if self.pending.is_empty() {
+                break;
+            }
+            let batch = form_batch(&self.cfg, self.cfg.max_batch, &mut self.pending);
             self.run_batch(batch, &mut out);
         }
         out
-    }
-
-    /// Pops the longest FIFO prefix of equal-width requests, up to
-    /// `max_batch`.
-    fn take_batch(&mut self) -> Vec<Pending> {
-        let width = self.pending[0].req.init[0].len();
-        let mut batch = Vec::new();
-        while batch.len() < self.cfg.max_batch.max(1)
-            && self
-                .pending
-                .front()
-                .is_some_and(|p| p.req.init[0].len() == width)
-        {
-            batch.extend(self.pending.pop_front());
-        }
-        batch
     }
 
     fn run_batch(
@@ -233,11 +402,12 @@ impl MicroBatcher {
         let start_ms = self.session.sim_ms();
         match self.session.query_fused(&queries) {
             Ok(fused) => {
+                self.launches += fused.launches as u64;
                 let end_ms = self.session.sim_ms();
                 let batch_size = batch.len();
                 for (p, store) in batch.into_iter().zip(fused.per_query) {
                     let observed_ms = end_ms - p.admit_ms;
-                    let deadline = p.req.deadline_ms.or(self.cfg.default_deadline_ms);
+                    let deadline = deadline_of(&self.cfg, &p);
                     let result = match deadline {
                         Some(d) if observed_ms > d => Err(ServeError::DeadlineExceeded {
                             deadline_ms: d,
@@ -269,6 +439,14 @@ impl MicroBatcher {
     /// Requests admitted but not yet served.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Fused launch sequences dispatched to the device so far — the
+    /// batcher's fusion effectiveness: fewer launches for the same served
+    /// requests means better amortisation of per-launch fixed costs.
+    /// Requests shed before dispatch consume none.
+    pub fn launches(&self) -> u64 {
+        self.launches
     }
 
     /// The batcher's scheduling knobs.
@@ -305,7 +483,7 @@ mod tests {
         let g = rmat(8, 1500, RmatParams::SKEWED, 11);
         let session =
             SamplerSession::new(GpuSpec::small(), g, Box::new(KHop::new(vec![2, 2]))).unwrap();
-        MicroBatcher::new(session, cfg)
+        MicroBatcher::new(session, cfg).unwrap()
     }
 
     fn req(width: usize, seed: u64) -> Request {
@@ -341,18 +519,162 @@ mod tests {
     }
 
     #[test]
-    fn width_change_breaks_the_batch_fifo() {
+    fn mixed_widths_fuse_by_class_instead_of_head_of_line_blocking() {
+        // Regression for the old FIFO-prefix rule: widths [1,1,2,1] used to
+        // split at the width change into batches 1,1 | 2 | 1 — three
+        // launches, with the trailing width-1 request degraded to a
+        // singleton. Width-class formation serves all width-1 requests in
+        // one launch and the width-2 request in another.
         let mut b = batcher(ServeConfig::default());
-        b.submit(req(1, 1)).unwrap();
-        b.submit(req(1, 2)).unwrap();
-        b.submit(req(2, 3)).unwrap();
-        b.submit(req(1, 4)).unwrap();
+        let ids = [
+            b.submit(req(1, 1)).unwrap(),
+            b.submit(req(1, 2)).unwrap(),
+            b.submit(req(2, 3)).unwrap(),
+            b.submit(req(1, 4)).unwrap(),
+        ];
         let served = b.drain();
+        assert_eq!(b.launches(), 2, "two width classes, two launches");
+        let order: Vec<RequestId> = served.iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            order,
+            vec![ids[0], ids[1], ids[3], ids[2]],
+            "the width-1 class (admission order) completes first, then width-2"
+        );
         let sizes: Vec<usize> = served
             .iter()
             .map(|(_, r)| r.as_ref().unwrap().latency.batch_size)
             .collect();
-        assert_eq!(sizes, vec![2, 2, 1, 1], "widths 1,1 | 2 | 1 in FIFO order");
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn priority_breaks_scheduling_ties() {
+        // With no deadlines anywhere, urgency degenerates to priority then
+        // admission order: the High request jumps the queue at formation.
+        let mut b = batcher(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        let normal = b.submit(req(1, 1)).unwrap();
+        let high = b.submit(req(1, 2).with_priority(Priority::High)).unwrap();
+        let served = b.drain();
+        let order: Vec<RequestId> = served.iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, vec![high, normal]);
+        assert!(served.iter().all(|(_, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn expired_requests_are_shed_without_device_time() {
+        // Measure one clean singleton batch on an identical batcher...
+        let mut probe = batcher(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        probe.submit(req(1, 1)).unwrap();
+        let probe_served = probe.drain();
+        let service_ms = probe_served[0].1.as_ref().unwrap().latency.service_ms;
+        assert!(service_ms > 0.0);
+
+        // ...then hold two requests to deadlines shorter than that. EDF
+        // runs the 0.6x request first (it misses after full service); by
+        // the next formation the 0.8x request's wait alone exceeds its
+        // budget, so it is shed *before* dispatch: one launch total.
+        let mut b = batcher(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        let first = b.submit(req(1, 1).with_deadline(0.6 * service_ms)).unwrap();
+        let starved = b.submit(req(1, 2).with_deadline(0.8 * service_ms)).unwrap();
+        let served = b.drain();
+        assert_eq!(
+            b.launches(),
+            1,
+            "the expired request never reaches the device"
+        );
+        assert_eq!(served[0].0, first);
+        assert!(matches!(
+            served[0].1,
+            Err(ServeError::DeadlineExceeded { observed_ms, .. }) if observed_ms >= service_ms
+        ));
+        assert_eq!(served[1].0, starved);
+        match &served[1].1 {
+            Err(ServeError::DeadlineExceeded {
+                deadline_ms,
+                observed_ms,
+            }) => {
+                assert!((deadline_ms - 0.8 * service_ms).abs() < 1e-12);
+                assert!(
+                    *observed_ms >= *deadline_ms,
+                    "shed because queue wait alone exhausted the budget"
+                );
+            }
+            other => panic!("starved request should be shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_and_deadlines_are_typed_construction_errors() {
+        let g = rmat(8, 1500, RmatParams::SKEWED, 11);
+        let session =
+            SamplerSession::new(GpuSpec::small(), g, Box::new(KHop::new(vec![2, 2]))).unwrap();
+        let err = |cfg: ServeConfig| cfg.validate().err();
+        assert!(matches!(
+            err(ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            }),
+            Some(ServeError::InvalidConfig { reason }) if reason.contains("max_batch")
+        ));
+        assert!(matches!(
+            err(ServeConfig {
+                max_queue: 0,
+                ..ServeConfig::default()
+            }),
+            Some(ServeError::InvalidConfig { reason }) if reason.contains("max_queue")
+        ));
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                err(ServeConfig {
+                    default_deadline_ms: Some(bad),
+                    ..ServeConfig::default()
+                }),
+                Some(ServeError::InvalidConfig { reason }) if reason.contains("default_deadline_ms")
+            ));
+        }
+        // The constructor applies the same validation.
+        let mut b = match MicroBatcher::new(
+            session,
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+        ) {
+            Err(ServeError::InvalidConfig { .. }) => {
+                let g = rmat(8, 1500, RmatParams::SKEWED, 11);
+                let session =
+                    SamplerSession::new(GpuSpec::small(), g, Box::new(KHop::new(vec![2, 2])))
+                        .unwrap();
+                MicroBatcher::new(session, ServeConfig::default()).unwrap()
+            }
+            other => panic!("max_batch = 0 must be rejected, got {:?}", other.is_ok()),
+        };
+        // Admission rejects deadlines that are already unmeetable.
+        assert!(matches!(
+            b.submit(req(1, 1).with_deadline(0.0)).err(),
+            Some(ServeError::DeadlineExceeded {
+                deadline_ms,
+                observed_ms,
+            }) if deadline_ms == 0.0 && observed_ms == 0.0
+        ));
+        assert!(matches!(
+            b.submit(req(1, 1).with_deadline(-5.0)).err(),
+            Some(ServeError::DeadlineExceeded { .. })
+        ));
+        assert!(matches!(
+            b.submit(req(1, 1).with_deadline(f64::NAN)).err(),
+            Some(ServeError::InvalidConfig { .. })
+        ));
+        assert_eq!(b.pending_len(), 0, "rejected requests hold no queue slot");
     }
 
     #[test]
@@ -402,16 +724,19 @@ mod tests {
     #[test]
     fn missed_deadline_is_typed_while_batchmates_complete() {
         let mut b = batcher(ServeConfig::default());
-        b.submit(req(1, 1)).unwrap();
-        let mut strict = req(1, 2);
-        strict.deadline_ms = Some(0.0); // any positive service time misses
-        b.submit(strict).unwrap();
+        let relaxed = b.submit(req(1, 1)).unwrap();
+        // A hair above zero: admissible, but any real service time misses.
+        let strict = b.submit(req(1, 2).with_deadline(1e-9)).unwrap();
         let served = b.drain();
-        assert!(served[0].1.is_ok());
+        assert_eq!(b.launches(), 1, "both requests share one fused launch");
+        // EDF puts the deadline-carrying request first in the batch.
+        assert_eq!(served[0].0, strict);
         assert!(matches!(
-            served[1].1,
-            Err(ServeError::DeadlineExceeded { deadline_ms, .. }) if deadline_ms == 0.0
+            served[0].1,
+            Err(ServeError::DeadlineExceeded { deadline_ms, .. }) if deadline_ms == 1e-9
         ));
+        assert_eq!(served[1].0, relaxed);
+        assert!(served[1].1.is_ok());
     }
 
     #[test]

@@ -11,6 +11,15 @@ use nextdoor_core::NextDoorError;
 /// produce samples.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
+    /// The serving configuration (or a request's own deadline) is
+    /// nonsensical — a zero batch cap or queue bound, a non-positive or
+    /// non-finite deadline. Raised at construction
+    /// ([`ServeConfig::validate`](crate::batcher::ServeConfig::validate))
+    /// or at admission, never silently papered over.
+    InvalidConfig {
+        /// Which knob was rejected, and why.
+        reason: &'static str,
+    },
     /// The bounded request queue was full; the request was never admitted
     /// (backpressure — resubmit after the queue drains).
     QueueFull {
@@ -58,6 +67,9 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serving configuration: {reason}")
+            }
             ServeError::QueueFull { capacity } => {
                 write!(f, "request queue is full ({capacity} pending)")
             }
@@ -107,6 +119,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
+        assert!(ServeError::InvalidConfig {
+            reason: "max_batch must be at least 1"
+        }
+        .to_string()
+        .contains("max_batch"));
         assert!(ServeError::QueueFull { capacity: 4 }
             .to_string()
             .contains("full"));

@@ -11,8 +11,10 @@
 //!    queries, including *fused* multi-query batches that are bit-identical
 //!    to standalone runs.
 //! 2. [`MicroBatcher`] — deterministic admission control (bounded queue,
-//!    eager input validation), FIFO equal-width fusion up to a batch cap,
-//!    per-request deadlines on the simulated clock, typed per-request
+//!    eager input + config validation), width-class batch formation with
+//!    earliest-deadline-first scheduling ([`Priority`] breaks ties) up to
+//!    a batch cap, per-request deadlines on the simulated clock (expired
+//!    requests are shed before touching the device), typed per-request
 //!    errors ([`ServeError`]).
 //! 3. [`SampleServer`] — a scheduler thread that burst-collects concurrent
 //!    client requests into the batcher and mails each result back through
@@ -49,12 +51,17 @@
 //! let graph = rmat(8, 1200, RmatParams::SKEWED, 1);
 //! let session = SamplerSession::new(GpuSpec::small(), graph, Box::new(Walk))
 //!     .expect("graph fits on the device");
-//! let server = SampleServer::start(MicroBatcher::new(session, ServeConfig::default()));
+//! let batcher = MicroBatcher::new(session, ServeConfig::default())
+//!     .expect("default config is valid");
+//! let server = SampleServer::start(batcher);
 //!
+//! // Requests of *different* widths (vertices per sample) are welcome:
+//! // the batcher groups them into width classes, one fused launch each.
 //! let client = server.client();
 //! let tickets: Vec<_> = (0..4)
 //!     .map(|seed| {
-//!         let init = (0..8).map(|i| vec![i as u32]).collect();
+//!         let width = 1 + (seed as usize % 2);
+//!         let init = (0..8).map(|i| vec![i as u32; width]).collect();
 //!         client.submit(Request::new(init, seed)).expect("server is up")
 //!     })
 //!     .collect();

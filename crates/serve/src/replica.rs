@@ -43,7 +43,10 @@
 
 use std::collections::VecDeque;
 
-use crate::batcher::{Request, RequestId, RequestLatency, Response, ServeConfig};
+use crate::batcher::{
+    deadline_of, form_batch, shed_expired, validate_deadline, Pending, Request, RequestId,
+    RequestLatency, Response, ServeConfig,
+};
 use crate::error::ServeError;
 use crate::health::{BreakerConfig, CircuitBreaker};
 use crate::server::RequestOutcome;
@@ -541,22 +544,17 @@ impl ReplicaPool {
     }
 }
 
-struct FleetPending {
-    id: RequestId,
-    req: Request,
-    admit_ms: f64,
-}
-
 /// The replicated counterpart of
 /// [`MicroBatcher`](crate::batcher::MicroBatcher): same bounded admission
-/// and FIFO equal-width fusion, but batches are dispatched through a
-/// [`ReplicaPool`] — and under degraded capacity the batch cap shrinks and
-/// excess pending requests are shed lowest-priority-first with
+/// and width-class/deadline-aware fusion (see the
+/// [batcher module docs](crate::batcher)), but batches are dispatched
+/// through a [`ReplicaPool`] — and under degraded capacity the batch cap
+/// shrinks and excess pending requests are shed lowest-priority-first with
 /// [`ServeError::Overloaded`].
 pub struct FleetBatcher {
     pool: ReplicaPool,
     cfg: ServeConfig,
-    pending: VecDeque<FleetPending>,
+    pending: VecDeque<Pending>,
     next_id: u64,
     shed: u64,
     degraded_since: Option<f64>,
@@ -565,8 +563,14 @@ pub struct FleetBatcher {
 
 impl FleetBatcher {
     /// Wraps a replica pool in a batcher with the given scheduling knobs.
-    pub fn new(pool: ReplicaPool, cfg: ServeConfig) -> Self {
-        FleetBatcher {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when the knobs fail
+    /// [`ServeConfig::validate`].
+    pub fn new(pool: ReplicaPool, cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        Ok(FleetBatcher {
             pool,
             cfg,
             pending: VecDeque::new(),
@@ -574,7 +578,7 @@ impl FleetBatcher {
             shed: 0,
             degraded_since: None,
             degraded_intervals: Vec::new(),
-        }
+        })
     }
 
     /// Admits a request, or rejects it with backpressure — the same
@@ -583,17 +587,20 @@ impl FleetBatcher {
     /// # Errors
     ///
     /// [`ServeError::QueueFull`] past the queue bound,
-    /// [`ServeError::Sampling`] for invalid inputs.
+    /// [`ServeError::Sampling`] for invalid inputs,
+    /// [`ServeError::DeadlineExceeded`] / [`ServeError::InvalidConfig`]
+    /// for unmeetable or non-finite per-request deadlines.
     pub fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
         if self.pending.len() >= self.cfg.max_queue {
             return Err(ServeError::QueueFull {
                 capacity: self.cfg.max_queue,
             });
         }
+        validate_deadline(&req)?;
         validate_run(self.pool.graph(), self.pool.app(), &req.init)?;
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.pending.push_back(FleetPending {
+        self.pending.push_back(Pending {
             id,
             req,
             admit_ms: self.pool.fleet_ms(),
@@ -603,16 +610,19 @@ impl FleetBatcher {
 
     /// Serves every pending request through the pool and returns the
     /// outcomes in completion order (shed requests appear with
-    /// [`ServeError::Overloaded`]).
+    /// [`ServeError::Overloaded`]; requests whose deadline expired while
+    /// queued are shed with [`ServeError::DeadlineExceeded`] before ever
+    /// reaching a replica).
     pub fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
         let mut out = Vec::with_capacity(self.pending.len());
         loop {
             self.update_degradation();
             self.shed_excess(&mut out);
+            shed_expired(&self.cfg, &mut self.pending, self.pool.fleet_ms(), &mut out);
             if self.pending.is_empty() {
                 break;
             }
-            let batch = self.take_batch();
+            let batch = form_batch(&self.cfg, self.effective_max_batch(), &mut self.pending);
             self.run_batch(batch, &mut out);
         }
         out
@@ -623,7 +633,7 @@ impl FleetBatcher {
         let total = self.pool.num_replicas();
         let healthy = self.pool.healthy_count();
         if healthy >= total {
-            self.cfg.max_batch.max(1)
+            self.cfg.max_batch
         } else {
             (self.cfg.max_batch * healthy / total).max(1)
         }
@@ -676,24 +686,7 @@ impl FleetBatcher {
         }
     }
 
-    /// Pops the longest FIFO prefix of equal-width requests, up to the
-    /// degradation-scaled batch cap.
-    fn take_batch(&mut self) -> Vec<FleetPending> {
-        let width = self.pending[0].req.init[0].len();
-        let cap = self.effective_max_batch();
-        let mut batch = Vec::new();
-        while batch.len() < cap
-            && self
-                .pending
-                .front()
-                .is_some_and(|p| p.req.init[0].len() == width)
-        {
-            batch.extend(self.pending.pop_front());
-        }
-        batch
-    }
-
-    fn run_batch(&mut self, batch: Vec<FleetPending>, out: &mut Vec<(RequestId, RequestOutcome)>) {
+    fn run_batch(&mut self, batch: Vec<Pending>, out: &mut Vec<(RequestId, RequestOutcome)>) {
         let queries: Vec<SessionQuery> = batch
             .iter()
             .map(|p| SessionQuery {
@@ -706,7 +699,7 @@ impl FleetBatcher {
                 let batch_size = batch.len();
                 for (p, store) in batch.into_iter().zip(pr.fused.per_query) {
                     let observed_ms = pr.end_ms - p.admit_ms;
-                    let deadline = p.req.deadline_ms.or(self.cfg.default_deadline_ms);
+                    let deadline = deadline_of(&self.cfg, &p);
                     let result = match deadline {
                         Some(d) if observed_ms > d => Err(ServeError::DeadlineExceeded {
                             deadline_ms: d,
@@ -970,7 +963,7 @@ mod tests {
             ],
             PoolConfig::default(),
         );
-        let mut fb = FleetBatcher::new(pool, serve_cfg);
+        let mut fb = FleetBatcher::new(pool, serve_cfg).unwrap();
         // Kill two of three replicas first: the opening batch lands on
         // replica 0 (all idle, lowest index wins), the second routes to
         // idle replica 1, dies, fails over through replica 2 (dies too)
@@ -1029,7 +1022,7 @@ mod tests {
             vec![FaultPlan::new(), FaultPlan::new()],
             PoolConfig::default(),
         );
-        let mut fb = FleetBatcher::new(pool, ServeConfig::default());
+        let mut fb = FleetBatcher::new(pool, ServeConfig::default()).unwrap();
         let ids: Vec<_> = (0..3).map(|s| fb.submit(req(50 + s)).unwrap()).collect();
         let served = fb.drain();
         assert_eq!(served.len(), 3);

@@ -14,7 +14,8 @@
 //! The scheduler applies no timers: the simulator's clock is virtual, so
 //! waiting wall-clock time for more requests would add latency without
 //! adding determinism. Batches form from queue pressure alone, exactly as
-//! the batcher's FIFO/equal-width rule dictates.
+//! the batcher's width-class/deadline-aware formation rule dictates (see
+//! the [batcher module docs](crate::batcher)).
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -232,7 +233,7 @@ mod tests {
         let g = rmat(8, 1500, RmatParams::SKEWED, 11);
         let session =
             SamplerSession::new(GpuSpec::small(), g, Box::new(KHop::new(vec![2, 2]))).unwrap();
-        SampleServer::start(MicroBatcher::new(session, ServeConfig::default()))
+        SampleServer::start(MicroBatcher::new(session, ServeConfig::default()).unwrap())
     }
 
     fn req(seed: u64) -> Request {

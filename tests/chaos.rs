@@ -107,7 +107,8 @@ fn run_chaos(spec: &GpuSpec) -> (String, String) {
             max_queue: 12,
             default_deadline_ms: None,
         },
-    );
+    )
+    .unwrap();
 
     let mut outcome_digest = String::new();
     let mut next_seed = 1000u64;
@@ -212,7 +213,8 @@ fn chaos_run_recovers_breaker_and_sheds_typed() {
             max_queue: 12,
             default_deadline_ms: None,
         },
-    );
+    )
+    .unwrap();
     let mut oracle = SamplerSession::new(spec, graph.clone(), app()).unwrap();
 
     let mut next_seed = 1000u64;

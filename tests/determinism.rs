@@ -174,7 +174,8 @@ fn fused_session_serving_is_thread_count_invariant() {
         )
         .unwrap();
         let mut batcher =
-            nextdoor::serve::MicroBatcher::new(session, nextdoor::serve::ServeConfig::default());
+            nextdoor::serve::MicroBatcher::new(session, nextdoor::serve::ServeConfig::default())
+                .unwrap();
         for (r, chunk) in init.chunks(16).enumerate() {
             batcher
                 .submit(nextdoor::serve::Request::new(chunk.to_vec(), 7 + r as u64))
@@ -192,6 +193,54 @@ fn fused_session_serving_is_thread_count_invariant() {
         }
         out.push_str(&format!(
             "counters: {:?}\n",
+            batcher.session().gpu().counters()
+        ));
+        out
+    });
+}
+
+#[test]
+fn mixed_width_fused_serving_is_thread_count_invariant() {
+    // The width-class scheduler splits a heterogeneous drain into one
+    // fused launch sequence per root-set width. The grouping, the
+    // per-class RNG keying and the cross-class latency accounting must
+    // all reduce identically at any worker count.
+    let (graph, init, _) = workload();
+    assert_thread_invariant("serve_mixed_width", |spec| {
+        let session = nextdoor::core::SamplerSession::new(
+            spec,
+            graph.clone(),
+            Box::new(KHop::new(vec![3, 2])),
+        )
+        .unwrap();
+        let mut batcher =
+            nextdoor::serve::MicroBatcher::new(session, nextdoor::serve::ServeConfig::default())
+                .unwrap();
+        // Widths alternate 1, 2, 1, 3 across requests built from the same
+        // root pool, so a single drain mixes three width classes.
+        let widths = [1usize, 2, 1, 3];
+        for (r, &w) in widths.iter().enumerate() {
+            let roots: Vec<Vec<VertexId>> = init[r * 8..(r + 1) * 8]
+                .iter()
+                .map(|s| vec![s[0]; w])
+                .collect();
+            batcher
+                .submit(nextdoor::serve::Request::new(roots, 70 + r as u64))
+                .unwrap();
+        }
+        let served = batcher.drain();
+        let mut out = String::new();
+        for (id, outcome) in &served {
+            let resp = outcome.as_ref().unwrap();
+            out.push_str(&format!(
+                "{id:?} samples: {:?}\nlatency: {:?}\n",
+                resp.store.final_samples(),
+                resp.latency,
+            ));
+        }
+        out.push_str(&format!(
+            "launches: {} counters: {:?}\n",
+            batcher.launches(),
             batcher.session().gpu().counters()
         ));
         out

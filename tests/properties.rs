@@ -209,7 +209,7 @@ proptest! {
             let gpus = vec![Gpu::new(spec.clone()), Gpu::new(spec.clone())];
             let pool = ReplicaPool::new(gpus, &g, vec![app(), app()], PoolConfig::default())
                 .unwrap();
-            let mut fleet = FleetBatcher::new(pool, ServeConfig::default());
+            let mut fleet = FleetBatcher::new(pool, ServeConfig::default()).unwrap();
             // Scheduled relative to current traffic, after the graph
             // uploads — so every generated plan lands on live serving
             // traffic instead of being swallowed by session setup.

@@ -55,7 +55,7 @@ fn fused_batch_is_bit_identical_to_sequential_requests() {
         .collect();
 
     // The same requests fused into one launch by the batcher.
-    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default());
+    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default()).unwrap();
     for (r, init) in inits.iter().enumerate() {
         batcher
             .submit(Request::new(init.clone(), r as u64))
@@ -68,6 +68,60 @@ fn fused_batch_is_bit_identical_to_sequential_requests() {
         assert_eq!(resp.latency.batch_size, inits.len(), "requests did fuse");
         assert_eq!(&digest(&resp.store), want);
     }
+}
+
+#[test]
+fn mixed_width_fused_batches_are_bit_identical_to_standalone_runs() {
+    // Requests with different root-set widths land in one drain. The
+    // width-class scheduler fuses each class separately, so nobody is
+    // blocked behind a width change — and per-sample RNG keying keeps
+    // every request's samples bit-identical to a standalone run of the
+    // same `(init, seed)`.
+    let graph = Dataset::Ppi.generate(0.02, 5);
+    let widths = [1usize, 2, 1, 3, 2, 1];
+    let inits: Vec<Vec<Vec<VertexId>>> = widths
+        .iter()
+        .enumerate()
+        .map(|(r, &w)| initial_samples_random(&graph, 16, w, 300 + r as u64).unwrap())
+        .collect();
+
+    let standalone: Vec<String> = inits
+        .iter()
+        .enumerate()
+        .map(|(r, init)| {
+            let mut gpu = Gpu::new(GpuSpec::small());
+            let res =
+                run_nextdoor(&mut gpu, &graph, &KHop::new(vec![3, 2]), init, r as u64).unwrap();
+            digest(&res.store)
+        })
+        .collect();
+
+    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default()).unwrap();
+    for (r, init) in inits.iter().enumerate() {
+        batcher
+            .submit(Request::new(init.clone(), r as u64))
+            .unwrap();
+    }
+    let served = batcher.drain();
+    assert_eq!(served.len(), inits.len());
+    assert_eq!(
+        batcher.launches(),
+        3,
+        "three width classes fuse into three launch sequences, not six"
+    );
+    let mut seen = vec![false; inits.len()];
+    for (id, outcome) in &served {
+        let r = id.0 as usize;
+        seen[r] = true;
+        let resp = outcome.as_ref().unwrap();
+        assert_eq!(
+            &digest(&resp.store),
+            &standalone[r],
+            "request {r} (width {}) diverged from its standalone run",
+            widths[r]
+        );
+    }
+    assert!(seen.iter().all(|&s| s), "every request got an outcome");
 }
 
 #[test]
@@ -109,7 +163,7 @@ fn faulted_batch_misses_one_deadline_while_batchmates_complete_identically() {
 
     // Clean pass: what the fused batch produces and how long it takes on
     // the simulated clock when nothing goes wrong.
-    let mut clean = MicroBatcher::new(session(&graph), ServeConfig::default());
+    let mut clean = MicroBatcher::new(session(&graph), ServeConfig::default()).unwrap();
     for (r, init) in inits.iter().enumerate() {
         clean.submit(Request::new(init.clone(), r as u64)).unwrap();
     }
@@ -119,7 +173,7 @@ fn faulted_batch_misses_one_deadline_while_batchmates_complete_identically() {
     // Faulty pass: a transient kernel fault forces a step retry, inflating
     // the batch on the simulated clock. Request 1 carries a deadline sized
     // for the clean batch, so the fault pushes it — and only it — over.
-    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default());
+    let mut batcher = MicroBatcher::new(session(&graph), ServeConfig::default()).unwrap();
     batcher
         .session_mut()
         .gpu_mut()
@@ -133,7 +187,11 @@ fn faulted_batch_misses_one_deadline_while_batchmates_complete_identically() {
     }
     let served = batcher.drain();
     assert_eq!(served.len(), inits.len());
-    for (r, ((_, outcome), (_, clean_outcome))) in served.iter().zip(&clean_served).enumerate() {
+    // The deadline-carrying request is the most urgent, so EDF serves it
+    // first; match outcomes by id rather than by drain position.
+    assert_eq!(served[0].0 .0, 1, "EDF puts the deadline holder first");
+    for (id, outcome) in &served {
+        let r = id.0 as usize;
         if r == 1 {
             match outcome {
                 Err(ServeError::DeadlineExceeded {
@@ -151,7 +209,7 @@ fn faulted_batch_misses_one_deadline_while_batchmates_complete_identically() {
             );
             assert_eq!(
                 digest(&resp.store),
-                digest(&clean_outcome.as_ref().unwrap().store),
+                digest(&clean_served[r].1.as_ref().unwrap().store),
                 "surviving request {r} must reproduce the fault-free samples"
             );
         }
@@ -167,7 +225,8 @@ fn admission_control_rejects_with_typed_errors() {
             max_queue: 2,
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     batcher.submit(Request::new(inits[0].clone(), 1)).unwrap();
     batcher.submit(Request::new(inits[1].clone(), 2)).unwrap();
     assert_eq!(
@@ -199,7 +258,8 @@ fn sustained_overload_backpressure_is_deterministic_and_lossless() {
             max_queue: 4,
             default_deadline_ms: None,
         },
-    );
+    )
+    .unwrap();
     let mut next_seed = 0u64;
     let mut last_served_id: Option<RequestId> = None;
     for round in 0..20 {
@@ -289,7 +349,8 @@ fn dead_worker_thread_yields_server_gone_instead_of_hanging() {
 #[test]
 fn threaded_server_serves_concurrent_clients_bit_identically() {
     let (graph, inits) = workload();
-    let server = SampleServer::start(MicroBatcher::new(session(&graph), ServeConfig::default()));
+    let server =
+        SampleServer::start(MicroBatcher::new(session(&graph), ServeConfig::default()).unwrap());
     let handles: Vec<_> = inits
         .iter()
         .enumerate()
