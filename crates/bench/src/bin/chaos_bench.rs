@@ -117,7 +117,7 @@ fn serve_stream(
     wave: usize,
     chaos_after_first_wave: bool,
     limit: Option<usize>,
-) -> LegResult {
+) -> (LegResult, FleetBatcher) {
     let mut submitted = 0usize;
     let mut completed = 0usize;
     let mut shed = 0usize;
@@ -176,13 +176,14 @@ fn serve_stream(
             break;
         }
     }
-    LegResult {
+    let leg = LegResult {
         submitted,
         completed,
         shed,
         samples,
         report: fleet.report(),
-    }
+    };
+    (leg, fleet)
 }
 
 fn leg_json(name: &str, leg: &LegResult) -> String {
@@ -261,7 +262,7 @@ fn main() {
         g.num_edges()
     );
 
-    let chaos = serve_stream(
+    let (chaos, chaos_fleet) = serve_stream(
         fleet(&cfg.gpu, &g, wave, cooldown_ms),
         &inits,
         seed_of,
@@ -275,8 +276,24 @@ fn main() {
         requests,
         "no request vanishes under chaos"
     );
+    // Fleet timeline of the chaos leg: retries, cool-down waits and the
+    // degraded batches, one track per replica with flow arrows into each
+    // replica's kernel lanes.
+    let labels: Vec<String> = (0..3).map(|i| format!("replica{i}")).collect();
+    let devices: Vec<(&str, &nextdoor_gpu::Profile)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.as_str(), chaos_fleet.pool().session(i).gpu().profile()))
+        .collect();
+    cfg.export_fleet_obs(
+        "chaos",
+        &cfg.gpu,
+        chaos_fleet.trace(),
+        chaos_fleet.metrics(),
+        &devices,
+    );
 
-    let healthy = serve_stream(
+    let (healthy, _) = serve_stream(
         fleet(&cfg.gpu, &g, wave, cooldown_ms),
         &inits,
         seed_of,

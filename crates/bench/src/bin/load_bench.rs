@@ -3,11 +3,23 @@
 //!
 //! Simulates hundreds of clients issuing sampling requests with Poisson
 //! arrivals at an offered rate deliberately above the device's service
-//! rate, against a single [`MicroBatcher`]. Requests mix three root-set
-//! widths, three [`Priority`] levels and an SLO deadline calibrated from a
-//! measured clean batch — so every scheduling path (width-class formation,
-//! EDF, priority tie-breaks, admission backpressure, pre-dispatch expiry
-//! shedding) carries real traffic.
+//! rate, against a single-replica [`FleetBatcher`] (so the retry/backoff
+//! path is part of the run: a transient-fault storm lands a third of the
+//! way through the stream). Requests mix three root-set widths, three
+//! [`Priority`] levels and an SLO deadline calibrated from a measured
+//! clean batch — so every scheduling path (width-class formation, EDF,
+//! priority tie-breaks, admission backpressure, pre-dispatch expiry
+//! shedding, retry with exponential backoff) carries real traffic.
+//!
+//! Under `--profile` the run exports its observability artifacts — the
+//! chrome://tracing fleet timeline (`results/fleet_load.trace.json`, with
+//! the shed/expired requests, the storm's backoff spans and an explicit
+//! multi-width fused dispatch all visible and linked to their kernel
+//! records) and the deterministic metrics snapshot
+//! (`results/metrics_load.json`, including per-priority SLO attainment).
+//! The trace and metrics digests are folded into
+//! `results/load_digest.txt`, so CI's cross-thread-count comparison also
+//! pins the whole observability layer bit-for-bit.
 //!
 //! Everything scheduling-relevant runs on the simulated clock with
 //! counter-based RNG, so the run is deterministic: a digest of every
@@ -29,10 +41,13 @@
 
 use nextdoor_bench::BenchConfig;
 use nextdoor_core::api::SamplingApp;
-use nextdoor_core::session::SamplerSession;
-use nextdoor_gpu::GpuSpec;
+use nextdoor_core::session::{SamplerSession, SessionQuery};
+use nextdoor_gpu::{FaultPlan, Gpu, GpuSpec};
 use nextdoor_graph::{Csr, Dataset, VertexId};
-use nextdoor_serve::{MicroBatcher, Priority, Request, ServeConfig, ServeError};
+use nextdoor_serve::{
+    BreakerConfig, FleetBatcher, MicroBatcher, PoolConfig, Priority, ReplicaPool, Request,
+    ServeConfig, ServeError, SpanKind,
+};
 use std::time::Instant;
 
 fn app() -> Box<dyn SamplingApp + Send> {
@@ -155,6 +170,16 @@ struct LoadOutcome {
     batch_sizes: Vec<usize>,
 }
 
+/// FNV-1a over a string — pins a multi-KB digest as one line in
+/// `results/load_digest.txt`.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// FNV-1a over a request's final samples — enough to pin bit-identity in
 /// the digest without dumping every vertex.
 fn samples_hash(store: &nextdoor_core::SampleStore) -> u64 {
@@ -167,17 +192,50 @@ fn samples_hash(store: &nextdoor_core::SampleStore) -> u64 {
     h
 }
 
-/// Drives the open-loop script against one batcher. Arrivals are admitted
-/// as their simulated arrival time passes the session clock (at least one
-/// per round so the clock always advances); each round then drains, which
-/// serves the backlog and moves the clock. Overload therefore shows up
-/// exactly as in a real open-loop system: the queue fills while the device
-/// is busy, late arrivals bounce off `QueueFull`, and queued requests
-/// outlive their deadline and are shed before dispatch.
-fn run_open_loop(spec: &GpuSpec, g: &Csr, script: &[Arrival], cfg: &ServeConfig) -> LoadOutcome {
-    let session = SamplerSession::new(spec.clone(), g.clone(), app())
-        .expect("bench graph fits on the device");
-    let mut b = MicroBatcher::new(session, *cfg).expect("bench serve config is valid");
+/// The single-replica fleet the open loop runs against. A pool rather
+/// than a bare [`MicroBatcher`] so the load run also exercises the
+/// retry/backoff path: a transient-fault storm lands mid-stream (see
+/// [`run_open_loop`]) and the generous retry budget rides it out. The
+/// breaker threshold is set beyond the storm so the lone replica never
+/// trips into cool-down (which, at one replica, would degrade-shed the
+/// whole queue and drown the overload signal this bench is about).
+fn load_fleet(spec: &GpuSpec, g: &Csr, cfg: &ServeConfig, batch_ms: f64) -> FleetBatcher {
+    let pool = ReplicaPool::new(
+        vec![Gpu::new(spec.clone())],
+        g,
+        vec![app()],
+        PoolConfig {
+            max_retries: 24,
+            backoff_base_ms: batch_ms / 16.0,
+            hedge_after_ms: None,
+            breaker: BreakerConfig {
+                trip_after: 10_000,
+                cooldown_ms: batch_ms,
+            },
+        },
+    )
+    .expect("bench graph fits on the device");
+    FleetBatcher::new(pool, *cfg).expect("bench serve config is valid")
+}
+
+/// Drives the open-loop script against the single-replica fleet. Arrivals
+/// are admitted as their simulated arrival time passes the fleet clock (at
+/// least one per round so the clock always advances); each round then
+/// drains, which serves the backlog and moves the clock. Overload
+/// therefore shows up exactly as in a real open-loop system: the queue
+/// fills while the device is busy, late arrivals bounce off `QueueFull`,
+/// and queued requests outlive their deadline and are shed before
+/// dispatch. A third of the way in, a transient-fault storm hits the
+/// replica, so the tail of the run also pays retry/backoff.
+fn run_open_loop(
+    spec: &GpuSpec,
+    g: &Csr,
+    script: &[Arrival],
+    cfg: &ServeConfig,
+    batch_ms: f64,
+) -> (LoadOutcome, FleetBatcher) {
+    let mut b = load_fleet(spec, g, cfg, batch_ms);
+    let storm_at = script.len() / 3;
     let mut out = LoadOutcome {
         admitted: 0,
         queue_rejected: 0,
@@ -196,9 +254,21 @@ fn run_open_loop(spec: &GpuSpec, g: &Csr, script: &[Arrival], cfg: &ServeConfig)
     let mut submitted_wall = std::collections::HashMap::new();
     let mut next = 0usize;
     while next < script.len() || b.pending_len() > 0 {
-        let now = b.session().sim_ms();
+        let now = b.pool().fleet_ms();
         let mut this_round = 0usize;
         while next < script.len() && (script[next].at_ms <= now || this_round == 0) {
+            if next == storm_at {
+                // Relative to the replica's live launch counter: the next
+                // 60 launches fault transiently, so dispatches fail and
+                // the pool's retry/backoff machinery carries the stream.
+                b.pool_mut().schedule_faults(
+                    0,
+                    FaultPlan {
+                        transient_launches: (0..60).collect(),
+                        ..FaultPlan::new()
+                    },
+                );
+            }
             let a = &script[next];
             let req = Request::new(a.init.clone(), a.seed).with_priority(a.priority);
             match b.submit(req) {
@@ -251,9 +321,9 @@ fn run_open_loop(spec: &GpuSpec, g: &Csr, script: &[Arrival], cfg: &ServeConfig)
             }
         }
     }
-    out.launches = b.launches();
-    out.run_sim_ms = b.session().sim_ms();
-    out
+    out.launches = b.pool().session(0).gpu().launches_issued();
+    out.run_sim_ms = b.pool().fleet_ms();
+    (out, b)
 }
 
 /// Serves `reqs` in one drain on a fresh session; returns
@@ -355,7 +425,7 @@ fn main() {
     );
 
     let script = arrivals(&g, requests, clients, samples_per_request, lambda, cfg.seed);
-    let load = run_open_loop(&cfg.gpu, &g, &script, &serve_cfg);
+    let (load, mut lb) = run_open_loop(&cfg.gpu, &g, &script, &serve_cfg, batch_ms);
     assert_eq!(
         load.completed + load.deadline_missed,
         load.admitted,
@@ -384,13 +454,98 @@ fn main() {
     let total = sorted(load.total_ms.clone());
     println!(
         "served {:.1} req/s (sim): {} completed, {} SLO misses, {} queue-rejected \
-         (attainment {:.3}, mean batch {mean_batch:.2}, {} launches)",
+         (attainment {:.3}, mean batch {mean_batch:.2}, {} launches, {} retries)",
         throughput,
         load.completed,
         load.deadline_missed,
         load.queue_rejected,
         slo_attainment,
         load.launches,
+        lb.metrics().sim.retries,
+    );
+
+    // One explicit multi-width fused dispatch: the scheduler's formation
+    // rule keeps batches single-width (that is the head-of-line fix), so
+    // the fleet timeline's fused multi-class dispatch — one Dispatch span
+    // fanning into one ClassLaunch span per width — is driven directly
+    // through the pool.
+    let mixed_queries: Vec<SessionQuery> = WIDTHS
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| SessionQuery {
+            init: nextdoor_core::initial_samples_random(
+                &g,
+                samples_per_request,
+                w,
+                cfg.seed ^ (0x3000 + i as u64),
+            )
+            .expect("bench graph is non-empty"),
+            seed: cfg.seed ^ (0x4000 + i as u64),
+        })
+        .collect();
+    let pr = lb
+        .pool_mut()
+        .dispatch(&mixed_queries)
+        .expect("clean post-run dispatch succeeds");
+    assert_eq!(
+        pr.fused.class_marks.len(),
+        WIDTHS.len(),
+        "the mixed dispatch fuses one launch sequence per width class"
+    );
+
+    // The acceptance contract on the exported timeline: at least one shed
+    // (expired) request, one retry (backoff span), and the multi-width
+    // dispatch above, all as distinct spans.
+    let trace = lb.trace();
+    assert!(
+        trace.count(SpanKind::Expired) >= 1,
+        "overload must shed at least one expired request into the trace"
+    );
+    assert!(
+        trace.count(SpanKind::Backoff) >= 1 && lb.metrics().sim.retries >= 1,
+        "the transient storm must force at least one retry/backoff"
+    );
+    let mixed_widths: Vec<usize> = trace
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::ClassLaunch && s.batch == Some(pr.batch))
+        .filter_map(|s| s.width)
+        .collect();
+    assert_eq!(
+        mixed_widths.len(),
+        WIDTHS.len(),
+        "the mixed dispatch must appear as one ClassLaunch span per width"
+    );
+
+    let metrics_digest = lb.metrics().digest();
+    let trace_digest = lb.trace().digest();
+    let per_priority: Vec<(&str, Priority)> = vec![
+        ("high", Priority::High),
+        ("normal", Priority::Normal),
+        ("low", Priority::Low),
+    ];
+    for (name, p) in &per_priority {
+        let m = lb.metrics().priority(*p);
+        println!(
+            "  {name:>6}: attainment {} ({} completed, {} missed, {} expired), \
+             p99 total {} sim-ms",
+            m.slo_attainment()
+                .map_or("n/a".into(), |a| format!("{a:.3}")),
+            m.completed,
+            m.deadline_missed,
+            m.expired_shed,
+            m.total_ms
+                .quantile(0.99)
+                .map_or("n/a".into(), |q| format!("{q:.3}")),
+        );
+    }
+
+    cfg.export_fleet_obs(
+        "load",
+        &cfg.gpu,
+        lb.trace(),
+        lb.metrics(),
+        &[("replica0", lb.pool().session(0).gpu().profile())],
     );
 
     // Head-of-line isolation: the same mixed-width set, three ways.
@@ -427,16 +582,55 @@ fn main() {
         "mixed-width fused throughput must not lose to the old FIFO-prefix rule"
     );
 
+    // The digest CI compares across thread counts: every outcome line,
+    // then the observability layer folded in as two hashes — the trace and
+    // metrics digests are multi-KB `{:?}` dumps, so pin them by FNV.
+    let mut digest = load.digest.clone();
+    digest.push_str(&format!(
+        "metrics-digest fnv64 {:016x}\n",
+        fnv64(&metrics_digest)
+    ));
+    digest.push_str(&format!(
+        "trace-digest fnv64 {:016x}\n",
+        fnv64(&trace_digest)
+    ));
+    digest.push_str(&format!("trace-spans {}\n", lb.trace().len()));
     std::fs::create_dir_all("results").expect("can create results/");
-    std::fs::write("results/load_digest.txt", &load.digest).expect("can write the load digest");
+    std::fs::write("results/load_digest.txt", &digest).expect("can write the load digest");
     println!("wrote results/load_digest.txt ({} outcomes)", requests);
 
+    let priority_json = per_priority
+        .iter()
+        .map(|(name, p)| {
+            let m = lb.metrics().priority(*p);
+            format!(
+                "      \"{name}\": {{\n        \"completed\": {},\n        \
+                 \"deadline_missed\": {},\n        \"expired_shed\": {},\n        \
+                 \"slo_attainment\": {},\n        \"total_p50_ms\": {},\n        \
+                 \"total_p99_ms\": {}\n      }}",
+                m.completed,
+                m.deadline_missed,
+                m.expired_shed,
+                m.slo_attainment()
+                    .map_or("null".into(), |a| format!("{a:.4}")),
+                m.total_ms
+                    .quantile(0.5)
+                    .map_or("null".into(), |q| format!("{q:.4}")),
+                m.total_ms
+                    .quantile(0.99)
+                    .map_or("null".into(), |q| format!("{q:.4}")),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let section = format!(
         "{{\n    \"clients\": {clients},\n    \"requests\": {requests},\n    \
          \"samples_per_request\": {samples_per_request},\n    \
          \"offered_rps_sim\": {:.1},\n    \"slo_ms\": {slo_ms:.4},\n    \
          \"admitted\": {},\n    \"queue_rejected\": {},\n    \"completed\": {},\n    \
          \"deadline_missed\": {},\n    \"slo_attainment\": {slo_attainment:.4},\n    \
+         \"retries\": {},\n    \
+         \"attainment_by_priority\": {{\n{priority_json}\n    }},\n    \
          \"throughput_rps_sim\": {throughput:.1},\n    \"launches\": {},\n    \
          \"mean_batch_size\": {mean_batch:.2},\n    \"sim_latency\": {{\n      \
          \"queued_p50_ms\": {:.4},\n      \"queued_p99_ms\": {:.4},\n      \
@@ -458,6 +652,7 @@ fn main() {
         load.queue_rejected,
         load.completed,
         load.deadline_missed,
+        lb.metrics().sim.retries,
         load.launches,
         percentile(&queued, 50.0),
         percentile(&queued, 99.0),

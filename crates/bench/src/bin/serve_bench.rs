@@ -183,7 +183,14 @@ fn main() {
         );
     }
     let fused = leg_stats(fused_lat, fused_t0.elapsed().as_secs_f64() * 1e3);
-    server.shutdown();
+    let batcher = server.shutdown();
+    cfg.export_fleet_obs(
+        "serve",
+        batcher.session().gpu().spec(),
+        batcher.trace(),
+        batcher.metrics(),
+        &[("session", batcher.session().gpu().profile())],
+    );
 
     let mean_batch = batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64;
     sim_queued.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

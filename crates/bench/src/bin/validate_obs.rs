@@ -1,0 +1,51 @@
+//! Validates an exported observability artifact against a checked-in
+//! schema (`schemas/*.schema.json`). CI runs this over the `--profile`
+//! exports so a refactor cannot silently change the JSON contract the
+//! timeline viewer and downstream tooling rely on.
+//!
+//! Usage: `validate_obs --schema schemas/serve_metrics.schema.json results/metrics_load.json`
+//!
+//! Exits 0 when the document parses and satisfies the schema, 1 otherwise
+//! (printing one path-qualified message per violation).
+
+use nextdoor_bench::jsonv;
+use std::process::ExitCode;
+
+fn load(path: &str, what: &str) -> Result<jsonv::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{what} {path}: {e}"))?;
+    jsonv::parse(&text).map_err(|e| format!("{what} {path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (schema_path, file_path) = match args.as_slice() {
+        [flag, schema, file] if flag == "--schema" => (schema.clone(), file.clone()),
+        _ => {
+            return Err("usage: validate_obs --schema <schema.json> <file.json>".to_string());
+        }
+    };
+    let schema = load(&schema_path, "schema")?;
+    let doc = load(&file_path, "document")?;
+    let mut errors = Vec::new();
+    jsonv::validate(&doc, &schema, "$", &mut errors);
+    if errors.is_empty() {
+        println!("{file_path}: OK ({schema_path})");
+        Ok(())
+    } else {
+        Err(format!(
+            "{file_path}: {} schema violation(s):\n  {}",
+            errors.len(),
+            errors.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

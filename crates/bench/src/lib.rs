@@ -20,6 +20,8 @@ use nextdoor_gpu::{Gpu, GpuSpec};
 use nextdoor_graph::{Csr, Dataset, VertexId};
 use std::path::PathBuf;
 
+pub mod jsonv;
+
 /// Configuration shared by all bench binaries.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
@@ -154,6 +156,40 @@ impl BenchConfig {
             "profile: wrote {} and {}",
             report.display(),
             trace.display()
+        );
+    }
+
+    /// Exports a serving tier's observability artifacts:
+    /// `results/fleet_<label>.trace.json` (the chrome://tracing fleet
+    /// timeline with one track per replica plus batcher/queue tracks, flow
+    /// arrows into each device's per-SM lanes) and
+    /// `results/metrics_<label>.json` (the deterministic metrics
+    /// snapshot). `devices[r]` is replica `r`'s label and kernel profile —
+    /// a single-session batcher passes its one device. No-op unless
+    /// `--profile` was passed.
+    pub fn export_fleet_obs(
+        &self,
+        label: &str,
+        spec: &GpuSpec,
+        tracer: &nextdoor_serve::Tracer,
+        metrics: &nextdoor_serve::ServeMetrics,
+        devices: &[(&str, &nextdoor_gpu::Profile)],
+    ) {
+        if !self.profile {
+            return;
+        }
+        let dir = self.results_dir();
+        let trace = dir.join(format!("fleet_{label}.trace.json"));
+        let report = dir.join(format!("metrics_{label}.json"));
+        nextdoor_serve::write_fleet_trace(&trace, spec, tracer, devices)
+            .expect("can write fleet trace");
+        metrics
+            .write_json(&report, label)
+            .expect("can write metrics report");
+        eprintln!(
+            "profile: wrote {} and {}",
+            trace.display(),
+            report.display()
         );
     }
 }

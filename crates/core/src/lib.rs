@@ -77,5 +77,5 @@ pub use engine::tp::run_vanilla_tp;
 pub use engine::{initial_samples_random, EngineStats, RunResult, SampleKeys};
 pub use error::{validate_run, FaultReport, NextDoorError};
 pub use gpu_graph::GpuGraph;
-pub use session::{FusedResult, SamplerSession, SessionQuery};
+pub use session::{ClassMark, FusedResult, SamplerSession, SessionQuery};
 pub use store::SampleStore;

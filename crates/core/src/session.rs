@@ -76,6 +76,27 @@ pub struct SessionQuery {
     pub seed: u64,
 }
 
+/// Where one width class of a fused batch landed on the device: its launch
+/// indices and simulated-cycle interval. Surfaced so the serving tier's
+/// tracer can record a span per class launch sequence and link it to the
+/// kernel records the device profiler retained (kernels are addressed by
+/// [`launch_idx`](nextdoor_gpu::KernelRecord::launch_idx)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMark {
+    /// Initial vertices per sample shared by the class's queries.
+    pub width: usize,
+    /// Queries fused into this class.
+    pub queries: usize,
+    /// First device launch index of the class (inclusive).
+    pub launch_start: u64,
+    /// One past the class's last device launch index.
+    pub launch_end: u64,
+    /// Device-clock cycles at which the class's launch sequence began.
+    pub start_cycles: f64,
+    /// Device-clock cycles at which the class's launch sequence ended.
+    pub end_cycles: f64,
+}
+
 /// Result of a fused batch: one sliced store per query, in submission
 /// order, plus the batch-level statistics and fault report shared by all
 /// of them (the batch ran as one dispatch, so its cost cannot be
@@ -88,6 +109,9 @@ pub struct FusedResult {
     /// (distinct initial-vertices-per-sample count among the queries). An
     /// equal-width batch runs as a single sequence.
     pub launches: usize,
+    /// Launch-index and cycle bracket of each width class's launch
+    /// sequence, in the same first-appearance order the classes ran.
+    pub class_marks: Vec<ClassMark>,
     /// Statistics of the fused batch as a whole (all width classes
     /// combined).
     pub stats: EngineStats,
@@ -230,7 +254,8 @@ impl SamplerSession {
         let mut steps_run = 0usize;
         let mut step_marks: Vec<(usize, u64, u64)> = Vec::new();
         let mut tagged: Vec<(usize, SampleStore)> = Vec::with_capacity(queries.len());
-        for (_, members) in &classes {
+        let mut class_marks = Vec::with_capacity(classes.len());
+        for (width, members) in &classes {
             let mut init = Vec::new();
             let mut map = Vec::new();
             let mut ranges = Vec::with_capacity(members.len());
@@ -243,6 +268,10 @@ impl SamplerSession {
                 }
             }
             let keys = SampleKeys::fused(map);
+            // Bracket the class's launch sequence so the serving tracer can
+            // address its kernel records by launch index.
+            let class_launch0 = self.gpu.launches_issued();
+            let class_cycles0 = self.gpu.counters().cycles;
             let out = run_step_loop(
                 &mut self.gpu,
                 &self.graph,
@@ -253,6 +282,14 @@ impl SamplerSession {
                 GpuEngineKind::NextDoor,
                 None,
             )?;
+            class_marks.push(ClassMark {
+                width: *width,
+                queries: members.len(),
+                launch_start: class_launch0,
+                launch_end: self.gpu.launches_issued(),
+                start_cycles: class_cycles0,
+                end_cycles: self.gpu.counters().cycles,
+            });
             sched_cycles += out.sched_cycles;
             steps_run += out.steps_run;
             report.merge(&out.report);
@@ -271,6 +308,7 @@ impl SamplerSession {
         Ok(FusedResult {
             per_query: tagged.into_iter().map(|(_, s)| s).collect(),
             launches,
+            class_marks,
             stats: EngineStats {
                 total_ms,
                 sampling_ms: total_ms - scheduling_ms,

@@ -83,8 +83,9 @@ pub use lane::{LaneOp, LaneTrace};
 pub use launch::{Gpu, LaunchConfig};
 pub use mem::{DeviceBuffer, OutOfMemory};
 pub use profile::{
-    summarize_kernels, write_chrome_trace, write_kernel_report, KernelRecord, KernelSummary,
-    Profile, ProfileEvent, TransferDir, TransferRecord,
+    json_escape, kernel_anchor, summarize_kernels, write_chrome_trace, write_kernel_report,
+    ChromeTraceWriter, KernelRecord, KernelSummary, Profile, ProfileEvent, TransferDir,
+    TransferRecord,
 };
 pub use spec::{CostModel, GpuSpec};
 pub use warp::{Mask, WarpCtx, WARP_SIZE};

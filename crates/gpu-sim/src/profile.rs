@@ -291,7 +291,10 @@ pub fn summarize_kernels(profile: &Profile) -> Vec<KernelSummary> {
     order
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Exposed so higher layers emitting
+/// hand-written JSON (the serving tier's exporters) escape identically.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -393,6 +396,218 @@ pub fn write_kernel_report(path: &Path, spec: &GpuSpec, profile: &Profile) -> io
     f.flush()
 }
 
+/// Incremental writer for `chrome://tracing` / Perfetto event files.
+///
+/// [`write_chrome_trace`] lays down one process per device with an SM lane
+/// per thread; higher layers — the serving tier's fleet timeline — reuse
+/// the same writer to add their own tracks (batcher, scheduler, replicas)
+/// in the *same* file and emit flow events linking a serving-tier span to
+/// the kernel slice it launched, addressed by launch index via
+/// [`kernel_anchor`]. Events may be appended in any order; trace viewers
+/// sort by timestamp.
+pub struct ChromeTraceWriter {
+    f: io::BufWriter<std::fs::File>,
+    first: bool,
+}
+
+impl ChromeTraceWriter {
+    /// Opens `path` and writes the trace header.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        Ok(ChromeTraceWriter { f, first: true })
+    }
+
+    /// Appends one raw JSON event object (no trailing comma); the writer
+    /// handles separators. Escape hatch for event shapes without a typed
+    /// helper below.
+    pub fn raw_event(&mut self, json: &str) -> io::Result<()> {
+        if !self.first {
+            writeln!(self.f, ",")?;
+        }
+        self.first = false;
+        write!(self.f, "{json}")
+    }
+
+    /// Names the process (track group) `pid`.
+    pub fn process_name(&mut self, pid: usize, name: &str) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ))
+    }
+
+    /// Names thread lane `tid` of process `pid`.
+    pub fn thread_name(&mut self, pid: usize, tid: usize, name: &str) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ))
+    }
+
+    /// A complete (`"ph":"X"`) duration slice. `args_json` must be a full
+    /// JSON object (pass `"{}"` for none).
+    pub fn complete(
+        &mut self,
+        pid: usize,
+        tid: usize,
+        ts_us: f64,
+        dur_us: f64,
+        name: &str,
+        args_json: &str,
+    ) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:.3},\
+             \"dur\":{dur_us:.3},\"name\":\"{}\",\"args\":{args_json}}}",
+            json_escape(name)
+        ))
+    }
+
+    /// A thread-scoped instant (`"ph":"i"`) marker.
+    pub fn instant(
+        &mut self,
+        pid: usize,
+        tid: usize,
+        ts_us: f64,
+        name: &str,
+        args_json: &str,
+    ) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:.3},\
+             \"name\":\"{}\",\"args\":{args_json}}}",
+            json_escape(name)
+        ))
+    }
+
+    /// A counter (`"ph":"C"`) sample: renders `series` as a stacked area
+    /// chart named `name` under process `pid`.
+    pub fn counter(
+        &mut self,
+        pid: usize,
+        ts_us: f64,
+        name: &str,
+        series: &str,
+        value: f64,
+    ) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"ts\":{ts_us:.3},\"name\":\"{}\",\
+             \"args\":{{\"{}\":{value:.3}}}}}",
+            json_escape(name),
+            json_escape(series)
+        ))
+    }
+
+    /// Starts a flow arrow (`"ph":"s"`) with identity `id` at the given
+    /// slice. Pair with [`ChromeTraceWriter::flow_finish`] under the same
+    /// `id` to draw the link.
+    pub fn flow_start(&mut self, id: u64, pid: usize, tid: usize, ts_us: f64) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"s\",\"cat\":\"link\",\"name\":\"launch-link\",\"id\":{id},\
+             \"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:.3}}}"
+        ))
+    }
+
+    /// Ends flow arrow `id` at the given slice (binds to the enclosing
+    /// slice, `"bp":"e"`).
+    pub fn flow_finish(&mut self, id: u64, pid: usize, tid: usize, ts_us: f64) -> io::Result<()> {
+        self.raw_event(&format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"link\",\"name\":\"launch-link\",\"id\":{id},\
+             \"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:.3}}}"
+        ))
+    }
+
+    /// Lays out one device as process `pid`: an SM lane per thread carrying
+    /// the kernel launches whose blocks kept it busy (duration = that SM's
+    /// busy cycles), and a dedicated `PCIe` lane carrying the transfers.
+    /// Timestamps are the device-global simulated time in microseconds.
+    pub fn device(
+        &mut self,
+        pid: usize,
+        label: &str,
+        spec: &GpuSpec,
+        profile: &Profile,
+    ) -> io::Result<()> {
+        let to_us = |cycles: f64| cycles / (spec.clock_ghz * 1e3);
+        self.process_name(pid, label)?;
+        for sm in 0..spec.num_sms {
+            self.thread_name(pid, sm, &format!("SM {sm}"))?;
+        }
+        let pcie_tid = spec.num_sms;
+        self.thread_name(pid, pcie_tid, "PCIe")?;
+        for event in profile.events() {
+            match event {
+                ProfileEvent::Kernel(k) => {
+                    for (sm, &busy) in k.per_sm_busy.iter().enumerate() {
+                        if busy <= 0.0 {
+                            continue;
+                        }
+                        self.complete(
+                            pid,
+                            sm,
+                            to_us(k.start_cycles),
+                            to_us(busy),
+                            &k.name,
+                            &format!(
+                                "{{\"launch\":{},\"grid\":{},\"block\":{},\
+                                 \"occupancy\":{:.3},\"gld_transactions\":{},\
+                                 \"gst_transactions\":{},\"shared_mem_bytes\":{}}}",
+                                k.launch_idx,
+                                k.grid_dim,
+                                k.block_dim,
+                                k.occupancy,
+                                k.counters.gld_transactions,
+                                k.counters.gst_transactions,
+                                k.shared_mem_bytes,
+                            ),
+                        )?;
+                    }
+                }
+                ProfileEvent::Transfer(t) => {
+                    let name = match t.dir {
+                        TransferDir::HtoD => "HtoD",
+                        TransferDir::DtoH => "DtoH",
+                    };
+                    self.complete(
+                        pid,
+                        pcie_tid,
+                        to_us(t.start_cycles),
+                        to_us(t.cycles),
+                        name,
+                        &format!("{{\"bytes\":{}}}", t.bytes),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the trace footer and flushes the file.
+    pub fn finish(mut self) -> io::Result<()> {
+        writeln!(self.f)?;
+        writeln!(self.f, "]}}")?;
+        self.f.flush()
+    }
+}
+
+/// Locates the kernel slice a span-link flow should land on: the first
+/// retained kernel record whose `launch_idx` falls in the half-open range
+/// `[range.0, range.1)`, returned as `(launch_idx, sm_lane, start_cycles)`
+/// where `sm_lane` is the first SM lane rendering a slice for it. `None`
+/// when the range kept no kernel (all evicted from the bounded ring, or
+/// the range is empty).
+pub fn kernel_anchor(profile: &Profile, range: (u64, u64)) -> Option<(u64, usize, f64)> {
+    profile
+        .kernels()
+        .filter(|k| k.launch_idx >= range.0 && k.launch_idx < range.1)
+        .min_by_key(|k| k.launch_idx)
+        .and_then(|k| {
+            let sm = k.per_sm_busy.iter().position(|&b| b > 0.0)?;
+            Some((k.launch_idx, sm, k.start_cycles))
+        })
+}
+
 /// Writes a `chrome://tracing` / Perfetto event file.
 ///
 /// Each device is a process; each SM is a thread lane carrying the
@@ -404,100 +619,11 @@ pub fn write_chrome_trace(
     spec: &GpuSpec,
     devices: &[(&str, &Profile)],
 ) -> io::Result<()> {
-    let to_us = |cycles: f64| cycles / (spec.clock_ghz * 1e3);
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
-    let mut first = true;
-    let emit = |f: &mut dyn io::Write, line: String, first: &mut bool| -> io::Result<()> {
-        if !*first {
-            writeln!(f, ",")?;
-        }
-        *first = false;
-        write!(f, "{line}")?;
-        Ok(())
-    };
+    let mut w = ChromeTraceWriter::create(path)?;
     for (pid, (label, profile)) in devices.iter().enumerate() {
-        emit(
-            &mut f,
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                json_escape(label)
-            ),
-            &mut first,
-        )?;
-        for sm in 0..spec.num_sms {
-            emit(
-                &mut f,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{sm},\"name\":\"thread_name\",\
-                     \"args\":{{\"name\":\"SM {sm}\"}}}}"
-                ),
-                &mut first,
-            )?;
-        }
-        let pcie_tid = spec.num_sms;
-        emit(
-            &mut f,
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{pcie_tid},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"PCIe\"}}}}"
-            ),
-            &mut first,
-        )?;
-        for event in profile.events() {
-            match event {
-                ProfileEvent::Kernel(k) => {
-                    for (sm, &busy) in k.per_sm_busy.iter().enumerate() {
-                        if busy <= 0.0 {
-                            continue;
-                        }
-                        emit(
-                            &mut f,
-                            format!(
-                                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{sm},\"ts\":{:.3},\
-                                 \"dur\":{:.3},\"name\":\"{}\",\"args\":{{\
-                                 \"launch\":{},\"grid\":{},\"block\":{},\
-                                 \"occupancy\":{:.3},\"gld_transactions\":{},\
-                                 \"gst_transactions\":{},\"shared_mem_bytes\":{}}}}}",
-                                to_us(k.start_cycles),
-                                to_us(busy),
-                                json_escape(&k.name),
-                                k.launch_idx,
-                                k.grid_dim,
-                                k.block_dim,
-                                k.occupancy,
-                                k.counters.gld_transactions,
-                                k.counters.gst_transactions,
-                                k.shared_mem_bytes,
-                            ),
-                            &mut first,
-                        )?;
-                    }
-                }
-                ProfileEvent::Transfer(t) => {
-                    let name = match t.dir {
-                        TransferDir::HtoD => "HtoD",
-                        TransferDir::DtoH => "DtoH",
-                    };
-                    emit(
-                        &mut f,
-                        format!(
-                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{pcie_tid},\"ts\":{:.3},\
-                             \"dur\":{:.3},\"name\":\"{name}\",\"args\":{{\"bytes\":{}}}}}",
-                            to_us(t.start_cycles),
-                            to_us(t.cycles),
-                            t.bytes,
-                        ),
-                        &mut first,
-                    )?;
-                }
-            }
-        }
+        w.device(pid, label, spec, profile)?;
     }
-    writeln!(f)?;
-    writeln!(f, "]}}")?;
-    f.flush()
+    w.finish()
 }
 
 #[cfg(test)]

@@ -29,6 +29,8 @@ use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::trace::{Obs, Span, SpanKind, Tracer};
 use nextdoor_core::session::{SamplerSession, SessionQuery};
 use nextdoor_core::{validate_run, EngineStats, FaultReport, SampleStore};
 use nextdoor_graph::VertexId;
@@ -238,12 +240,14 @@ pub(crate) fn urgency(cfg: &ServeConfig, a: &Pending, b: &Pending) -> Ordering {
 
 /// Sheds every pending request whose deadline has already expired at `now`
 /// (queue wait alone reached the budget), without consuming any device
-/// time. Remaining requests keep their admission order.
+/// time. Remaining requests keep their admission order. Each shed is
+/// recorded as an [`SpanKind::Expired`] span and an `expired_shed` count.
 pub(crate) fn shed_expired(
     cfg: &ServeConfig,
     pending: &mut VecDeque<Pending>,
     now: f64,
     out: &mut Vec<(RequestId, Result<Response, ServeError>)>,
+    obs: &mut Obs,
 ) {
     let mut i = 0;
     while i < pending.len() {
@@ -254,6 +258,13 @@ pub(crate) fn shed_expired(
         }
         if let Some(p) = pending.remove(i) {
             let d = deadline_of(cfg, &p).unwrap_or(0.0);
+            obs.trace.push(
+                Span::new(SpanKind::Expired, p.admit_ms, now)
+                    .request(p.id)
+                    .priority(p.req.priority),
+            );
+            obs.metrics.sim.expired_shed += 1;
+            obs.metrics.priority_mut(p.req.priority).expired_shed += 1;
             out.push((
                 p.id,
                 Err(ServeError::DeadlineExceeded {
@@ -263,6 +274,105 @@ pub(crate) fn shed_expired(
             ));
         }
     }
+}
+
+/// Records a served request's lifecycle: its queued interval, its
+/// completion span (`ok` = attained its deadline), the deadline-miss
+/// marker when it finished late, and the latency histograms. Shared by
+/// both batchers so the span model is identical across tiers.
+pub(crate) fn record_served(
+    obs: &mut Obs,
+    p: &Pending,
+    batch_seq: u64,
+    start_ms: f64,
+    end_ms: f64,
+    in_time: bool,
+) {
+    obs.trace.push(
+        Span::new(SpanKind::Queued, p.admit_ms, start_ms)
+            .request(p.id)
+            .priority(p.req.priority)
+            .batch(batch_seq),
+    );
+    obs.trace.push(
+        Span::new(SpanKind::Completion, p.admit_ms, end_ms)
+            .request(p.id)
+            .priority(p.req.priority)
+            .batch(batch_seq)
+            .ok(in_time),
+    );
+    if !in_time {
+        obs.trace.push(
+            Span::instant(SpanKind::DeadlineMiss, end_ms)
+                .request(p.id)
+                .priority(p.req.priority)
+                .batch(batch_seq),
+        );
+    }
+    let sim = &mut obs.metrics.sim;
+    sim.queued_ms.observe(start_ms - p.admit_ms);
+    sim.service_ms.observe(end_ms - start_ms);
+    sim.total_ms.observe(end_ms - p.admit_ms);
+    if in_time {
+        sim.completed += 1;
+    } else {
+        sim.deadline_missed += 1;
+    }
+    let pm = obs.metrics.priority_mut(p.req.priority);
+    pm.total_ms.observe(end_ms - p.admit_ms);
+    if in_time {
+        pm.completed += 1;
+    } else {
+        pm.deadline_missed += 1;
+    }
+}
+
+/// Records a dispatched batch's launch spans: the dispatch interval with
+/// its device launch range, one [`SpanKind::ClassLaunch`] span per width
+/// class (device-clock interval mapped onto the recording tier's clock by
+/// `dev_offset_ms`), and the batch-shape histograms. Shared by both
+/// batchers. `replica` tags the spans on a replicated pool.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_dispatch(
+    obs: &mut Obs,
+    batch_seq: u64,
+    replica: Option<usize>,
+    batch_size: usize,
+    start_ms: f64,
+    end_ms: f64,
+    launch_range: (u64, u64),
+    class_marks: &[nextdoor_core::ClassMark],
+    cycles_to_ms: impl Fn(f64) -> f64,
+    dev_offset_ms: f64,
+) {
+    let mut span = Span::new(SpanKind::Dispatch, start_ms, end_ms)
+        .batch(batch_seq)
+        .batch_size(batch_size)
+        .launches(launch_range)
+        .ok(true);
+    if let Some(r) = replica {
+        span = span.replica(r);
+    }
+    obs.trace.push(span);
+    for m in class_marks {
+        let mut s = Span::new(
+            SpanKind::ClassLaunch,
+            cycles_to_ms(m.start_cycles) + dev_offset_ms,
+            cycles_to_ms(m.end_cycles) + dev_offset_ms,
+        )
+        .batch(batch_seq)
+        .width(m.width)
+        .batch_size(m.queries)
+        .launches((m.launch_start, m.launch_end));
+        if let Some(r) = replica {
+            s = s.replica(r);
+        }
+        obs.trace.push(s);
+        obs.metrics.sim.batch_width.observe(m.width as f64);
+    }
+    obs.metrics.sim.batches += 1;
+    obs.metrics.sim.class_launches += class_marks.len() as u64;
+    obs.metrics.sim.batch_size.observe(batch_size as f64);
 }
 
 /// Forms the next batch: the globally most urgent pending request anchors
@@ -302,6 +412,7 @@ pub struct MicroBatcher {
     pending: VecDeque<Pending>,
     next_id: u64,
     launches: u64,
+    obs: Obs,
 }
 
 impl MicroBatcher {
@@ -319,6 +430,7 @@ impl MicroBatcher {
             pending: VecDeque::new(),
             next_id: 0,
             launches: 0,
+            obs: Obs::default(),
         })
     }
 
@@ -339,6 +451,12 @@ impl MicroBatcher {
     /// (non-finite deadline), as above.
     pub fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
         if self.pending.len() >= self.cfg.max_queue {
+            self.obs.metrics.sim.queue_rejected += 1;
+            self.obs.trace.push(
+                Span::instant(SpanKind::QueueReject, self.session.sim_ms())
+                    .priority(req.priority)
+                    .depth(self.pending.len()),
+            );
             return Err(ServeError::QueueFull {
                 capacity: self.cfg.max_queue,
             });
@@ -347,11 +465,16 @@ impl MicroBatcher {
         validate_run(self.session.graph(), self.session.app(), &req.init)?;
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.pending.push_back(Pending {
-            id,
-            req,
-            admit_ms: self.session.sim_ms(),
-        });
+        let admit_ms = self.session.sim_ms();
+        let priority = req.priority;
+        self.pending.push_back(Pending { id, req, admit_ms });
+        self.obs.metrics.sim.admitted += 1;
+        self.obs.trace.push(
+            Span::instant(SpanKind::Admission, admit_ms)
+                .request(id)
+                .priority(priority)
+                .depth(self.pending.len()),
+        );
         Ok(id)
     }
 
@@ -377,11 +500,19 @@ impl MicroBatcher {
                 &mut self.pending,
                 self.session.sim_ms(),
                 &mut out,
+                &mut self.obs,
             );
             if self.pending.is_empty() {
                 break;
             }
+            let depth = self.pending.len();
             let batch = form_batch(&self.cfg, self.cfg.max_batch, &mut self.pending);
+            self.obs.metrics.sim.queue_depth.observe(depth as f64);
+            self.obs.trace.push(
+                Span::instant(SpanKind::Formation, self.session.sim_ms())
+                    .depth(depth)
+                    .batch_size(batch.len()),
+            );
             self.run_batch(batch, &mut out);
         }
         out
@@ -400,14 +531,34 @@ impl MicroBatcher {
             })
             .collect();
         let start_ms = self.session.sim_ms();
+        let launch0 = self.session.gpu().launches_issued();
+        let batch_seq = self.obs.trace.next_batch_id();
         match self.session.query_fused(&queries) {
             Ok(fused) => {
                 self.launches += fused.launches as u64;
                 let end_ms = self.session.sim_ms();
+                let launch1 = self.session.gpu().launches_issued();
+                let spec = self.session.gpu().spec().clone();
+                // Session clock == dispatch clock here, so class launch
+                // intervals map with zero offset.
+                record_dispatch(
+                    &mut self.obs,
+                    batch_seq,
+                    None,
+                    batch.len(),
+                    start_ms,
+                    end_ms,
+                    (launch0, launch1),
+                    &fused.class_marks,
+                    |c| spec.cycles_to_ms(c),
+                    0.0,
+                );
                 let batch_size = batch.len();
                 for (p, store) in batch.into_iter().zip(fused.per_query) {
                     let observed_ms = end_ms - p.admit_ms;
                     let deadline = deadline_of(&self.cfg, &p);
+                    let in_time = !matches!(deadline, Some(d) if observed_ms > d);
+                    record_served(&mut self.obs, &p, batch_seq, start_ms, end_ms, in_time);
                     let result = match deadline {
                         Some(d) if observed_ms > d => Err(ServeError::DeadlineExceeded {
                             deadline_ms: d,
@@ -429,6 +580,17 @@ impl MicroBatcher {
                 }
             }
             Err(e) => {
+                let end_ms = self.session.sim_ms();
+                let launch1 = self.session.gpu().launches_issued();
+                self.obs.trace.push(
+                    Span::new(SpanKind::Dispatch, start_ms, end_ms)
+                        .batch(batch_seq)
+                        .batch_size(batch.len())
+                        .launches((launch0, launch1))
+                        .ok(false),
+                );
+                self.obs.metrics.sim.batches += 1;
+                self.obs.metrics.sim.failed += batch.len() as u64;
                 for p in batch {
                     out.push((p.id, Err(ServeError::Sampling(e.clone()))));
                 }
@@ -452,6 +614,22 @@ impl MicroBatcher {
     /// The batcher's scheduling knobs.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The recorded request-lifecycle span stream (see [`crate::trace`]).
+    pub fn trace(&self) -> &Tracer {
+        &self.obs.trace
+    }
+
+    /// The batcher's metrics registry (see [`crate::metrics`]).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.obs.metrics
+    }
+
+    /// Records a wall-clock end-to-end latency sample into the metrics
+    /// registry's (non-digested) wall histogram.
+    pub fn observe_wall_ms(&mut self, ms: f64) {
+        self.obs.metrics.observe_wall_ms(ms);
     }
 
     /// The underlying warm session.

@@ -78,13 +78,20 @@
 pub mod batcher;
 pub mod error;
 pub mod health;
+pub mod metrics;
 pub mod replica;
 pub mod server;
+pub mod trace;
 
 pub use batcher::{
     MicroBatcher, Priority, Request, RequestId, RequestLatency, Response, ServeConfig,
 };
 pub use error::ServeError;
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use metrics::{
+    Histogram, PriorityMetrics, ServeMetrics, SimMetrics, DEPTH_BOUNDS, LATENCY_BOUNDS_MS,
+    SIZE_BOUNDS, WIDTH_BOUNDS,
+};
 pub use replica::{FleetBatcher, FleetReport, PoolConfig, PoolResponse, ReplicaPool, ReplicaStats};
 pub use server::{BatchEngine, RequestOutcome, SampleServer, ServeClient, Ticket};
+pub use trace::{write_fleet_trace, Span, SpanKind, Tracer};

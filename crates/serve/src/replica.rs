@@ -44,12 +44,14 @@
 use std::collections::VecDeque;
 
 use crate::batcher::{
-    deadline_of, form_batch, shed_expired, validate_deadline, Pending, Request, RequestId,
-    RequestLatency, Response, ServeConfig,
+    deadline_of, form_batch, record_served, shed_expired, validate_deadline, Pending, Request,
+    RequestId, RequestLatency, Response, ServeConfig,
 };
 use crate::error::ServeError;
 use crate::health::{BreakerConfig, CircuitBreaker};
+use crate::metrics::ServeMetrics;
 use crate::server::RequestOutcome;
+use crate::trace::{Obs, Span, SpanKind, Tracer};
 use nextdoor_core::api::SamplingApp;
 use nextdoor_core::multi_gpu::least_loaded_alive;
 use nextdoor_core::session::{FusedResult, SamplerSession, SessionQuery};
@@ -163,6 +165,10 @@ pub struct PoolResponse {
     /// Replica whose result is being returned (the hedge replica when the
     /// hedge won).
     pub replica: usize,
+    /// The dispatch's sequence number in the pool's trace — the join key
+    /// between request-level spans and this batch's dispatch/attempt/launch
+    /// spans.
+    pub batch: u64,
     /// Fleet clock when the dispatch (first attempt) began.
     pub start_ms: f64,
     /// Fleet clock when the batch completed, retries/backoff/hedging
@@ -204,6 +210,10 @@ pub struct ReplicaPool {
     hedges: u64,
     hedge_wins: u64,
     cooldown_waits: u64,
+    /// The fleet's span stream and metrics registry. The [`FleetBatcher`]
+    /// records its request-level events here too, so one serving stack has
+    /// one totally-ordered trace.
+    obs: Obs,
 }
 
 impl ReplicaPool {
@@ -253,6 +263,7 @@ impl ReplicaPool {
             hedges: 0,
             hedge_wins: 0,
             cooldown_waits: 0,
+            obs: Obs::default(),
         })
     }
 
@@ -322,6 +333,25 @@ impl ReplicaPool {
         &self.replicas[i].breaker
     }
 
+    /// The fleet's request-lifecycle trace (shared with the
+    /// [`FleetBatcher`] above, which records admission/queue/shedding
+    /// spans into the same recorder).
+    pub fn trace(&self) -> &Tracer {
+        &self.obs.trace
+    }
+
+    /// The fleet's deterministic metrics registry (see
+    /// [`ServeMetrics`]).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.obs.metrics
+    }
+
+    /// Folds one wall-clock latency observation into the (digest-exempt)
+    /// wall histogram.
+    pub fn observe_wall_ms(&mut self, ms: f64) {
+        self.obs.metrics.observe_wall_ms(ms);
+    }
+
     /// The pool-level slice of the [`FleetReport`] (the batcher above adds
     /// shedding and degraded intervals).
     pub fn report_core(&self) -> FleetReport {
@@ -376,25 +406,63 @@ impl ReplicaPool {
     }
 
     /// Runs `queries` on replica `dev`, charging its device time to the
-    /// fleet clock and updating its breaker and stats.
+    /// fleet clock and updating its breaker and stats. Records one
+    /// [`SpanKind::Attempt`] span per call and, on success, one
+    /// [`SpanKind::ClassLaunch`] span per width class, mapped from the
+    /// replica's device clock onto the fleet clock.
     fn attempt(
         &mut self,
         dev: usize,
         queries: &[SessionQuery],
+        batch_seq: u64,
     ) -> Result<FusedResult, NextDoorError> {
+        let fleet_t0 = self.fleet_ms;
         let r = &mut self.replicas[dev];
         r.breaker.begin_dispatch(self.fleet_ms);
         r.dispatches += 1;
         let t0 = r.session.sim_ms();
+        let launch0 = r.session.gpu().launches_issued();
         let res = r.session.query_fused(queries);
+        let launch1 = r.session.gpu().launches_issued();
+        let spec = r.session.gpu().spec().clone();
         self.fleet_ms += r.session.sim_ms() - t0;
+        self.obs.trace.push(
+            Span::new(SpanKind::Attempt, fleet_t0, self.fleet_ms)
+                .batch(batch_seq)
+                .replica(dev)
+                .batch_size(queries.len())
+                .launches((launch0, launch1))
+                .ok(res.is_ok()),
+        );
         match res {
             Ok(fused) => {
+                // This attempt ran the device from `t0`; its class launch
+                // intervals shift onto the fleet timeline by the attempt's
+                // fleet start.
+                let dev_offset_ms = fleet_t0 - t0;
+                for m in &fused.class_marks {
+                    self.obs.trace.push(
+                        Span::new(
+                            SpanKind::ClassLaunch,
+                            spec.cycles_to_ms(m.start_cycles) + dev_offset_ms,
+                            spec.cycles_to_ms(m.end_cycles) + dev_offset_ms,
+                        )
+                        .batch(batch_seq)
+                        .replica(dev)
+                        .width(m.width)
+                        .batch_size(m.queries)
+                        .launches((m.launch_start, m.launch_end)),
+                    );
+                    self.obs.metrics.sim.batch_width.observe(m.width as f64);
+                }
+                self.obs.metrics.sim.class_launches += fused.class_marks.len() as u64;
+                let r = &mut self.replicas[dev];
                 r.breaker.record_success();
                 r.faults.merge(&fused.report);
                 Ok(fused)
             }
             Err(e) => {
+                let r = &mut self.replicas[dev];
                 r.failures += 1;
                 if matches!(e, NextDoorError::DeviceLost { .. }) || r.session.device_lost() {
                     r.breaker.kill();
@@ -420,6 +488,13 @@ impl ReplicaPool {
     pub fn dispatch(&mut self, queries: &[SessionQuery]) -> Result<PoolResponse, ServeError> {
         self.batches += 1;
         self.requests += queries.len() as u64;
+        let batch_seq = self.obs.trace.next_batch_id();
+        self.obs.metrics.sim.batches += 1;
+        self.obs
+            .metrics
+            .sim
+            .batch_size
+            .observe(queries.len() as f64);
         let start_ms = self.fleet_ms;
         let mut retries = 0usize;
         loop {
@@ -430,31 +505,58 @@ impl ReplicaPool {
                 // is gone.
                 match self.earliest_reopen() {
                     Some(t) => {
+                        let wait_from = self.fleet_ms;
                         self.fleet_ms = self.fleet_ms.max(t);
                         self.cooldown_waits += 1;
+                        self.obs.metrics.sim.cooldown_waits += 1;
+                        self.obs.trace.push(
+                            Span::new(SpanKind::CooldownWait, wait_from, self.fleet_ms)
+                                .batch(batch_seq),
+                        );
                         continue;
                     }
                     None => {
+                        self.obs.metrics.sim.failed += queries.len() as u64;
+                        self.obs.trace.push(
+                            Span::new(SpanKind::Dispatch, start_ms, self.fleet_ms)
+                                .batch(batch_seq)
+                                .batch_size(queries.len())
+                                .ok(false),
+                        );
                         return Err(ServeError::NoHealthyReplica {
                             replicas: self.replicas.len(),
-                        })
+                        });
                     }
                 }
             };
-            match self.attempt(dev, queries) {
+            match self.attempt(dev, queries, batch_seq) {
                 Ok(fused) => {
                     let end_ms = self.fleet_ms;
-                    return Ok(self.maybe_hedge(queries, fused, dev, start_ms, end_ms, retries));
+                    return Ok(
+                        self.maybe_hedge(queries, fused, dev, start_ms, end_ms, retries, batch_seq)
+                    );
                 }
                 Err(e) => {
                     if !retryable(&e) || retries >= self.cfg.max_retries {
+                        self.obs.metrics.sim.failed += queries.len() as u64;
+                        self.obs.trace.push(
+                            Span::new(SpanKind::Dispatch, start_ms, self.fleet_ms)
+                                .batch(batch_seq)
+                                .batch_size(queries.len())
+                                .ok(false),
+                        );
                         return Err(ServeError::Sampling(e));
                     }
                     // Exponential backoff on the fleet clock before the
                     // next attempt (which the router may send elsewhere).
+                    let backoff_from = self.fleet_ms;
                     self.fleet_ms += self.cfg.backoff_base_ms * (1u64 << retries) as f64;
                     retries += 1;
                     self.retries += 1;
+                    self.obs.metrics.sim.retries += 1;
+                    self.obs.trace.push(
+                        Span::new(SpanKind::Backoff, backoff_from, self.fleet_ms).batch(batch_seq),
+                    );
                 }
             }
         }
@@ -466,6 +568,7 @@ impl ReplicaPool {
     /// hedge is modelled as overlapping the primary's tail — it starts at
     /// `primary start + budget` — so the batch completes at the minimum of
     /// the two completion instants; the fleet clock is rewound to it.
+    #[allow(clippy::too_many_arguments)]
     fn maybe_hedge(
         &mut self,
         queries: &[SessionQuery],
@@ -474,25 +577,59 @@ impl ReplicaPool {
         start_ms: f64,
         primary_end_ms: f64,
         retries: usize,
+        batch_seq: u64,
     ) -> PoolResponse {
         let primary_dt = primary_end_ms - start_ms;
         let Some(budget) = self.cfg.hedge_after_ms else {
-            return self.pool_response(primary, dev, start_ms, primary_end_ms, retries, false);
+            return self.pool_response(
+                primary,
+                dev,
+                start_ms,
+                primary_end_ms,
+                retries,
+                false,
+                batch_seq,
+            );
         };
         if primary_dt <= budget {
-            return self.pool_response(primary, dev, start_ms, primary_end_ms, retries, false);
+            return self.pool_response(
+                primary,
+                dev,
+                start_ms,
+                primary_end_ms,
+                retries,
+                false,
+                batch_seq,
+            );
         }
         let Some(hedge_dev) = self.pick(Some(dev)) else {
-            return self.pool_response(primary, dev, start_ms, primary_end_ms, retries, false);
+            return self.pool_response(
+                primary,
+                dev,
+                start_ms,
+                primary_end_ms,
+                retries,
+                false,
+                batch_seq,
+            );
         };
         self.hedges += 1;
         self.replicas[hedge_dev].hedges += 1;
-        match self.attempt(hedge_dev, queries) {
+        self.obs.metrics.sim.hedges += 1;
+        match self.attempt(hedge_dev, queries, batch_seq) {
             Ok(hedged) => {
                 let hedge_dt = self.fleet_ms - primary_end_ms;
                 let hedge_end_ms = start_ms + budget + hedge_dt;
-                if hedge_end_ms < primary_end_ms {
+                let win = hedge_end_ms < primary_end_ms;
+                self.obs.trace.push(
+                    Span::new(SpanKind::Hedge, start_ms + budget, hedge_end_ms)
+                        .batch(batch_seq)
+                        .replica(hedge_dev)
+                        .ok(win),
+                );
+                if win {
                     self.hedge_wins += 1;
+                    self.obs.metrics.sim.hedge_wins += 1;
                     // Both results are bit-identical (counter-keyed RNG);
                     // keep the winner's and its earlier completion.
                     debug_assert_eq!(
@@ -508,31 +645,63 @@ impl ReplicaPool {
                         hedge_end_ms,
                         retries,
                         true,
+                        batch_seq,
                     );
                 }
                 // The primary would still have finished first: its
                 // completion stands, the hedge only burned spare capacity.
                 self.fleet_ms = primary_end_ms;
-                self.pool_response(primary, dev, start_ms, primary_end_ms, retries, true)
+                self.pool_response(
+                    primary,
+                    dev,
+                    start_ms,
+                    primary_end_ms,
+                    retries,
+                    true,
+                    batch_seq,
+                )
             }
             Err(_) => {
                 // A failed hedge never hurts the already-complete primary;
                 // the failure is recorded against the hedge replica.
+                self.obs.trace.push(
+                    Span::new(SpanKind::Hedge, start_ms + budget, self.fleet_ms)
+                        .batch(batch_seq)
+                        .replica(hedge_dev)
+                        .ok(false),
+                );
                 self.fleet_ms = primary_end_ms;
-                self.pool_response(primary, dev, start_ms, primary_end_ms, retries, true)
+                self.pool_response(
+                    primary,
+                    dev,
+                    start_ms,
+                    primary_end_ms,
+                    retries,
+                    true,
+                    batch_seq,
+                )
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn pool_response(
-        &self,
+        &mut self,
         fused: FusedResult,
         replica: usize,
         start_ms: f64,
         end_ms: f64,
         retries: usize,
         hedged: bool,
+        batch_seq: u64,
     ) -> PoolResponse {
+        self.obs.trace.push(
+            Span::new(SpanKind::Dispatch, start_ms, end_ms)
+                .batch(batch_seq)
+                .replica(replica)
+                .batch_size(fused.per_query.len())
+                .ok(true),
+        );
         PoolResponse {
             fused,
             replica,
@@ -540,6 +709,7 @@ impl ReplicaPool {
             end_ms,
             retries,
             hedged,
+            batch: batch_seq,
         }
     }
 }
@@ -591,7 +761,16 @@ impl FleetBatcher {
     /// [`ServeError::DeadlineExceeded`] / [`ServeError::InvalidConfig`]
     /// for unmeetable or non-finite per-request deadlines.
     pub fn submit(&mut self, req: Request) -> Result<RequestId, ServeError> {
+        let now = self.pool.fleet_ms();
         if self.pending.len() >= self.cfg.max_queue {
+            let depth = self.pending.len();
+            let obs = &mut self.pool.obs;
+            obs.metrics.sim.queue_rejected += 1;
+            obs.trace.push(
+                Span::instant(SpanKind::QueueReject, now)
+                    .priority(req.priority)
+                    .depth(depth),
+            );
             return Err(ServeError::QueueFull {
                 capacity: self.cfg.max_queue,
             });
@@ -600,11 +779,21 @@ impl FleetBatcher {
         validate_run(self.pool.graph(), self.pool.app(), &req.init)?;
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        let priority = req.priority;
         self.pending.push_back(Pending {
             id,
             req,
-            admit_ms: self.pool.fleet_ms(),
+            admit_ms: now,
         });
+        let depth = self.pending.len();
+        let obs = &mut self.pool.obs;
+        obs.metrics.sim.admitted += 1;
+        obs.trace.push(
+            Span::instant(SpanKind::Admission, now)
+                .request(id)
+                .priority(priority)
+                .depth(depth),
+        );
         Ok(id)
     }
 
@@ -618,11 +807,26 @@ impl FleetBatcher {
         loop {
             self.update_degradation();
             self.shed_excess(&mut out);
-            shed_expired(&self.cfg, &mut self.pending, self.pool.fleet_ms(), &mut out);
+            let now = self.pool.fleet_ms();
+            shed_expired(
+                &self.cfg,
+                &mut self.pending,
+                now,
+                &mut out,
+                &mut self.pool.obs,
+            );
             if self.pending.is_empty() {
                 break;
             }
+            let depth = self.pending.len();
             let batch = form_batch(&self.cfg, self.effective_max_batch(), &mut self.pending);
+            let obs = &mut self.pool.obs;
+            obs.metrics.sim.queue_depth.observe(depth as f64);
+            obs.trace.push(
+                Span::instant(SpanKind::Formation, now)
+                    .depth(depth)
+                    .batch_size(batch.len()),
+            );
             self.run_batch(batch, &mut out);
         }
         out
@@ -676,6 +880,16 @@ impl FleetBatcher {
                 break;
             };
             self.shed += 1;
+            let now = self.pool.fleet_ms();
+            let obs = &mut self.pool.obs;
+            obs.metrics.sim.overload_shed += 1;
+            obs.metrics.priority_mut(p.req.priority).overload_shed += 1;
+            obs.trace.push(
+                Span::instant(SpanKind::OverloadShed, now)
+                    .request(p.id)
+                    .priority(p.req.priority)
+                    .depth(healthy),
+            );
             out.push((
                 p.id,
                 Err(ServeError::Overloaded {
@@ -700,6 +914,15 @@ impl FleetBatcher {
                 for (p, store) in batch.into_iter().zip(pr.fused.per_query) {
                     let observed_ms = pr.end_ms - p.admit_ms;
                     let deadline = deadline_of(&self.cfg, &p);
+                    let in_time = !matches!(deadline, Some(d) if observed_ms > d);
+                    record_served(
+                        &mut self.pool.obs,
+                        &p,
+                        pr.batch,
+                        pr.start_ms,
+                        pr.end_ms,
+                        in_time,
+                    );
                     let result = match deadline {
                         Some(d) if observed_ms > d => Err(ServeError::DeadlineExceeded {
                             deadline_ms: d,
@@ -748,6 +971,23 @@ impl FleetBatcher {
         &mut self.pool
     }
 
+    /// The fleet's request-lifecycle trace (batcher and pool spans share
+    /// one recorder, ordered by recording sequence).
+    pub fn trace(&self) -> &Tracer {
+        self.pool.trace()
+    }
+
+    /// The fleet's deterministic metrics registry.
+    pub fn metrics(&self) -> &ServeMetrics {
+        self.pool.metrics()
+    }
+
+    /// Folds one wall-clock latency observation into the (digest-exempt)
+    /// wall histogram.
+    pub fn observe_wall_ms(&mut self, ms: f64) {
+        self.pool.observe_wall_ms(ms);
+    }
+
     /// The full fleet report: the pool's dispatch/recovery counters plus
     /// this batcher's shedding and degraded-mode intervals (an interval
     /// still open is closed at the current fleet clock).
@@ -774,6 +1014,10 @@ impl crate::server::BatchEngine for FleetBatcher {
 
     fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
         FleetBatcher::drain(self)
+    }
+
+    fn observe_wall_ms(&mut self, ms: f64) {
+        FleetBatcher::observe_wall_ms(self, ms);
     }
 }
 

@@ -42,6 +42,13 @@ pub trait BatchEngine: Send + 'static {
 
     /// Serves everything admitted and returns each request's outcome.
     fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)>;
+
+    /// Folds one host wall-clock latency observation (milliseconds per
+    /// served burst) into the engine's metrics, if it keeps any. Wall time
+    /// is non-deterministic by nature, so implementations must keep it out
+    /// of their deterministic digests (see
+    /// [`ServeMetrics`](crate::ServeMetrics)). The default is a no-op.
+    fn observe_wall_ms(&mut self, _ms: f64) {}
 }
 
 impl BatchEngine for MicroBatcher {
@@ -51,6 +58,10 @@ impl BatchEngine for MicroBatcher {
 
     fn drain(&mut self) -> Vec<(RequestId, RequestOutcome)> {
         MicroBatcher::drain(self)
+    }
+
+    fn observe_wall_ms(&mut self, ms: f64) {
+        MicroBatcher::observe_wall_ms(self, ms);
     }
 }
 
@@ -196,6 +207,7 @@ fn serve_waiting<E: BatchEngine>(
     engine: &mut E,
     waiting: &mut Vec<(Request, Sender<RequestOutcome>)>,
 ) {
+    let wall_t0 = std::time::Instant::now();
     let mut replies = Vec::with_capacity(waiting.len());
     for (req, reply) in waiting.drain(..) {
         match engine.submit(req) {
@@ -206,7 +218,9 @@ fn serve_waiting<E: BatchEngine>(
             }
         }
     }
-    for (id, outcome) in engine.drain() {
+    let outcomes = engine.drain();
+    engine.observe_wall_ms(wall_t0.elapsed().as_secs_f64() * 1e3);
+    for (id, outcome) in outcomes {
         if let Some(pos) = replies.iter().position(|(rid, _)| *rid == id) {
             let (_, reply) = replies.swap_remove(pos);
             let _ = reply.send(outcome);

@@ -248,6 +248,74 @@ fn mixed_width_fused_serving_is_thread_count_invariant() {
 }
 
 #[test]
+fn serve_observability_is_thread_count_invariant() {
+    // The observability layer — lifecycle spans and the metrics registry —
+    // is recorded on the scheduler's own thread in simulated-clock order,
+    // so its digests must be bit-identical at any worker count, through a
+    // fleet run that exercises retries, backoff and breaker cool-downs.
+    let (graph, init, _) = workload();
+    assert_thread_invariant("serve_observability", |spec| {
+        let mk_gpu = |plan: Option<FaultPlan>| {
+            let mut gpu = Gpu::new(spec.clone());
+            if let Some(p) = plan {
+                gpu.inject_faults(p);
+            }
+            gpu
+        };
+        let pool = nextdoor::serve::ReplicaPool::new(
+            vec![
+                mk_gpu(None),
+                mk_gpu(Some(FaultPlan {
+                    transient_launches: (0..110).collect(),
+                    ..FaultPlan::new()
+                })),
+            ],
+            &graph,
+            vec![
+                Box::new(KHop::new(vec![3, 2])),
+                Box::new(KHop::new(vec![3, 2])),
+            ],
+            nextdoor::serve::PoolConfig {
+                max_retries: 6,
+                backoff_base_ms: 0.001,
+                hedge_after_ms: None,
+                breaker: nextdoor::serve::BreakerConfig {
+                    trip_after: 2,
+                    cooldown_ms: 0.01,
+                },
+            },
+        )
+        .unwrap();
+        let mut fleet = nextdoor::serve::FleetBatcher::new(
+            pool,
+            nextdoor::serve::ServeConfig {
+                max_batch: 4,
+                max_queue: 8,
+                default_deadline_ms: None,
+            },
+        )
+        .unwrap();
+        for (w, chunk) in init.chunks(8).enumerate() {
+            for (i, s) in chunk.iter().enumerate() {
+                fleet
+                    .submit(nextdoor::serve::Request::new(
+                        vec![s.clone()],
+                        (w * 8 + i) as u64,
+                    ))
+                    .unwrap();
+            }
+            fleet.drain();
+        }
+        assert!(fleet.report().retries > 0, "the storm must force retries");
+        format!(
+            "{}---\n{}",
+            fleet.metrics().digest(),
+            fleet.trace().digest()
+        )
+    });
+}
+
+#[test]
 fn cpu_oracle_matches_gpu_samples() {
     // The CPU reference has no simulator state; pin down that its samples
     // (the oracle every engine is compared against) are golden-stable too.
