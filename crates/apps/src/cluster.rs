@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn samples_are_cluster_unions_padded_equal() {
         let g = rmat(8, 2000, RmatParams::SKEWED, 1);
-        let clustering = cluster_vertices(&g, 16, 5);
+        let clustering = cluster_vertices(&g, 16, 5).unwrap();
         let samples = cluster_gcn_samples(&g, &clustering, 3, 6, 9);
         assert_eq!(samples.len(), 6);
         let len0 = samples[0].len();
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn recorded_edges_are_intra_cluster_set() {
         let g = rmat(9, 8000, RmatParams::SKEWED, 2);
-        let clustering = cluster_vertices(&g, 8, 3);
+        let clustering = cluster_vertices(&g, 8, 3).unwrap();
         let init = cluster_gcn_samples(&g, &clustering, 2, 4, 7);
         let res = run_cpu(&g, &ClusterGcn::new(64), &init, 5).unwrap();
         for (s, sample_init) in init.iter().enumerate().take(4) {
@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn matches_across_engines() {
         let g = rmat(8, 3000, RmatParams::SKEWED, 4);
-        let clustering = cluster_vertices(&g, 12, 1);
+        let clustering = cluster_vertices(&g, 12, 1).unwrap();
         let init = cluster_gcn_samples(&g, &clustering, 2, 5, 3);
         let app = ClusterGcn::new(32);
         let cpu = run_cpu(&g, &app, &init, 6).unwrap();
@@ -172,7 +172,7 @@ mod tests {
     #[should_panic(expected = "more clusters per sample")]
     fn rejects_oversubscription() {
         let g = rmat(6, 200, RmatParams::SKEWED, 1);
-        let clustering = cluster_vertices(&g, 4, 1);
+        let clustering = cluster_vertices(&g, 4, 1).unwrap();
         let _ = cluster_gcn_samples(&g, &clustering, 5, 1, 0);
     }
 }

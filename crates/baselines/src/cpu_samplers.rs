@@ -375,7 +375,7 @@ mod tests {
     #[test]
     fn clustergcn_returns_cluster_members() {
         let g = graph();
-        let clustering = cluster_vertices(&g, 8, 1);
+        let clustering = cluster_vertices(&g, 8, 1).unwrap();
         let res = clustergcn_sampler(&g, &clustering, 2, 5, 3, 2);
         for s in &res.samples {
             assert!(!s.is_empty());

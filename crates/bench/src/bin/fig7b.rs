@@ -71,7 +71,8 @@ fn main() {
                         &graph,
                         (graph.num_vertices() / 64).max(8),
                         cfg.seed ^ 0x1004,
-                    );
+                    )
+                    .expect("bench graphs have more vertices than clusters");
                     cpu::clustergcn_sampler(
                         &graph,
                         &clustering,

@@ -40,7 +40,8 @@ fn main() {
             let model = GraphSageModel::new(128, 128, 16, cfg.seed);
             let mut trainer = Trainer::new(model, 64, 0.1);
             let verts: Vec<VertexId> = (0..cfg.samples.min(graph.num_vertices()) as u32).collect();
-            let clustering = cluster_vertices(&graph, (graph.num_vertices() / 64).max(8), cfg.seed);
+            let clustering = cluster_vertices(&graph, (graph.num_vertices() / 64).max(8), cfg.seed)
+                .expect("benchmark graphs have more vertices than clusters");
             let mut sampler = |batch: &[VertexId]| match name {
                 "GraphSAGE" => {
                     let r = cpu::khop_sampler(&graph, batch, &[25, 10], cfg.seed, cfg.threads);

@@ -227,7 +227,8 @@ impl BenchConfig {
                     graph,
                     (graph.num_vertices() / 64).max(8),
                     self.seed ^ 0x1004,
-                );
+                )
+                .expect("bench graphs have more vertices than clusters");
                 nextdoor_apps::cluster_gcn_samples(
                     graph,
                     &clustering,

@@ -146,7 +146,7 @@ pub(crate) fn exec_step(
 /// Classifies a fallible device allocation: `Ok(Some(_))` succeeded,
 /// `Ok(None)` hit an injected fault (absorbed into `report`; retry the
 /// operation), `Err(_)` is genuine memory exhaustion or device loss.
-fn absorb_alloc_fault<T>(
+pub(crate) fn absorb_alloc_fault<T>(
     gpu: &mut Gpu,
     report: &mut FaultReport,
     res: Result<T, OutOfMemory>,

@@ -74,6 +74,13 @@ pub enum NextDoorError {
         /// Device index (0 for single-GPU runs).
         device: usize,
     },
+    /// The sharded engine cannot run this configuration and no degradation
+    /// path applies (collective apps, per-step uniqueness, degenerate
+    /// partitions).
+    ShardUnsupported {
+        /// Human-readable reason the configuration cannot be sharded.
+        reason: String,
+    },
     /// Every device of a multi-GPU run was lost before the work finished.
     AllDevicesLost,
 }
@@ -123,6 +130,9 @@ impl std::fmt::Display for NextDoorError {
                 write!(f, "step {step} still faulting after {retries} retries")
             }
             NextDoorError::DeviceLost { device } => write!(f, "device {device} was lost"),
+            NextDoorError::ShardUnsupported { reason } => {
+                write!(f, "sharded execution unsupported: {reason}")
+            }
             NextDoorError::AllDevicesLost => write!(f, "all devices were lost"),
         }
     }
@@ -349,5 +359,10 @@ mod tests {
         assert!(NextDoorError::AllDevicesLost
             .to_string()
             .contains("all devices"));
+        assert!(NextDoorError::ShardUnsupported {
+            reason: "collective app".into()
+        }
+        .to_string()
+        .contains("sharded execution unsupported: collective app"));
     }
 }

@@ -66,6 +66,7 @@ pub mod gpu_graph;
 pub mod large_graph;
 pub mod multi_gpu;
 pub mod session;
+pub mod sharded;
 pub mod store;
 
 pub use api::{NextCtx, SampleView, SamplingApp, SamplingType, Steps, NULL_VERTEX};
@@ -78,4 +79,5 @@ pub use engine::{initial_samples_random, EngineStats, RunResult, SampleKeys};
 pub use error::{validate_run, FaultReport, NextDoorError};
 pub use gpu_graph::GpuGraph;
 pub use session::{ClassMark, FusedResult, SamplerSession, SessionQuery};
+pub use sharded::{ShardHandoff, ShardedFusedResult, ShardedRunOut, ShardedSampler, SuperStepMark};
 pub use store::SampleStore;

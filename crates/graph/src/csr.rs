@@ -245,6 +245,49 @@ impl Csr {
                 .map_or(0, |w| w.len() * std::mem::size_of::<f32>())
     }
 
+    /// Returns a copy of this graph in the **same vertex-id space** that
+    /// keeps only the adjacency rows for which `keep[v]` is true; every
+    /// other row is empty.
+    ///
+    /// Kept rows are copied verbatim — neighbours, order and weights — so
+    /// any read against a kept row (degree, neighbours, weights,
+    /// [`Csr::max_edge_weight`]) is bit-identical to the same read against
+    /// the full graph. This is the sharded engine's per-device graph: shard
+    /// `s` holds the rows of the vertices it owns, column indices still
+    /// refer to global vertex ids (a row may point at vertices another
+    /// shard owns — that is exactly a walker hand-off), and the id space is
+    /// unchanged so no remapping ever touches a sampled value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.num_vertices()`.
+    pub fn row_masked(&self, keep: &[bool]) -> Csr {
+        assert_eq!(
+            keep.len(),
+            self.num_vertices(),
+            "row mask must cover every vertex"
+        );
+        let mut offsets = Vec::with_capacity(self.row_offsets.len());
+        offsets.push(0usize);
+        let mut cols = Vec::new();
+        let mut ws = self.weights.as_ref().map(|_| Vec::new());
+        for (v, &kept) in keep.iter().enumerate() {
+            if kept {
+                let (lo, hi) = (self.row_offsets[v], self.row_offsets[v + 1]);
+                cols.extend_from_slice(&self.col_indices[lo..hi]);
+                if let (Some(out), Some(all)) = (ws.as_mut(), self.weights.as_ref()) {
+                    out.extend_from_slice(&all[lo..hi]);
+                }
+            }
+            offsets.push(cols.len());
+        }
+        Csr {
+            row_offsets: offsets,
+            col_indices: cols,
+            weights: ws,
+        }
+    }
+
     /// Returns the induced subgraph on `vertices` together with the mapping
     /// from new vertex ids to original ids.
     ///
@@ -404,6 +447,28 @@ mod tests {
         let base = g.size_bytes();
         let gw = g.with_random_weights(1.0, 5.0, 1);
         assert_eq!(gw.size_bytes(), base + 4 * std::mem::size_of::<f32>());
+    }
+
+    #[test]
+    fn row_masked_keeps_rows_verbatim() {
+        let g = diamond().with_random_weights(1.0, 5.0, 9);
+        let sub = g.row_masked(&[true, false, true, false]);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.neighbors(0), g.neighbors(0));
+        assert_eq!(sub.edge_weights(0), g.edge_weights(0));
+        assert_eq!(sub.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(sub.neighbors(2), g.neighbors(2));
+        assert_eq!(sub.max_edge_weight(2), g.max_edge_weight(2));
+        assert_eq!(sub.num_edges(), g.degree(0) + g.degree(2));
+        let unweighted = diamond().row_masked(&[false, true, false, true]);
+        assert!(!unweighted.is_weighted());
+        assert_eq!(unweighted.neighbors(1), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mask must cover every vertex")]
+    fn row_masked_rejects_short_mask() {
+        let _ = diamond().row_masked(&[true, false]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod io;
 pub mod stats;
 
 pub use builder::{BuildError, GraphBuilder};
-pub use cluster::{cluster_vertices, Clustering};
+pub use cluster::{cluster_vertices, ClusterError, Clustering, PartitionStats};
 pub use csr::{Csr, VertexId};
 pub use datasets::{Dataset, DatasetSpec};
 pub use gen::{barabasi_albert, erdos_renyi, ring_lattice, rmat, RmatParams};

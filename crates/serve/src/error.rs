@@ -62,6 +62,16 @@ pub enum ServeError {
         /// Total replicas in the pool, all of them lost.
         replicas: usize,
     },
+    /// The request's seed vertices live on a shard whose device is
+    /// permanently gone. Unlike [`ServeError::Overloaded`] (a transient
+    /// breaker-driven shed), the shard cannot come back — resubmit with
+    /// seeds on a surviving shard, or rebuild the fleet.
+    ShardLost {
+        /// The dead shard that owns the request's seed vertices.
+        shard: usize,
+        /// Total shards in the fleet.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -94,6 +104,10 @@ impl std::fmt::Display for ServeError {
             ServeError::NoHealthyReplica { replicas } => {
                 write!(f, "all {replicas} replicas in the pool are lost")
             }
+            ServeError::ShardLost { shard, shards } => write!(
+                f,
+                "the request's seeds live on lost shard {shard} (of {shards})"
+            ),
         }
     }
 }
@@ -146,5 +160,11 @@ mod tests {
         assert!(ServeError::NoHealthyReplica { replicas: 2 }
             .to_string()
             .contains("all 2"));
+        assert!(ServeError::ShardLost {
+            shard: 1,
+            shards: 4
+        }
+        .to_string()
+        .contains("lost shard 1 (of 4)"));
     }
 }

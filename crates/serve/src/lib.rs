@@ -27,6 +27,12 @@
 //!    and a per-run [`FleetReport`] of every recovery decision. All of it
 //!    runs on the simulated fleet clock, so chaos runs are bit-identical
 //!    at any host thread count.
+//! 5. [`ShardedPool`] — the sharded tier: the graph **partitioned** across
+//!    N devices instead of replicated, with partition-aware request
+//!    routing, cross-shard walker hand-off in deterministic super-steps,
+//!    per-shard circuit breakers, and typed [`ServeError::ShardLost`]
+//!    shedding when a request's home shard is permanently gone. Samples
+//!    stay bit-identical to single-device runs.
 //!
 //! ```
 //! use nextdoor_core::api::{NextCtx, SamplingApp, Steps};
@@ -81,6 +87,7 @@ pub mod health;
 pub mod metrics;
 pub mod replica;
 pub mod server;
+pub mod shard;
 pub mod trace;
 
 pub use batcher::{
@@ -94,4 +101,5 @@ pub use metrics::{
 };
 pub use replica::{FleetBatcher, FleetReport, PoolConfig, PoolResponse, ReplicaPool, ReplicaStats};
 pub use server::{BatchEngine, RequestOutcome, SampleServer, ServeClient, Ticket};
+pub use shard::{ShardDispatch, ShardPoolConfig, ShardedPool};
 pub use trace::{write_fleet_trace, Span, SpanKind, Tracer};

@@ -251,6 +251,15 @@ pub struct SimMetrics {
     pub hedge_wins: u64,
     /// Times the scheduler waited out a breaker cool-down.
     pub cooldown_waits: u64,
+    /// Walkers handed between shards during super-step exchanges (sharded
+    /// pool only; zero for replicated and single-session tiers).
+    pub handoffs: u64,
+    /// Sharded super-steps executed across all dispatches (sharded pool
+    /// only).
+    pub super_steps: u64,
+    /// Requests shed because their seeds' home shard was permanently lost
+    /// (`ShardLost`; sharded pool only).
+    pub shard_shed: u64,
     /// Requests waiting in the queue at each batch formation.
     pub queue_depth: Histogram,
     /// Requests fused per dispatched batch.
@@ -283,6 +292,9 @@ impl SimMetrics {
             hedges: 0,
             hedge_wins: 0,
             cooldown_waits: 0,
+            handoffs: 0,
+            super_steps: 0,
+            shard_shed: 0,
             queue_depth: Histogram::new(&DEPTH_BOUNDS),
             batch_size: Histogram::new(&SIZE_BOUNDS),
             batch_width: Histogram::new(&WIDTH_BOUNDS),
@@ -376,7 +388,7 @@ impl ServeMetrics {
             "{{\"admitted\":{},\"queue_rejected\":{},\"completed\":{},\"deadline_missed\":{},\
              \"expired_shed\":{},\"overload_shed\":{},\"failed\":{},\"batches\":{},\
              \"class_launches\":{},\"retries\":{},\"hedges\":{},\"hedge_wins\":{},\
-             \"cooldown_waits\":{}}}",
+             \"cooldown_waits\":{},\"handoffs\":{},\"super_steps\":{},\"shard_shed\":{}}}",
             s.admitted,
             s.queue_rejected,
             s.completed,
@@ -390,6 +402,9 @@ impl ServeMetrics {
             s.hedges,
             s.hedge_wins,
             s.cooldown_waits,
+            s.handoffs,
+            s.super_steps,
+            s.shard_shed,
         );
         let histograms = format!(
             "{{\"queue_depth\":{},\"batch_size\":{},\"batch_width\":{},\"queued_ms\":{},\

@@ -135,6 +135,15 @@ pub struct FleetReport {
     /// healthy capacity was below the full pool (an interval still open at
     /// report time is closed at the current fleet clock).
     pub degraded_intervals: Vec<(f64, f64)>,
+    /// Walkers handed between shards (sharded pool only; zero for the
+    /// replicated tier, whose replicas each hold the whole graph).
+    pub handoffs: u64,
+    /// Simulated bytes those hand-offs moved (sharded pool only).
+    pub handoff_bytes: u64,
+    /// Sharded super-steps executed (sharded pool only).
+    pub super_steps: u64,
+    /// Walkers terminated mid-run by shard loss (sharded pool only).
+    pub walkers_lost: u64,
     /// Fleet clock at report time, simulated ms.
     pub fleet_ms: f64,
 }
@@ -378,6 +387,10 @@ impl ReplicaPool {
             shed: 0,
             cooldown_waits: self.cooldown_waits,
             degraded_intervals: Vec::new(),
+            handoffs: 0,
+            handoff_bytes: 0,
+            super_steps: 0,
+            walkers_lost: 0,
             fleet_ms: self.fleet_ms,
         }
     }

@@ -73,6 +73,14 @@ pub enum SpanKind {
     DeadlineMiss,
     /// A request's full life: admission to service completion.
     Completion,
+    /// One shard's slice of a sharded super-step (sharded pool only):
+    /// `replica` is the shard, `depth` the step index, `batch_size` the
+    /// walker pairs routed to it.
+    SuperStep,
+    /// Walkers handed between shards during a super-step's exchange phase
+    /// (instant): `replica` is the source shard, `width` the destination
+    /// shard, `batch_size` the walkers moved.
+    Handoff,
 }
 
 /// One recorded lifecycle phase. Identity fields are `None` when the
@@ -271,6 +279,7 @@ fn is_instant(kind: SpanKind) -> bool {
             | SpanKind::Formation
             | SpanKind::OverloadShed
             | SpanKind::DeadlineMiss
+            | SpanKind::Handoff
     )
 }
 
@@ -282,10 +291,12 @@ fn span_tid(s: &Span) -> usize {
         | SpanKind::CooldownWait
         | SpanKind::Hedge
         | SpanKind::OverloadShed => TID_SCHEDULER,
-        SpanKind::Attempt | SpanKind::ClassLaunch => match s.replica {
-            Some(r) => TID_REPLICA_BASE + r,
-            None => TID_SCHEDULER,
-        },
+        SpanKind::Attempt | SpanKind::ClassLaunch | SpanKind::SuperStep | SpanKind::Handoff => {
+            match s.replica {
+                Some(r) => TID_REPLICA_BASE + r,
+                None => TID_SCHEDULER,
+            }
+        }
         SpanKind::Queued | SpanKind::Expired | SpanKind::DeadlineMiss | SpanKind::Completion => {
             let lane = s.request.map_or(0, |id| id.0 % REQ_LANES);
             TID_REQ_BASE + lane as usize
@@ -309,6 +320,8 @@ fn span_name(kind: SpanKind) -> &'static str {
         SpanKind::Expired => "expired",
         SpanKind::DeadlineMiss => "deadline-miss",
         SpanKind::Completion => "request",
+        SpanKind::SuperStep => "super-step",
+        SpanKind::Handoff => "handoff",
     }
 }
 

@@ -23,11 +23,14 @@
 //! policy.
 
 use nextdoor::apps::KHop;
-use nextdoor::core::session::SamplerSession;
+use nextdoor::core::session::{SamplerSession, SessionQuery};
 use nextdoor::core::{initial_samples_random, SamplingApp};
 use nextdoor::gpu::{FaultPlan, Gpu, GpuSpec};
 use nextdoor::graph::{Csr, Dataset, VertexId};
-use nextdoor::serve::{FleetBatcher, PoolConfig, ReplicaPool, Request, ServeConfig, ServeError};
+use nextdoor::serve::{
+    FleetBatcher, PoolConfig, ReplicaPool, Request, ServeConfig, ServeError, ShardPoolConfig,
+    ShardedPool,
+};
 use std::path::Path;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -177,6 +180,148 @@ fn chaos_run_is_thread_count_invariant_and_matches_golden() {
     }
     check_golden("chaos_outcomes", &samples);
     check_golden("chaos_fleet_report", &report);
+}
+
+/// The scripted sharded chaos run: a three-shard pool loses one shard
+/// mid-walk while queries keep flowing. Returns
+/// `(outcome digest, fleet report digest)`.
+fn run_shard_chaos(spec: &GpuSpec) -> (String, String) {
+    let (graph, _) = workload();
+    let mut pool = ShardedPool::new(
+        spec.clone(),
+        graph.clone(),
+        app(),
+        ShardPoolConfig {
+            num_shards: 3,
+            ..ShardPoolConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut outcome_digest = String::new();
+    let mut next_seed = 500u64;
+    let mut wave = |pool: &mut ShardedPool, n: usize, label: &str| {
+        // Each query gets its own random frontier, so home shards vary and
+        // a dead shard sheds some queries while survivors keep serving.
+        let queries: Vec<SessionQuery> = (0..n)
+            .map(|_| {
+                let init = initial_samples_random(&graph, 8, 1, next_seed).unwrap();
+                let q = SessionQuery {
+                    init,
+                    seed: next_seed,
+                };
+                next_seed += 1;
+                q
+            })
+            .collect();
+        let d = pool.dispatch(&queries).unwrap();
+        for (q, r) in queries.iter().zip(&d.results) {
+            match r {
+                Ok(store) => outcome_digest.push_str(&format!(
+                    "{label} seed {} ok samples: {:?}\n",
+                    q.seed,
+                    store.final_samples()
+                )),
+                Err(e) => outcome_digest.push_str(&format!("{label} seed {} err: {e}\n", q.seed)),
+            }
+        }
+    };
+
+    // Wave A: the healthy sharded fleet.
+    wave(&mut pool, 4, "warmup");
+    assert_eq!(pool.healthy_count(), 3);
+
+    // Shard 1 drops off the bus two launches into the next wave —
+    // mid-walk, so in-flight walkers die at the shard boundary.
+    pool.schedule_faults(1, FaultPlan::new().lose_device_at_launch(2));
+
+    // Wave B rides through the loss; wave C runs on the degraded fleet.
+    wave(&mut pool, 6, "storm");
+    wave(&mut pool, 4, "degraded");
+
+    (outcome_digest, pool.report().digest())
+}
+
+#[test]
+fn sharded_chaos_is_thread_count_invariant_and_matches_golden() {
+    let (samples, report) = run_shard_chaos(&spec_with_threads(1));
+    for t in &THREAD_COUNTS[1..] {
+        let (s, r) = run_shard_chaos(&spec_with_threads(*t));
+        assert_eq!(
+            samples, s,
+            "sharded chaos outcomes at {t} worker threads differ from sequential"
+        );
+        assert_eq!(
+            report, r,
+            "sharded FleetReport at {t} worker threads differs from sequential"
+        );
+    }
+    check_golden("shard_chaos_outcomes", &samples);
+    check_golden("shard_fleet_report", &report);
+}
+
+#[test]
+fn sharded_chaos_degrades_typed_and_keeps_survivors() {
+    let spec = spec_with_threads(1);
+    let (graph, _) = workload();
+    let mut pool = ShardedPool::new(
+        spec,
+        graph.clone(),
+        app(),
+        ShardPoolConfig {
+            num_shards: 3,
+            ..ShardPoolConfig::default()
+        },
+    )
+    .unwrap();
+
+    let queries_at = |seed0: u64, n: usize| -> Vec<SessionQuery> {
+        (0..n as u64)
+            .map(|i| SessionQuery {
+                init: initial_samples_random(&graph, 8, 1, seed0 + i).unwrap(),
+                seed: seed0 + i,
+            })
+            .collect()
+    };
+
+    let warm = pool.dispatch(&queries_at(500, 4)).unwrap();
+    assert!(
+        warm.results.iter().all(Result::is_ok),
+        "healthy fleet serves"
+    );
+    pool.schedule_faults(1, FaultPlan::new().lose_device_at_launch(2));
+    pool.dispatch(&queries_at(600, 6)).unwrap();
+    assert!(pool.sampler().shard_lost(1), "the scheduled loss landed");
+
+    let after = pool.dispatch(&queries_at(700, 8)).unwrap();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for r in &after.results {
+        match r {
+            Ok(_) => served += 1,
+            Err(ServeError::ShardLost { shard, shards }) => {
+                assert_eq!((*shard, *shards), (1, 3));
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected outcome on the degraded fleet: {e}"),
+        }
+    }
+    assert!(served > 0, "survivor shards keep serving");
+    assert!(shed > 0, "queries homed on the dead shard are shed typed");
+
+    let report = pool.report();
+    assert!(report.replicas[1].lost);
+    assert!(
+        report.walkers_lost > 0,
+        "mid-walk walkers died with the shard"
+    );
+    assert_eq!(report.shed, shed as u64);
+    assert_eq!(
+        pool.healthy_count(),
+        2,
+        "the fleet ends degraded but serving"
+    );
+    assert!(report.super_steps > 0 && report.handoffs > 0);
 }
 
 #[test]

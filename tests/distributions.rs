@@ -11,7 +11,9 @@
 //! re-run noise.
 
 use nextdoor::apps::{DeepWalk, KHop, Ladies, Layer, Node2Vec};
-use nextdoor::core::{run_cpu, run_nextdoor, RunResult, SamplingApp, NULL_VERTEX};
+use nextdoor::core::{
+    run_cpu, run_nextdoor, SampleStore, SamplingApp, ShardedSampler, NULL_VERTEX,
+};
 use nextdoor::gpu::{Gpu, GpuSpec};
 use nextdoor::graph::{Csr, GraphBuilder, VertexId};
 use std::collections::BTreeMap;
@@ -59,7 +61,8 @@ fn rejection_law(accept: &[f64], probes: u32) -> Vec<f64> {
         .collect()
 }
 
-type Runner = dyn Fn(&Csr, &dyn SamplingApp, &[Vec<VertexId>], u64) -> RunResult;
+type AppFactory = dyn Fn() -> Box<dyn SamplingApp + Send>;
+type Runner = dyn Fn(&Csr, &AppFactory, &[Vec<VertexId>], u64) -> SampleStore;
 
 /// Both execution paths under test: the sequential CPU oracle and the full
 /// transit-parallel NextDoor engine on the simulated GPU.
@@ -68,29 +71,52 @@ fn runners() -> Vec<(&'static str, Box<Runner>)> {
         (
             "cpu",
             Box::new(
-                |g: &Csr, app: &dyn SamplingApp, init: &[Vec<VertexId>], seed: u64| {
-                    run_cpu(g, app, init, seed).unwrap()
+                |g: &Csr, app: &AppFactory, init: &[Vec<VertexId>], seed: u64| {
+                    run_cpu(g, app().as_ref(), init, seed).unwrap().store
                 },
             ) as Box<Runner>,
         ),
         (
             "nextdoor",
             Box::new(
-                |g: &Csr, app: &dyn SamplingApp, init: &[Vec<VertexId>], seed: u64| {
+                |g: &Csr, app: &AppFactory, init: &[Vec<VertexId>], seed: u64| {
                     let mut gpu = Gpu::new(GpuSpec::small());
-                    run_nextdoor(&mut gpu, g, app, init, seed).unwrap()
+                    run_nextdoor(&mut gpu, g, app().as_ref(), init, seed)
+                        .unwrap()
+                        .store
                 },
             ),
         ),
     ]
 }
 
+/// The sharded engine at 2 and 3 shards: same draws, routed through
+/// partition-aware super-steps with cross-shard hand-off. Only individual
+/// transit sampling is shardable, so these runners join the `runners()`
+/// list for the k-hop and random-walk laws, not the collective ones.
+fn sharded_runners() -> Vec<(&'static str, Box<Runner>)> {
+    [("sharded-2", 2usize), ("sharded-3", 3usize)]
+        .into_iter()
+        .map(|(name, shards)| {
+            let runner: Box<Runner> = Box::new(
+                move |g: &Csr, app: &AppFactory, init: &[Vec<VertexId>], seed: u64| {
+                    let mut s =
+                        ShardedSampler::new(GpuSpec::small(), g.clone(), app(), shards, 0x5AD0)
+                            .unwrap();
+                    s.query(init, seed).unwrap().store
+                },
+            );
+            (name, runner)
+        })
+        .collect()
+}
+
 const SEEDS: [u64; 5] = [11, 23, 47, 101, 9001];
 
 /// Tallies the step-`step` values of every sample into per-vertex counts.
-fn count_step_vertices(res: &RunResult, step: usize) -> BTreeMap<VertexId, u64> {
+fn count_step_vertices(store: &SampleStore, step: usize) -> BTreeMap<VertexId, u64> {
     let mut counts = BTreeMap::new();
-    for &v in &res.store.step_values(step).values {
+    for &v in &store.step_values(step).values {
         if v != NULL_VERTEX {
             *counts.entry(v).or_insert(0u64) += 1;
         }
@@ -108,10 +134,10 @@ fn khop_draws_are_uniform_over_neighbours() {
     let g = b.build().unwrap();
     let init: Vec<Vec<VertexId>> = (0..2000).map(|_| vec![0]).collect();
     let probs = vec![1.0 / 8.0; 8];
-    for (name, run) in runners() {
+    for (name, run) in runners().into_iter().chain(sharded_runners()) {
         let mut counts = BTreeMap::new();
         for seed in SEEDS {
-            let res = run(&g, &KHop::new(vec![1]), &init, seed);
+            let res = run(&g, &|| Box::new(KHop::new(vec![1])), &init, seed);
             for (v, c) in count_step_vertices(&res, 0) {
                 *counts.entry(v).or_insert(0u64) += c;
             }
@@ -150,7 +176,7 @@ fn layer_draws_are_uniform_over_combined_neighbourhood() {
         for seed in SEEDS {
             // step_size 4, max_size 6: step 0 draws 4 vertices per batch of
             // 2, then the sample is full — only step 0 is analysed.
-            let res = run(&g, &Layer::new(4, 6), &init, seed);
+            let res = run(&g, &|| Box::new(Layer::new(4, 6)), &init, seed);
             for (v, c) in count_step_vertices(&res, 0) {
                 *counts.entry(v).or_insert(0u64) += c;
             }
@@ -196,7 +222,7 @@ fn ladies_draws_follow_degree_biased_rejection_law() {
     for (name, run) in runners() {
         let mut counts = BTreeMap::new();
         for seed in SEEDS {
-            let res = run(&g, &Ladies::new(1, 8), &init, seed);
+            let res = run(&g, &|| Box::new(Ladies::new(1, 8)), &init, seed);
             for (v, c) in count_step_vertices(&res, 0) {
                 *counts.entry(v).or_insert(0u64) += c;
             }
@@ -225,10 +251,10 @@ fn deepwalk_draws_follow_weight_biased_rejection_law() {
         .unwrap();
     let probs = rejection_law(&[0.25, 0.5, 1.0], 24);
     let init: Vec<Vec<VertexId>> = (0..2000).map(|_| vec![0]).collect();
-    for (name, run) in runners() {
+    for (name, run) in runners().into_iter().chain(sharded_runners()) {
         let mut counts = BTreeMap::new();
         for seed in SEEDS {
-            let res = run(&g, &DeepWalk::new(1), &init, seed);
+            let res = run(&g, &|| Box::new(DeepWalk::new(1)), &init, seed);
             for (v, c) in count_step_vertices(&res, 0) {
                 *counts.entry(v).or_insert(0u64) += c;
             }
@@ -271,8 +297,8 @@ fn node2vec_transition_counts(p: f32, q: f32) -> (Vec<f64>, Vec<(String, Vec<u64
         // Counts for transitions 1 -> {0, 2, 9}.
         let mut counts = [0u64; 3];
         for seed in SEEDS {
-            let res = run(&g, &Node2Vec::new(2, p, q), &init, seed);
-            for s in res.store.final_samples() {
+            let res = run(&g, &move || Box::new(Node2Vec::new(2, p, q)), &init, seed);
+            for s in res.final_samples() {
                 // Condition on the walk being 0 -> 1 after step 0; the
                 // step-1 RNG stream is keyed independently of step 0, so
                 // this filter does not bias the transition law.

@@ -94,7 +94,7 @@ fn collective_apps_are_engine_independent() {
 #[test]
 fn clustergcn_is_engine_independent() {
     let g = graph();
-    let clustering = cluster_vertices(&g, 12, 4);
+    let clustering = cluster_vertices(&g, 12, 4).unwrap();
     let init = apps::cluster_gcn_samples(&g, &clustering, 2, 8, 3);
     check_all_engines(&apps::ClusterGcn::new(32), &g, &init);
 }
