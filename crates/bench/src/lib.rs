@@ -244,7 +244,7 @@ impl BenchConfig {
 /// The ten benchmark applications paired with their initial-sample shapes,
 /// using the paper's parameters (§8 "Benchmarks") except where scale
 /// dictates smaller collective budgets (documented in DESIGN.md).
-pub fn benchmark_suite() -> Vec<(Box<dyn nextdoor_core::SamplingApp>, AppInit)> {
+pub fn benchmark_suite() -> Vec<(Box<dyn nextdoor_core::SamplingApp + Send>, AppInit)> {
     use nextdoor_apps as apps;
     vec![
         (Box::new(apps::DeepWalk::new(100)) as _, AppInit::Walk),

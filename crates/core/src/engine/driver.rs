@@ -32,7 +32,7 @@ use crate::engine::kernels::{
     block_class_work, charge_step_transits, grid_class_work, run_sample_parallel_kernel,
     run_subwarp_kernel, run_transit_block_kernel, BlockWork, StepExec, StepOut,
 };
-use crate::engine::scheduling::{build_scheduling_index, partition_kernel_classes};
+use crate::engine::scheduling::{build_scheduling_index_tuned, partition_kernel_classes_tuned};
 use crate::engine::{
     finish_step, plan_step, step_budget, unique, EngineStats, RunResult, SampleKeys, StepPlan,
 };
@@ -40,6 +40,7 @@ use crate::error::{FaultReport, NextDoorError};
 use crate::gpu_graph::GpuGraph;
 use crate::large_graph::GraphPartitions;
 use crate::store::SampleStore;
+use crate::tuning::{HotTransitCache, KernelTuning, TuningPlan};
 use nextdoor_gpu::{DeviceBuffer, Gpu, OutOfMemory};
 use nextdoor_graph::{Csr, VertexId};
 
@@ -76,6 +77,13 @@ pub(crate) fn live_pairs(plan: &StepPlan, num_samples: usize) -> Vec<(VertexId, 
 /// Executes one step's `next` invocations under `kind`, filling `out`.
 /// Returns the cycles spent building the scheduling index.
 ///
+/// `tuning` supplies the session's [`TuningPlan`] (the default plan
+/// reproduces the untuned engine byte-identically) and `cache` the
+/// session's [`HotTransitCache`], if any: the NextDoor engine consults it
+/// for memoised scheduling indices and resident adjacency slices, and
+/// feeds its transit frequencies. Samples are identical either way — the
+/// knobs move cost, never RNG draws.
+///
 /// # Errors
 ///
 /// Returns [`OutOfMemory`] when a scheduling-stage device allocation fails
@@ -86,6 +94,8 @@ pub(crate) fn exec_step(
     ex: &StepExec<'_>,
     kind: GpuEngineKind,
     transit_buf: &DeviceBuffer<u32>,
+    tuning: &TuningPlan,
+    mut cache: Option<&mut HotTransitCache>,
     out: &mut StepOut,
 ) -> Result<f64, OutOfMemory> {
     let ns = ex.store.num_samples();
@@ -95,15 +105,40 @@ pub(crate) fn exec_step(
         SamplingType::Individual => match kind {
             GpuEngineKind::NextDoor => {
                 let pairs = live_pairs(plan, ns);
+                let (sub_warp, max_block) = (tuning.sub_warp_threshold, tuning.max_block_threads);
                 let c0 = gpu.counters().cycles;
-                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices())?;
-                let classes = partition_kernel_classes(gpu, &index, plan.m, 1024)?;
+                let memo = cache
+                    .as_deref_mut()
+                    .and_then(|c| c.lookup_sched(&pairs, plan.m, sub_warp, max_block));
+                let (index, classes) = match memo {
+                    Some(hit) => hit,
+                    None => {
+                        let index = build_scheduling_index_tuned(
+                            gpu,
+                            &pairs,
+                            ex.graph.num_vertices(),
+                            tuning.tight_key_range,
+                        )?;
+                        let classes = partition_kernel_classes_tuned(
+                            gpu, &index, plan.m, sub_warp, max_block,
+                        )?;
+                        if let Some(c) = cache.as_deref_mut() {
+                            c.store_sched(&pairs, plan.m, sub_warp, max_block, &index, &classes);
+                        }
+                        (index, classes)
+                    }
+                };
+                if let Some(c) = cache.as_deref_mut() {
+                    c.note_index(&index);
+                }
                 sched_cycles += gpu.counters().cycles - c0;
-                run_subwarp_kernel(gpu, ex, &index, &classes.sub_warp, out);
+                let resident = cache.as_deref().map_or(&[][..], |c| c.resident());
+                let tune = KernelTuning::from_plan(tuning, resident);
+                run_subwarp_kernel(gpu, ex, &index, &classes.sub_warp, &tune, out);
                 let bw = block_class_work(&index, &classes.block);
-                run_transit_block_kernel(gpu, "nextdoor_block", ex, &index, &bw, false, out);
-                let gw = grid_class_work(&index, &classes.grid, plan.m, 1024);
-                run_transit_block_kernel(gpu, "nextdoor_grid", ex, &index, &gw, false, out);
+                run_transit_block_kernel(gpu, "nextdoor_block", ex, &index, &bw, &tune, out);
+                let gw = grid_class_work(&index, &classes.grid, plan.m, tuning.block_dim);
+                run_transit_block_kernel(gpu, "nextdoor_grid", ex, &index, &gw, &tune, out);
             }
             GpuEngineKind::SampleParallel => {
                 run_sample_parallel_kernel(gpu, ex, transit_buf, out);
@@ -111,7 +146,12 @@ pub(crate) fn exec_step(
             GpuEngineKind::VanillaTp => {
                 let pairs = live_pairs(plan, ns);
                 let c0 = gpu.counters().cycles;
-                let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices())?;
+                let index = build_scheduling_index_tuned(
+                    gpu,
+                    &pairs,
+                    ex.graph.num_vertices(),
+                    tuning.tight_key_range,
+                )?;
                 sched_cycles += gpu.counters().cycles - c0;
                 let bw: Vec<BlockWork> = (0..index.segments.len())
                     .map(|si| BlockWork {
@@ -120,7 +160,8 @@ pub(crate) fn exec_step(
                         pair_count: index.segments[si].count,
                     })
                     .collect();
-                run_transit_block_kernel(gpu, "tp_block", ex, &index, &bw, true, out);
+                let tune = KernelTuning::baseline();
+                run_transit_block_kernel(gpu, "tp_block", ex, &index, &bw, &tune, out);
             }
         },
         SamplingType::Collective => {
@@ -129,7 +170,12 @@ pub(crate) fn exec_step(
                 GpuEngineKind::NextDoor | GpuEngineKind::VanillaTp => {
                     let pairs = live_pairs(plan, ns);
                     let c0 = gpu.counters().cycles;
-                    let index = build_scheduling_index(gpu, &pairs, ex.graph.num_vertices())?;
+                    let index = build_scheduling_index_tuned(
+                        gpu,
+                        &pairs,
+                        ex.graph.num_vertices(),
+                        tuning.tight_key_range,
+                    )?;
                     sched_cycles += gpu.counters().cycles - c0;
                     build_combined_transit_parallel(gpu, ex, &index, &mut comb);
                 }
@@ -199,6 +245,8 @@ pub(crate) fn run_step_loop(
     keys: &SampleKeys,
     kind: GpuEngineKind,
     residency: Option<&GraphPartitions>,
+    tuning: &TuningPlan,
+    mut cache: Option<&mut HotTransitCache>,
 ) -> Result<StepLoopOut, NextDoorError> {
     if gpu.device_lost() {
         return Err(NextDoorError::DeviceLost { device: 0 });
@@ -283,7 +331,15 @@ pub(crate) fn run_step_loop(
                     plan: &plan,
                     keys,
                 };
-                let res = exec_step(gpu, &ex, kind, &transit_buf, &mut out);
+                let res = exec_step(
+                    gpu,
+                    &ex,
+                    kind,
+                    &transit_buf,
+                    tuning,
+                    cache.as_deref_mut(),
+                    &mut out,
+                );
                 let Some(cycles) = absorb_alloc_fault(gpu, &mut report, res)? else {
                     if retries >= MAX_STEP_RETRIES {
                         return Err(NextDoorError::KernelFault { step, retries });
@@ -392,7 +448,18 @@ pub(crate) fn run_gpu_engine(
     match GpuGraph::upload(gpu, graph) {
         Ok(gg) => {
             let keys = SampleKeys::uniform(seed);
-            let out = run_step_loop(gpu, graph, &gg, app, init, &keys, kind, None)?;
+            let out = run_step_loop(
+                gpu,
+                graph,
+                &gg,
+                app,
+                init,
+                &keys,
+                kind,
+                None,
+                &TuningPlan::default(),
+                None,
+            )?;
             Ok(finish_run(gpu, &counters0, launch0, out))
         }
         Err(oom) => {

@@ -11,6 +11,7 @@ use crate::engine::scheduling::SchedulingIndex;
 use crate::engine::{run_next_individual, SampleKeys, StepPlan};
 use crate::gpu_graph::GpuGraph;
 use crate::store::SampleStore;
+use crate::tuning::KernelTuning;
 use nextdoor_gpu::lane::LaneTrace;
 use nextdoor_gpu::warp::mask_first_n;
 use nextdoor_gpu::{
@@ -220,11 +221,17 @@ fn execute_lanes(
 /// The sub-warp kernel (Table 2, row 3): several transits per warp, each
 /// `(transit, sample)` pair on `m` consecutive lanes; adjacency held in
 /// registers and read via warp shuffles.
+///
+/// `tune` supplies the preload factor and the session's resident-transit
+/// set; a resident transit's preload loads are skipped (its slice already
+/// sits in the session arena) while `cached_len` — and therefore every
+/// sampled value — is unchanged.
 pub(crate) fn run_subwarp_kernel(
     gpu: &mut Gpu,
     ex: &StepExec<'_>,
     index: &SchedulingIndex,
     class: &[usize],
+    tune: &KernelTuning<'_>,
     out: &mut StepOut,
 ) {
     if class.is_empty() {
@@ -272,9 +279,9 @@ pub(crate) fn run_subwarp_kernel(
                 // Adaptive cache sizing: preload no more sectors than
                 // the expected number of accesses can pay back (a few
                 // probes per slot), bounded by the register budget.
-                let expected = (4 * threads).next_multiple_of(8).max(8);
+                let expected = (tune.preload_factor * threads).next_multiple_of(8).max(8);
                 let reg_n = deg.min(expected).min(REG_CACHE_PER_THREAD * threads);
-                if reg_n > 0 {
+                if reg_n > 0 && !tune.is_resident(seg.transit) {
                     let (start, _) = ex.graph.adjacency_range(seg.transit);
                     let mut c = 0;
                     while c < reg_n {
@@ -373,9 +380,9 @@ pub(crate) fn grid_class_work(
 
 /// The thread-block and grid kernels (Table 2, rows 1–2): each block serves
 /// one transit (or one chunk of a huge transit), caching the adjacency list
-/// in shared memory. With `grid_stride` a block loops over its lanes'
-/// work — the vanilla-TP configuration that has no grid class and therefore
-/// no load balancing.
+/// in shared memory. A block whose chunk exceeds its thread count loops
+/// grid-stride style — the vanilla-TP configuration (whole transits, no
+/// load balancing) and small tuned block sizes both rely on this.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_transit_block_kernel(
     gpu: &mut Gpu,
@@ -383,14 +390,14 @@ pub(crate) fn run_transit_block_kernel(
     ex: &StepExec<'_>,
     index: &SchedulingIndex,
     blocks: &[BlockWork],
-    grid_stride: bool,
+    tune: &KernelTuning<'_>,
     out: &mut StepOut,
 ) {
     if blocks.is_empty() {
         return;
     }
     let m = ex.plan.m;
-    let block_dim = 1024usize;
+    let block_dim = tune.block_dim;
     let cfg = LaunchConfig {
         grid_dim: blocks.len(),
         block_dim,
@@ -404,14 +411,22 @@ pub(crate) fn run_transit_block_kernel(
         let deg = ex.graph.degree(seg.transit);
         let (row_start, _) = ex.graph.adjacency_range(seg.transit);
         // Shared-memory cache of the adjacency list; spill to global
-        // when it does not fit (§6.1.2 "Caching").
+        // when it does not fit (§6.1.2 "Caching"). A session-resident
+        // transit skips the whole global→shared fill — its slice is
+        // served from the session arena at cache cost — while
+        // `cached_len` (and with it every sampled value) is unchanged.
         let cache_n = deg.min(blk.shared_words_free());
-        let cache = if cache_n > 0 {
+        let resident = tune.is_resident(seg.transit);
+        let cache = if cache_n > 0 && !resident {
             blk.shared_alloc(cache_n)
         } else {
             None
         };
-        let cached_len = cache.map_or(0, |_| cache_n);
+        let cached_len = if resident {
+            cache_n
+        } else {
+            cache.map_or(0, |_| cache_n)
+        };
         if let Some(arr) = cache {
             let chunks = cache_n.div_ceil(WARP_SIZE);
             let num_warps = blk.num_warps();
@@ -433,11 +448,11 @@ pub(crate) fn run_transit_block_kernel(
             blk.syncthreads();
         }
         let lanes_needed = bw.pair_count * m;
-        let iterations = if grid_stride {
-            lanes_needed.div_ceil(block_dim)
-        } else {
-            1
-        };
+        // Every block loops until its chunk is covered. NextDoor-class
+        // chunks fit one block (`count * m <= block_dim`) so this is one
+        // iteration; vanilla TP's whole-transit blocks and plans whose
+        // `m` exceeds the tuned block size take more.
+        let iterations = lanes_needed.div_ceil(block_dim).max(1);
         blk.for_each_warp(|w| {
             for it in 0..iterations {
                 let lane_base = it * block_dim + w.warp_in_block * WARP_SIZE;

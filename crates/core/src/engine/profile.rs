@@ -82,7 +82,7 @@ pub fn classify_kernel(name: &str) -> KernelPhase {
         "nextdoor_grid" => KernelPhase::Grid,
         "sp_sample" => KernelPhase::SampleParallel,
         "collective_next" | "nd_combined_build" | "sp_combined_build" => KernelPhase::Collective,
-        "unique_dedup" => KernelPhase::PostProcess,
+        "unique_dedup" | "cache_install" => KernelPhase::PostProcess,
         _ => KernelPhase::Other,
     }
 }

@@ -58,15 +58,41 @@ pub fn build_scheduling_index(
     pairs: &[(VertexId, u32)],
     num_vertices: usize,
 ) -> Result<SchedulingIndex, OutOfMemory> {
+    build_scheduling_index_tuned(gpu, pairs, num_vertices, false)
+}
+
+/// [`build_scheduling_index`] with the tuner's key-range knob.
+///
+/// With `tight_key_range` the radix sort is bounded by the maximum transit
+/// id actually live this step instead of `num_vertices - 1`. A tighter
+/// bound can only shed whole radix passes; the sort is stable and its
+/// output — and therefore every sample — is identical (see
+/// [`TuningPlan`](crate::tuning::TuningPlan)).
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when a device allocation fails — genuinely or
+/// through a scripted fault.
+pub fn build_scheduling_index_tuned(
+    gpu: &mut Gpu,
+    pairs: &[(VertexId, u32)],
+    num_vertices: usize,
+    tight_key_range: bool,
+) -> Result<SchedulingIndex, OutOfMemory> {
     if pairs.is_empty() {
         return Ok(SchedulingIndex::default());
     }
     debug_assert!(pairs.iter().all(|&(t, _)| t != NULL_VERTEX));
     let keys_host: Vec<u32> = pairs.iter().map(|&(t, _)| t).collect();
     let vals_host: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
+    let max_key = if tight_key_range {
+        keys_host.iter().copied().max().unwrap_or(0)
+    } else {
+        (num_vertices - 1) as u32
+    };
     let keys = gpu.try_to_device(&keys_host)?;
     let vals = gpu.try_to_device(&vals_host)?;
-    let (sorted_keys, sorted_vals) = radix_sort_pairs(gpu, &keys, &vals, (num_vertices - 1) as u32);
+    let (sorted_keys, sorted_vals) = radix_sort_pairs(gpu, &keys, &vals, max_key);
     // Segment-boundary flags: position i starts a new transit group.
     let n = pairs.len();
     let flags = gpu.try_alloc::<u32>(n)?;
@@ -122,6 +148,30 @@ pub fn partition_kernel_classes(
     m: usize,
     max_block_threads: usize,
 ) -> Result<KernelClasses, OutOfMemory> {
+    partition_kernel_classes_tuned(gpu, index, m, WARP_SIZE, max_block_threads)
+}
+
+/// [`partition_kernel_classes`] with the tuner's sub-warp threshold.
+///
+/// A transit is sub-warp work when it needs at most `sub_warp_threshold`
+/// threads (at most [`WARP_SIZE`] — the sub-warp kernel packs a transit's
+/// lanes into one warp). Moving the threshold re-assigns transits between
+/// kernel classes; the classes execute the same `(sample, slot)` lanes
+/// with the same RNG keying, so samples are unchanged.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when a device allocation fails — genuinely or
+/// through a scripted fault.
+pub fn partition_kernel_classes_tuned(
+    gpu: &mut Gpu,
+    index: &SchedulingIndex,
+    m: usize,
+    sub_warp_threshold: usize,
+    max_block_threads: usize,
+) -> Result<KernelClasses, OutOfMemory> {
+    debug_assert!(sub_warp_threshold <= WARP_SIZE);
+    debug_assert!(sub_warp_threshold <= max_block_threads);
     let mut classes = KernelClasses::default();
     let n = index.segments.len();
     if n == 0 {
@@ -144,7 +194,7 @@ pub fn partition_kernel_classes(
             let c = w.ld_global(&counts_dev, &safe, msk);
             let cls = w.map(c, msk, |c| {
                 let threads = c as usize * m;
-                if threads <= WARP_SIZE {
+                if threads <= sub_warp_threshold {
                     0
                 } else if threads <= max_block_threads {
                     1
@@ -159,7 +209,7 @@ pub fn partition_kernel_classes(
     let _ = positions; // Scan pass charged; host materialises the lists.
     for (i, seg) in index.segments.iter().enumerate() {
         let threads = seg.count * m;
-        if threads <= WARP_SIZE {
+        if threads <= sub_warp_threshold {
             classes.sub_warp.push(i);
         } else if threads <= max_block_threads {
             classes.block.push(i);

@@ -134,6 +134,8 @@ pub(crate) fn out_of_core_run(
         &keys,
         GpuEngineKind::NextDoor,
         Some(&parts),
+        &crate::tuning::TuningPlan::default(),
+        None,
     );
     gpu.set_charge_transfers(false);
     let out = loop_res?;

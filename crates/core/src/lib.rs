@@ -68,6 +68,7 @@ pub mod multi_gpu;
 pub mod session;
 pub mod sharded;
 pub mod store;
+pub mod tuning;
 
 pub use api::{NextCtx, SampleView, SamplingApp, SamplingType, Steps, NULL_VERTEX};
 pub use engine::cpu::{run_cpu, run_cpu_keyed};
@@ -81,3 +82,13 @@ pub use gpu_graph::GpuGraph;
 pub use session::{ClassMark, FusedResult, SamplerSession, SessionQuery};
 pub use sharded::{ShardHandoff, ShardedFusedResult, ShardedRunOut, ShardedSampler, SuperStepMark};
 pub use store::SampleStore;
+pub use tuning::{
+    AutoTuner, CacheConfig, CacheStats, HotTransitCache, ProfileSummary, TunerConfig, TuningPlan,
+};
+
+/// Compile-checks the code blocks in `TUNING.md` (the autotuning guide) as
+/// doctests, so the documented examples cannot rot.
+#[cfg(doctest)]
+mod tuning_doc_tests {
+    #![doc = include_str!("../../../TUNING.md")]
+}

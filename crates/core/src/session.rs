@@ -62,6 +62,7 @@ use crate::engine::{EngineStats, RunResult, SampleKeys};
 use crate::error::{validate_run, FaultReport, NextDoorError};
 use crate::gpu_graph::GpuGraph;
 use crate::store::SampleStore;
+use crate::tuning::{AutoTuner, CacheConfig, CacheStats, HotTransitCache, TunerConfig, TuningPlan};
 use nextdoor_gpu::{Gpu, GpuSpec};
 use nextdoor_graph::{Csr, VertexId};
 
@@ -135,6 +136,10 @@ pub struct SamplerSession {
     gg: GpuGraph,
     app: Box<dyn SamplingApp + Send>,
     queries_served: u64,
+    tuner: Option<AutoTuner>,
+    plan: TuningPlan,
+    plan_updates: u64,
+    cache: Option<HotTransitCache>,
 }
 
 impl SamplerSession {
@@ -180,7 +185,84 @@ impl SamplerSession {
             gg,
             app,
             queries_served: 0,
+            tuner: None,
+            plan: TuningPlan::default(),
+            plan_updates: 0,
+            cache: None,
         })
+    }
+
+    /// Enables profile-guided autotuning: the session observes each
+    /// completed query's [`RunProfile`] and, once `cfg.warmup_queries`
+    /// queries have been seen, derives a [`TuningPlan`] that subsequent
+    /// queries run under. Plans change only **at query boundaries** and the
+    /// knobs only move launch geometry and cost, so the samples of every
+    /// query are bit-identical to an untuned session's (see
+    /// [`crate::tuning`]).
+    pub fn enable_autotune(&mut self, cfg: TunerConfig) {
+        self.tuner = Some(AutoTuner::new(cfg));
+    }
+
+    /// Enables the cross-query [`HotTransitCache`]: frequently-hit
+    /// transits' adjacency slices stay resident on the device between
+    /// queries (their kernels skip the preload traffic), and repeated
+    /// steps' scheduling indices are memoised. Maintenance runs at query
+    /// boundaries; samples are unaffected.
+    pub fn enable_hot_cache(&mut self, cfg: CacheConfig) {
+        self.cache = Some(HotTransitCache::new(cfg));
+    }
+
+    /// Pins an explicit tuning plan (normalised via
+    /// [`TuningPlan::normalized`]), e.g. one derived offline from an
+    /// exported kernel report. Overwritten by the autotuner's next update
+    /// if autotuning is enabled.
+    pub fn set_tuning_plan(&mut self, plan: TuningPlan) {
+        self.plan = plan.normalized();
+    }
+
+    /// The plan the next query will run under.
+    pub fn tuning_plan(&self) -> TuningPlan {
+        self.plan
+    }
+
+    /// How many times the autotuner changed the active plan.
+    pub fn plan_updates(&self) -> u64 {
+        self.plan_updates
+    }
+
+    /// The autotuner's state, if autotuning is enabled.
+    pub fn tuner(&self) -> Option<&AutoTuner> {
+        self.tuner.as_ref()
+    }
+
+    /// The hot-transit cache's counters, if the cache is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| *c.stats())
+    }
+
+    /// How many transits are currently resident in the hot-transit cache's
+    /// device arena (0 when the cache is disabled or empty).
+    pub fn cache_resident_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.resident().len())
+    }
+
+    /// Query-boundary bookkeeping: feed the tuner, refresh the plan, and
+    /// let the cache promote/evict. Runs with no query in flight, so the
+    /// next query sees one fixed `(plan, cache)` state throughout.
+    fn after_query(&mut self, profile: &RunProfile) {
+        if let Some(t) = self.tuner.as_mut() {
+            t.observe(profile);
+            if t.ready() {
+                let new_plan = t.plan(self.gpu.spec()).normalized();
+                if new_plan != self.plan {
+                    self.plan = new_plan;
+                    self.plan_updates += 1;
+                }
+            }
+        }
+        if let Some(c) = self.cache.as_mut() {
+            c.maintain(&mut self.gpu, &self.graph, &self.gg);
+        }
     }
 
     /// Answers one query against the resident graph.
@@ -197,8 +279,10 @@ impl SamplerSession {
     pub fn query(&mut self, init: &[Vec<VertexId>], seed: u64) -> Result<RunResult, NextDoorError> {
         validate_run(&self.graph, self.app.as_ref(), init)?;
         let keys = SampleKeys::uniform(seed);
-        self.run_batch(init, &keys)
-            .inspect(|_| self.queries_served += 1)
+        let res = self.run_batch(init, &keys)?;
+        self.queries_served += 1;
+        self.after_query(&res.stats.profile);
+        Ok(res)
     }
 
     /// Runs several queries as **one fused transit-parallel batch** and
@@ -281,6 +365,8 @@ impl SamplerSession {
                 &keys,
                 GpuEngineKind::NextDoor,
                 None,
+                &self.plan,
+                self.cache.as_mut(),
             )?;
             class_marks.push(ClassMark {
                 width: *width,
@@ -301,9 +387,9 @@ impl SamplerSession {
         self.queries_served += queries.len() as u64;
         let counters = self.gpu.counters().diff(&counters0);
         let profile = RunProfile::from_device(&self.gpu, launch0, &step_marks);
-        let spec = self.gpu.spec();
-        let total_ms = spec.cycles_to_ms(counters.cycles);
-        let scheduling_ms = spec.cycles_to_ms(sched_cycles);
+        let total_ms = self.gpu.spec().cycles_to_ms(counters.cycles);
+        let scheduling_ms = self.gpu.spec().cycles_to_ms(sched_cycles);
+        self.after_query(&profile);
         tagged.sort_by_key(|(qi, _)| *qi);
         Ok(FusedResult {
             per_query: tagged.into_iter().map(|(_, s)| s).collect(),
@@ -340,6 +426,8 @@ impl SamplerSession {
             keys,
             GpuEngineKind::NextDoor,
             None,
+            &self.plan,
+            self.cache.as_mut(),
         )?;
         Ok(finish_run(&self.gpu, &counters0, launch0, out))
     }

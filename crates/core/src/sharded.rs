@@ -841,11 +841,12 @@ fn run_shard_step(
                     continue;
                 }
             };
-            run_subwarp_kernel(gpu, &ex, &index, &classes.sub_warp, &mut out);
+            let tune = crate::tuning::KernelTuning::baseline();
+            run_subwarp_kernel(gpu, &ex, &index, &classes.sub_warp, &tune, &mut out);
             let bw = block_class_work(&index, &classes.block);
-            run_transit_block_kernel(gpu, "nextdoor_block", &ex, &index, &bw, false, &mut out);
+            run_transit_block_kernel(gpu, "nextdoor_block", &ex, &index, &bw, &tune, &mut out);
             let gw = grid_class_work(&index, &classes.grid, plan.m, 1024);
-            run_transit_block_kernel(gpu, "nextdoor_grid", &ex, &index, &gw, false, &mut out);
+            run_transit_block_kernel(gpu, "nextdoor_grid", &ex, &index, &gw, &tune, &mut out);
         }
         let events = gpu.take_faults();
         if events.is_empty() {

@@ -439,17 +439,11 @@ impl Gpu {
     }
 
     /// Number of blocks of `block_dim` threads and `shared_bytes` of shared
-    /// memory that one SM can host concurrently.
+    /// memory that one SM can host concurrently (see
+    /// [`GpuSpec::resident_blocks`] — the launch path and the planners
+    /// share one definition of occupancy).
     fn resident_blocks(&self, block_dim: usize, shared_bytes: usize) -> usize {
-        let warps_per_block = block_dim.div_ceil(WARP_SIZE).max(1);
-        let by_warps = self.spec.max_warps_per_sm / warps_per_block;
-        let by_blocks = self.spec.max_blocks_per_sm;
-        let by_shared = self
-            .spec
-            .shared_mem_per_block
-            .checked_div(shared_bytes)
-            .unwrap_or(usize::MAX);
-        by_warps.min(by_blocks).min(by_shared).max(1)
+        self.spec.resident_blocks(block_dim, shared_bytes)
     }
 
     /// Accumulated counters over all launches and transfers.

@@ -32,6 +32,7 @@ use crate::error::ServeError;
 use crate::metrics::ServeMetrics;
 use crate::trace::{Obs, Span, SpanKind, Tracer};
 use nextdoor_core::session::{SamplerSession, SessionQuery};
+use nextdoor_core::tuning::{CacheConfig, TunerConfig};
 use nextdoor_core::{validate_run, EngineStats, FaultReport, SampleStore};
 use nextdoor_graph::VertexId;
 
@@ -514,8 +515,35 @@ impl MicroBatcher {
                     .batch_size(batch.len()),
             );
             self.run_batch(batch, &mut out);
+            self.harvest_tuning();
         }
         out
+    }
+
+    /// Copies the session's tuner/cache counters into the metrics registry
+    /// and emits a [`SpanKind::CacheInstall`] span whenever a maintenance
+    /// pass changed the resident set. Runs after each served batch, at the
+    /// same query boundary where the session itself retunes.
+    fn harvest_tuning(&mut self) {
+        let t = &mut self.obs.metrics.tuning;
+        t.plan_updates = self.session.plan_updates();
+        let Some(s) = self.session.cache_stats() else {
+            return;
+        };
+        let installs_changed = s.installs != t.installs || s.evictions != t.evictions;
+        t.cache_hits = s.hits;
+        t.cache_misses = s.misses;
+        t.installs = s.installs;
+        t.evictions = s.evictions;
+        t.pressure_fallbacks = s.pressure_fallbacks;
+        t.sched_reuses = s.sched_reuses;
+        t.sched_builds = s.sched_builds;
+        if installs_changed {
+            self.obs.trace.push(
+                Span::instant(SpanKind::CacheInstall, self.session.sim_ms())
+                    .batch_size(self.session.cache_resident_len()),
+            );
+        }
     }
 
     fn run_batch(
@@ -632,6 +660,18 @@ impl MicroBatcher {
         self.obs.metrics.observe_wall_ms(ms);
     }
 
+    /// Enables profile-guided autotuning and the cross-query hot-transit
+    /// cache on the underlying session (see
+    /// [`nextdoor_core::tuning`]). The batcher harvests the resulting
+    /// counters into [`ServeMetrics::tuning`] after every served batch and
+    /// traces cache maintenance as [`SpanKind::CacheInstall`] spans.
+    /// Samples are unaffected — tuning moves only launch geometry and
+    /// cost, so responses stay bit-identical to an untuned batcher's.
+    pub fn enable_tuning(&mut self, tuner: TunerConfig, cache: CacheConfig) {
+        self.session.enable_autotune(tuner);
+        self.session.enable_hot_cache(cache);
+    }
+
     /// The underlying warm session.
     pub fn session(&self) -> &SamplerSession {
         &self.session
@@ -652,6 +692,7 @@ impl MicroBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::TuningMetrics;
     use nextdoor_apps::KHop;
     use nextdoor_core::NextDoorError;
     use nextdoor_gpu::GpuSpec;
@@ -934,5 +975,53 @@ mod tests {
             "second request waited for the first batch"
         );
         assert!((second.total_ms - second.queued_ms - second.service_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tuned_batcher_matches_untuned_and_reports_counters() {
+        let mut tuned = batcher(ServeConfig::default());
+        tuned.enable_tuning(
+            TunerConfig {
+                warmup_queries: 1,
+                ..TunerConfig::default()
+            },
+            CacheConfig {
+                min_hits: 1,
+                ..CacheConfig::default()
+            },
+        );
+        let mut plain = batcher(ServeConfig::default());
+        for round in 0..4u64 {
+            for s in 0..3u64 {
+                let seed = 100 + round * 3 + s;
+                tuned.submit(req(1, seed)).unwrap();
+                plain.submit(req(1, seed)).unwrap();
+            }
+            let a = tuned.drain();
+            let b = plain.drain();
+            assert_eq!(a.len(), b.len());
+            for ((_, ra), (_, rb)) in a.into_iter().zip(b) {
+                // The headline invariant: tuning and caching move launch
+                // geometry and cost only — never the samples.
+                assert_eq!(
+                    ra.unwrap().store.final_samples(),
+                    rb.unwrap().store.final_samples()
+                );
+            }
+        }
+        let t = tuned.metrics().tuning;
+        assert!(t.installs > 0, "repeated transits should be promoted");
+        assert!(t.cache_hits + t.cache_misses > 0);
+        assert!(t.sched_builds > 0);
+        assert!(
+            tuned.trace().count(SpanKind::CacheInstall) > 0,
+            "maintenance passes are traced"
+        );
+        assert_eq!(
+            plain.metrics().tuning,
+            TuningMetrics::default(),
+            "an untuned batcher reports all-zero tuning counters"
+        );
+        assert!(tuned.metrics().to_json("t").contains("\"tuning\""));
     }
 }

@@ -96,8 +96,8 @@ pub use batcher::{
 pub use error::ServeError;
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use metrics::{
-    Histogram, PriorityMetrics, ServeMetrics, SimMetrics, DEPTH_BOUNDS, LATENCY_BOUNDS_MS,
-    SIZE_BOUNDS, WIDTH_BOUNDS,
+    Histogram, PriorityMetrics, ServeMetrics, SimMetrics, TuningMetrics, DEPTH_BOUNDS,
+    LATENCY_BOUNDS_MS, SIZE_BOUNDS, WIDTH_BOUNDS,
 };
 pub use replica::{FleetBatcher, FleetReport, PoolConfig, PoolResponse, ReplicaPool, ReplicaStats};
 pub use server::{BatchEngine, RequestOutcome, SampleServer, ServeClient, Ticket};

@@ -81,6 +81,10 @@ pub enum SpanKind {
     /// (instant): `replica` is the source shard, `width` the destination
     /// shard, `batch_size` the walkers moved.
     Handoff,
+    /// The session's hot-transit cache was (re)installed into its device
+    /// arena after a query (instant). `batch_size` carries the number of
+    /// resident transits after the pass.
+    CacheInstall,
 }
 
 /// One recorded lifecycle phase. Identity fields are `None` when the
@@ -280,6 +284,7 @@ fn is_instant(kind: SpanKind) -> bool {
             | SpanKind::OverloadShed
             | SpanKind::DeadlineMiss
             | SpanKind::Handoff
+            | SpanKind::CacheInstall
     )
 }
 
@@ -290,7 +295,8 @@ fn span_tid(s: &Span) -> usize {
         | SpanKind::Backoff
         | SpanKind::CooldownWait
         | SpanKind::Hedge
-        | SpanKind::OverloadShed => TID_SCHEDULER,
+        | SpanKind::OverloadShed
+        | SpanKind::CacheInstall => TID_SCHEDULER,
         SpanKind::Attempt | SpanKind::ClassLaunch | SpanKind::SuperStep | SpanKind::Handoff => {
             match s.replica {
                 Some(r) => TID_REPLICA_BASE + r,
@@ -322,6 +328,7 @@ fn span_name(kind: SpanKind) -> &'static str {
         SpanKind::Completion => "request",
         SpanKind::SuperStep => "super-step",
         SpanKind::Handoff => "handoff",
+        SpanKind::CacheInstall => "cache-install",
     }
 }
 

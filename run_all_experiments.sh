@@ -1,6 +1,7 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper into results/, plus the
-# serving-layer datapoint (BENCH_serve.json).
+# serving-layer datapoints (BENCH_serve.json: serve_bench writes the
+# healthy regimes, then chaos/load/shard/tune splice their sections).
 # Usage: ./run_all_experiments.sh [extra flags passed to every binary]
 #
 # set -euo pipefail (hence bash, not sh): -e aborts on the first failing
@@ -22,3 +23,7 @@ $BIN/fig10  --samples 8192 "$@"        | tee results/fig10.txt
 $BIN/table5 --samples 512  "$@"        | tee results/table5.txt
 $BIN/large_graphs --samples 4096 "$@"  | tee results/large_graphs.txt
 $BIN/serve_bench --samples 4096 "$@"   | tee results/serve_bench.txt
+$BIN/chaos_bench --samples 4096 "$@"   | tee results/chaos_bench.txt
+$BIN/load_bench  --samples 4096 "$@"   | tee results/load_bench.txt
+$BIN/shard_bench --samples 1024 "$@"   | tee results/shard_bench.txt
+$BIN/tune_bench  --samples 4096 "$@"   | tee results/tune_bench.txt

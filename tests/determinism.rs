@@ -248,6 +248,57 @@ fn mixed_width_fused_serving_is_thread_count_invariant() {
 }
 
 #[test]
+fn tuned_session_is_thread_count_invariant() {
+    // The autotuner derives its plan from completed profiles at query
+    // boundaries and the hot-transit cache promotes from deterministic
+    // frequency counts, so a tuned session's whole observable surface —
+    // samples, the derived plan, replan count and cache counters — must be
+    // bit-identical at any worker count. Samples are additionally checked
+    // against an untuned session inline (they share a golden invariant,
+    // not a golden file: tuning may only move cost-side observables).
+    let (graph, init, _) = workload();
+    assert_thread_invariant("tuned_session", |spec| {
+        let mk = || {
+            nextdoor::core::SamplerSession::new(
+                spec.clone(),
+                graph.clone(),
+                Box::new(KHop::new(vec![3, 2])),
+            )
+            .unwrap()
+        };
+        let mut tuned = mk();
+        tuned.enable_autotune(nextdoor::core::tuning::TunerConfig {
+            warmup_queries: 1,
+            ..Default::default()
+        });
+        tuned.enable_hot_cache(nextdoor::core::tuning::CacheConfig {
+            min_hits: 1,
+            ..Default::default()
+        });
+        let mut plain = mk();
+        let mut out = String::new();
+        for q in 0..4u64 {
+            let res = tuned.query(&init, 7 + q).unwrap();
+            let want = plain.query(&init, 7 + q).unwrap();
+            assert_eq!(
+                res.store.final_samples(),
+                want.store.final_samples(),
+                "tuning changed samples on query {q}"
+            );
+            out.push_str(&format!("q{q} samples: {:?}\n", res.store.final_samples()));
+        }
+        out.push_str(&format!(
+            "plan: {:?}\nplan_updates: {}\ncache: {:?}\ncounters: {:?}\n",
+            tuned.tuning_plan(),
+            tuned.plan_updates(),
+            tuned.cache_stats().unwrap(),
+            tuned.gpu().counters(),
+        ));
+        out
+    });
+}
+
+#[test]
 fn serve_observability_is_thread_count_invariant() {
     // The observability layer — lifecycle spans and the metrics registry —
     // is recorded on the scheduler's own thread in simulated-clock order,
